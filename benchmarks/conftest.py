@@ -1,0 +1,87 @@
+"""Shared fixtures of the benchmark/reproduction harness.
+
+Every module in this directory regenerates one table or figure of the paper
+(see DESIGN.md, Section 3 for the experiment index).  The benchmarks measure
+the runtime of the FTIO analysis itself (which the paper reports in
+Section III-C) and print a paper-vs-measured comparison table that is recorded
+in EXPERIMENTS.md.
+
+Expensive workload generation happens once per session in fixtures; the
+benchmarked callables are the analysis steps, not the generators.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.exists() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis.sweep import LimitationStudy  # noqa: E402
+from repro.core import Ftio, FtioConfig  # noqa: E402
+from repro.workloads.hacc import hacc_io_trace  # noqa: E402
+from repro.workloads.ior import ior_trace  # noqa: E402
+from repro.workloads.lammps import lammps_trace  # noqa: E402
+from repro.workloads.nek5000 import nek5000_heatmap  # noqa: E402
+from repro.workloads.synthetic import PhaseLibrary  # noqa: E402
+
+
+def print_report(title: str, body: str) -> None:
+    """Print a clearly delimited report section (captured with ``pytest -s``)."""
+    line = "=" * 72
+    print(f"\n{line}\n{title}\n{line}\n{body}\n")
+
+
+@pytest.fixture(scope="session")
+def ior_case_study_trace():
+    """IOR-like run mirroring the Section II-C example (8 iterations, ~112 s period)."""
+    return ior_trace(
+        ranks=32,
+        iterations=8,
+        segments=2,
+        compute_time=95.0,
+        io_phase_duration=16.0,
+        seed=101,
+    )
+
+
+@pytest.fixture(scope="session")
+def lammps_case_study_trace():
+    """LAMMPS-like run mirroring Figure 10 (15 dumps, ~27 s apart, low bandwidth)."""
+    return lammps_trace(ranks=48, dumps=15, dump_interval=27.4, seed=102)
+
+
+@pytest.fixture(scope="session")
+def hacc_case_study_trace():
+    """HACC-IO-like looped run mirroring Figures 12-15 (10 phases, ~8.7 s period)."""
+    return hacc_io_trace(ranks=64, loops=10, period=8.0, first_phase_delay=6.0, seed=103)
+
+
+@pytest.fixture(scope="session")
+def nek5000_profile():
+    """Nek5000-like Darshan heatmap mirroring Figure 11."""
+    return nek5000_heatmap(seed=104)
+
+
+@pytest.fixture(scope="session")
+def detection_ftio():
+    """The FTIO configuration used by the case-study benchmarks (fs = 10 Hz)."""
+    return Ftio(FtioConfig(sampling_frequency=10.0))
+
+
+@pytest.fixture(scope="session")
+def limitation_study():
+    """Shared limitation-study harness (Section III-A) with the full-size phase library."""
+    library = PhaseLibrary.generate(seed=105)
+    return LimitationStudy(library=library, traces_per_point=10, sampling_frequency=1.0)
+
+
+@pytest.fixture(scope="session")
+def variability_sweep_results(limitation_study):
+    """The sigma/mu sweep shared by the Figure 8c and Figure 9 benchmarks."""
+    points = limitation_study.variability_points(sigma_over_mu=(0.0, 0.5, 1.0, 2.0))
+    return limitation_study.run(points, seed=106)

@@ -1,0 +1,38 @@
+"""Experiment E1 — Figure 2 / Section II-C example: FTIO on an IOR run.
+
+Paper setup: IOR with 9216 ranks on Lichtenberg, 8 iterations, 2 segments,
+2 MB transfers, 10 MB blocks; FTIO at fs = 10 Hz over a 781 s window found a
+period of 111.67 s with a DFT confidence of 60.5 % and a refined confidence of
+86.5 %; the abstraction error was 0.03.
+
+Here the same analysis runs on a synthetic IOR-like trace with the same
+iteration structure (the rank count only scales the request count, not the
+signal shape).  The benchmark measures the offline detection time.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_report
+from repro.analysis.report import paper_comparison_table
+
+
+def test_fig02_ior_offline_detection(benchmark, ior_case_study_trace, detection_ftio):
+    trace = ior_case_study_trace
+    result = benchmark(detection_ftio.detect, trace)
+
+    true_period = trace.ground_truth.average_period()
+    assert result.is_periodic
+    assert abs(result.period - true_period) / true_period < 0.15
+    assert result.signal.abstraction_error < 0.2
+
+    rows = [
+        ("dominant period [s]", 111.67, result.period),
+        ("ground-truth mean period [s]", "-", true_period),
+        ("DFT confidence", "60.5%", f"{result.confidence:.1%}"),
+        ("refined confidence", "86.5%", f"{result.refined_confidence:.1%}"),
+        ("abstraction error", 0.03, result.signal.abstraction_error),
+        ("inspected frequencies", 3809, result.spectrum.n_bins - 1),
+        ("spectrum max frequency [Hz]", 5.0, result.spectrum.max_frequency),
+        ("analysis time [s]", "5.7", f"{result.analysis_time:.3f}"),
+    ]
+    print_report("Figure 2 — IOR power spectrum and dominant frequency", paper_comparison_table(rows))

@@ -1,0 +1,39 @@
+"""Experiment E2 — Figure 3: autocorrelation refinement on the IOR run.
+
+Paper: the ACF of the IOR signal yields 17 peak gaps, 12 of which are filtered
+as outliers; the remaining 5 candidates average to a period of 104.8 s with a
+confidence of 99.58 %, and the similarity to the DFT result is 97.6 %, which
+refines the overall confidence to 86.5 %.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_report
+from repro.analysis.report import paper_comparison_table
+from repro.freq.autocorr import detect_period_autocorrelation, similarity_to_candidates
+from repro.trace.sampling import discretize_trace
+
+
+def test_fig03_ior_autocorrelation(benchmark, ior_case_study_trace, detection_ftio):
+    trace = ior_case_study_trace
+    signal = discretize_trace(trace, 10.0)
+
+    acf_result = benchmark(detect_period_autocorrelation, signal.samples, signal.sampling_frequency)
+
+    dft_result = detection_ftio.detect(trace)
+    true_period = trace.ground_truth.average_period()
+
+    assert acf_result.period is not None
+    assert abs(acf_result.period - true_period) / true_period < 0.15
+    assert acf_result.confidence > 0.5
+
+    similarity = similarity_to_candidates(dft_result.dominant_frequency, acf_result.candidate_periods)
+    rows = [
+        ("ACF period [s]", 104.8, acf_result.period),
+        ("ACF confidence", "99.58%", f"{acf_result.confidence:.2%}"),
+        ("ACF peaks found", 17, int(len(acf_result.peak_lags))),
+        ("candidates kept after filtering", 5, int(len(acf_result.candidate_periods))),
+        ("similarity to DFT result", "97.6%", f"{similarity:.1%}"),
+        ("refined confidence", "86.5%", f"{dft_result.refined_confidence:.1%}"),
+    ]
+    print_report("Figure 3 — IOR autocorrelation", paper_comparison_table(rows))

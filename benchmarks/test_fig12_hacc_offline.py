@@ -1,0 +1,65 @@
+"""Experiment E12 — Figures 12-14: HACC-IO offline detection.
+
+Paper: HACC-IO (3072 ranks) looped to produce 10 I/O phases; the first phase
+is significantly delayed (4.1 s → 15.3 s), which makes the signal less
+periodic.  The offline analysis at fs = 10 Hz finds two dominant-frequency
+candidates, 0.1206 Hz (51 %) and 0.1326 Hz (48.9 %); the dominant one
+corresponds to a period of 8.29 s while the true average period is 8.7 s
+(7.7 s without the first phase).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_report
+from repro.analysis.report import paper_comparison_table
+from repro.core import FtioConfig, Ftio, Periodicity
+
+
+def test_fig12_hacc_offline_detection(benchmark, hacc_case_study_trace):
+    trace = hacc_case_study_trace
+    ftio = Ftio(FtioConfig(sampling_frequency=10.0))
+
+    result = benchmark(ftio.detect, trace)
+
+    true_period = trace.ground_truth.average_period()
+    assert result.is_periodic
+    assert abs(result.period - true_period) / true_period < 0.2
+
+    candidates = sorted(result.active_candidates(), key=lambda c: -c.power)
+    top = candidates[0]
+    second = candidates[1] if len(candidates) > 1 else None
+
+    # The delayed first phase keeps the verdict short of a clean single-candidate
+    # detection in the paper; accept either verdict but require imperfect confidence.
+    assert result.periodicity in (Periodicity.PERIODIC, Periodicity.PERIODIC_WITH_VARIATION)
+    assert result.confidence < 0.95
+
+    rows = [
+        ("dominant frequency [Hz]", 0.1206, top.frequency),
+        ("dominant period [s]", 8.29, result.period),
+        ("true mean period [s]", 8.7, true_period),
+        ("dominant confidence", "51%", f"{top.confidence:.1%}"),
+        ("second candidate [Hz]", 0.1326, second.frequency if second else "none"),
+        ("second confidence", "48.9%", f"{second.confidence:.1%}" if second else "-"),
+        ("number of active candidates", 2, len(candidates)),
+        ("analysis time [s]", 3.6, f"{result.analysis_time:.3f}"),
+    ]
+    print_report("Figures 12-14 — HACC-IO offline spectrum", paper_comparison_table(rows))
+
+
+def test_fig13_skip_first_phase_option(benchmark, hacc_case_study_trace):
+    """The paper notes the first phase is often prolonged; FTIO can skip it."""
+    trace = hacc_case_study_trace
+    config = FtioConfig(sampling_frequency=10.0, skip_first_phase=True)
+
+    result = benchmark(Ftio(config).detect, trace)
+
+    # Without the delayed first phase the remaining phases repeat every ~8 s.
+    assert result.is_periodic
+    assert abs(result.period - 8.0) / 8.0 < 0.25
+
+    rows = [
+        ("period without first phase [s]", 7.7, result.period),
+        ("confidence", "-", f"{result.best_confidence:.1%}"),
+    ]
+    print_report("HACC-IO with skip_first_phase=True", paper_comparison_table(rows))

@@ -1,0 +1,60 @@
+"""Experiment E13 — Figure 15: online prediction during the HACC-IO execution.
+
+Paper: predictions run at the end of every I/O phase; the predicted period
+converges to ≈ 8 s (ground truth: phases start on average every 8.7 s) and
+after three consecutive detections the analysis window is shrunk to
+3 × (last period), e.g. at 47.4 s only data after 23.1 s is kept.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_report
+from repro.analysis.report import format_table, paper_comparison_table
+from repro.core import FtioConfig
+from repro.core.online import replay_online
+from repro.workloads.hacc import hacc_flush_times
+
+
+def test_fig15_online_prediction(benchmark, hacc_case_study_trace):
+    trace = hacc_case_study_trace
+    flush_times = hacc_flush_times(trace)
+    config = FtioConfig(
+        sampling_frequency=10.0, use_autocorrelation=False, compute_characterization=False
+    )
+
+    steps = benchmark.pedantic(
+        replay_online, args=(trace, flush_times), kwargs={"config": config}, rounds=1, iterations=1
+    )
+
+    assert len(steps) == len(flush_times)
+    periods = [s.period for s in steps if s.period is not None]
+    assert len(periods) >= 5
+
+    true_period = trace.ground_truth.average_period()
+    final_prediction = periods[-1]
+    assert abs(final_prediction - true_period) / true_period < 0.2
+
+    # The adaptive window kicks in after three consecutive detections.
+    windows = [s.window_length for s in steps]
+    assert windows[-1] < windows[-2] * 1.5 or windows[-1] < max(windows)
+
+    rows = [
+        [s.index, f"{s.time:.1f}", f"{s.window[0]:.1f}", f"{s.window_length:.1f}",
+         f"{s.period:.2f}" if s.period else "-", f"{s.confidence:.0%}"]
+        for s in steps
+    ]
+    table = format_table(
+        ["prediction", "time [s]", "window start [s]", "window length [s]", "period [s]", "confidence"],
+        rows,
+    )
+    summary = paper_comparison_table(
+        [
+            ("average predicted period [s]", 8.66, float(np.mean(periods))),
+            ("final prediction [s]", "8.0", final_prediction),
+            ("ground-truth mean period [s]", 8.7, true_period),
+            ("number of predictions", 10, len(steps)),
+        ]
+    )
+    print_report("Figure 15 — HACC-IO online prediction", summary + "\n\n" + table)

@@ -1,0 +1,64 @@
+"""Experiment E14 — Figure 16: overhead of the tracing library across rank counts.
+
+Paper: IOR traced with TMIO in online mode on 96 … 10 752 ranks.  The
+aggregated overhead stays below 0.6 % of the aggregated application time,
+while the rank-0 overhead (gathering + writing the trace file) grows with the
+rank count but stays below 6.9 %.  The offline mode is cheaper
+(0.13 % → 0.004 % aggregated, 1.03 % → 1.58 % for rank 0).
+
+Real MPI runs are unavailable, so the calibrated cost model of
+:mod:`repro.tracer.overhead` regenerates the scaling curves; the per-request
+capture cost of the simulated tracer is micro-benchmarked to justify the
+model's calibration constant.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_report
+from repro.analysis.report import format_table, paper_comparison_table
+from repro.tracer.overhead import TracerOverheadModel, default_rank_sweep, measure_capture_cost
+from repro.tracer.tmio import TracerMode
+
+
+def test_fig16_overhead_scaling(benchmark):
+    model = TracerOverheadModel()
+    ranks = default_rank_sweep()
+
+    def sweep():
+        online = model.sweep_ranks(
+            ranks, requests_per_rank=40, application_time=500.0, mode=TracerMode.ONLINE, flushes=8
+        )
+        offline = model.sweep_ranks(
+            ranks, requests_per_rank=40, application_time=500.0, mode=TracerMode.OFFLINE
+        )
+        return online, offline
+
+    online, offline = benchmark(sweep)
+
+    max_aggregated = max(e.aggregated_overhead_ratio for e in online)
+    max_rank0 = max(e.rank0_overhead_ratio for e in online)
+    assert max_aggregated < 0.006
+    assert max_rank0 < 0.069
+    # Rank-0 overhead grows with the rank count (the gather dominates).
+    rank0_ratios = [e.rank0_overhead_ratio for e in online]
+    assert rank0_ratios[-1] > rank0_ratios[0]
+
+    capture_cost = measure_capture_cost(n_requests=5000)
+
+    rows = [
+        [e.ranks, f"{e.aggregated_overhead_ratio:.4%}", f"{e.rank0_overhead_ratio:.3%}",
+         f"{off.aggregated_overhead_ratio:.4%}", f"{off.rank0_overhead_ratio:.3%}"]
+        for e, off in zip(online, offline)
+    ]
+    table = format_table(
+        ["ranks", "online aggregated", "online rank-0", "offline aggregated", "offline rank-0"],
+        rows,
+    )
+    summary = paper_comparison_table(
+        [
+            ("max aggregated overhead (online)", "0.6%", f"{max_aggregated:.2%}"),
+            ("max rank-0 overhead (online)", "6.9%", f"{max_rank0:.2%}"),
+            ("measured capture cost per request [us]", "~1-2", f"{capture_cost * 1e6:.2f}"),
+        ]
+    )
+    print_report("Figure 16 — tracing-library overhead vs. rank count", summary + "\n\n" + table)

@@ -1,0 +1,63 @@
+"""Experiment E15 — Figure 17: FTIO feeding the Set-10 I/O scheduler.
+
+Paper: a workload of 1 high-frequency (19.2 s period) and 15 low-frequency
+(384 s period) IOR-derived applications, I/O = 6.25 % of each period, ten
+executions per configuration.  Compared to the unmodified file system, the
+FTIO-fed Set-10 decreases the mean stretch by 20 % and the I/O slowdown by
+56 %, and increases utilization by 26 %; it is within a few percent of the
+clairvoyant variant, while injecting ±50 % errors into the periods makes the
+results worse and more variable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_report
+from repro.analysis.report import format_table, paper_comparison_table
+from repro.scheduling.experiment import SchedulingExperiment, summarize
+
+
+def test_fig17_set10_with_ftio(benchmark):
+    experiment = SchedulingExperiment()
+
+    runs = benchmark.pedantic(
+        experiment.run, kwargs={"repetitions": 10, "seed": 17}, rounds=1, iterations=1
+    )
+    summary = summarize(runs)
+
+    original = summary["original"]
+    ftio = summary["set10-ftio"]
+    clairvoyant = summary["set10-clairvoyant"]
+    error = summary["set10-error"]
+
+    # Figure 17 orderings: Set-10 + FTIO clearly beats the unmodified system...
+    assert ftio["io_slowdown"] < 0.6 * original["io_slowdown"]
+    assert ftio["stretch"] < original["stretch"]
+    assert ftio["utilization"] > original["utilization"]
+    # ... and is close to (never better than) the clairvoyant version.
+    assert ftio["io_slowdown"] >= clairvoyant["io_slowdown"] * 0.999
+    assert ftio["io_slowdown"] < clairvoyant["io_slowdown"] * 1.25
+    # Error injection never helps.
+    assert error["io_slowdown"] >= ftio["io_slowdown"] * 0.999
+
+    slowdown_reduction = 1.0 - ftio["io_slowdown"] / original["io_slowdown"]
+    stretch_reduction = 1.0 - ftio["stretch"] / original["stretch"]
+    utilization_gain = ftio["utilization"] / original["utilization"] - 1.0
+
+    rows = [
+        [cfg, summary[cfg]["stretch"], summary[cfg]["io_slowdown"], summary[cfg]["utilization"]]
+        for cfg in ("set10-clairvoyant", "set10-ftio", "set10-error", "original")
+    ]
+    table = format_table(["configuration", "stretch", "I/O slowdown", "utilization"], rows)
+    comparison = paper_comparison_table(
+        [
+            ("I/O slowdown reduction vs original", "56%", f"{slowdown_reduction:.0%}"),
+            ("stretch reduction vs original", "20%", f"{stretch_reduction:.0%}"),
+            ("utilization increase vs original", "26%", f"{utilization_gain:.0%}"),
+            ("FTIO vs clairvoyant (stretch)", "+2.2%", f"{ftio['stretch'] / clairvoyant['stretch'] - 1:+.1%}"),
+            ("FTIO vs clairvoyant (I/O slowdown)", "+19%", f"{ftio['io_slowdown'] / clairvoyant['io_slowdown'] - 1:+.1%}"),
+            ("error-injected vs FTIO (I/O slowdown)", "+27%", f"{error['io_slowdown'] / ftio['io_slowdown'] - 1:+.1%}"),
+        ]
+    )
+    print_report("Figure 17 — Set-10 scheduling with FTIO", table + "\n\n" + comparison)

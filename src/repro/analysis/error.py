@@ -1,0 +1,82 @@
+"""Detection-error computation (Section III-A).
+
+For every generated trace the limitation study compares the period Td found by
+FTIO with the ground-truth average period T̄ of the trace (known only to the
+generator): error = |Td − T̄| / T̄.  A trace for which FTIO finds no dominant
+frequency is counted with an error of 1 (100 %), which is how non-detections
+show up in the paper's box plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import FtioConfig
+from repro.core.ftio import Ftio
+from repro.core.result import FtioResult
+from repro.exceptions import WorkloadError
+from repro.trace.trace import Trace
+from repro.workloads.synthetic import mean_period
+
+
+def detection_error(detected_period: float | None, true_period: float) -> float:
+    """Relative period error |Td − T̄| / T̄; 1.0 when nothing was detected."""
+    if true_period <= 0:
+        raise ValueError(f"true_period must be positive, got {true_period}")
+    if detected_period is None or detected_period <= 0:
+        return 1.0
+    return abs(detected_period - true_period) / true_period
+
+
+@dataclass(frozen=True)
+class DetectionOutcome:
+    """FTIO result of one trace together with its ground-truth comparison."""
+
+    true_period: float
+    detected_period: float | None
+    error: float
+    confidence: float
+    refined_confidence: float | None
+    sigma_vol: float | None
+    sigma_time: float | None
+    periodicity_score: float | None
+    time_ratio: float | None
+    result: FtioResult
+
+    @property
+    def detected(self) -> bool:
+        """True when FTIO found a dominant frequency."""
+        return self.detected_period is not None
+
+
+def evaluate_trace(
+    trace: Trace,
+    *,
+    config: FtioConfig | None = None,
+    ftio: Ftio | None = None,
+) -> DetectionOutcome:
+    """Run FTIO on a generated trace and compare against its ground truth.
+
+    Raises
+    ------
+    WorkloadError
+        If the trace carries no usable ground truth.
+    """
+    if trace.ground_truth is None:
+        raise WorkloadError("evaluate_trace needs a trace with ground truth")
+    true = mean_period(trace)
+    engine = ftio if ftio is not None else Ftio(config or FtioConfig(sampling_frequency=1.0))
+    result = engine.detect(trace)
+    characterization = result.characterization
+    return DetectionOutcome(
+        true_period=true,
+        detected_period=result.period,
+        error=detection_error(result.period, true),
+        confidence=result.confidence,
+        refined_confidence=result.refined_confidence,
+        sigma_vol=characterization.sigma_vol if characterization else None,
+        sigma_time=characterization.sigma_time if characterization else None,
+        periodicity_score=characterization.periodicity_score if characterization else None,
+        time_ratio=characterization.time_ratio if characterization else None,
+        result=result,
+    )

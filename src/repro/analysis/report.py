@@ -1,0 +1,89 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness regenerates the paper's tables and figure series as
+text: aligned tables for per-configuration metrics and compact "series" lines
+for box-plot style sweeps.  Keeping the rendering in the library (instead of
+inside each benchmark) makes the output uniform and testable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.analysis.sweep import BoxplotStats, SweepPointResult
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render ``rows`` as an aligned text table with the given ``headers``.
+
+    Floats are shown with 4 significant digits; every other value uses ``str``.
+    """
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    all_rows = [list(map(str, headers)), *rendered_rows]
+    widths = [max(len(row[i]) for row in all_rows) for i in range(len(headers))]
+
+    def render(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+
+    lines = [render(all_rows[0]), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, bool) or cell is None:
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def format_boxplot(stats: BoxplotStats, *, as_percent: bool = False) -> str:
+    """One-line summary of a box-plot distribution (median [q1, q3], mean)."""
+    scale = 100.0 if as_percent else 1.0
+    unit = "%" if as_percent else ""
+    return (
+        f"median {stats.median * scale:.3g}{unit} "
+        f"[q1 {stats.q1 * scale:.3g}{unit}, q3 {stats.q3 * scale:.3g}{unit}], "
+        f"mean {stats.mean * scale:.3g}{unit} (n={stats.count})"
+    )
+
+
+def format_sweep(results: Sequence[SweepPointResult], *, metric: str = "error") -> str:
+    """Render a sweep as a table: one row per point with box-plot statistics.
+
+    ``metric`` may be ``"error"`` or any :class:`DetectionOutcome` field name
+    with numeric values (``sigma_vol``, ``sigma_time``, ``periodicity_score``,
+    ``confidence``).
+    """
+    headers = ["point", "value", "median", "q1", "q3", "mean", "max", "n"]
+    rows = []
+    for result in results:
+        if metric == "error":
+            stats = result.error_stats()
+        elif metric == "confidence":
+            stats = BoxplotStats.from_values(result.confidences)
+        else:
+            stats = result.metric_stats(metric)
+        rows.append(
+            [
+                result.point.label,
+                result.point.value,
+                stats.median,
+                stats.q1,
+                stats.q3,
+                stats.mean,
+                stats.maximum,
+                stats.count,
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def paper_comparison_table(rows: Iterable[tuple[str, object, object]]) -> str:
+    """Render (quantity, paper value, measured value) triples as a table.
+
+    Used by every benchmark to print the paper-vs-measured summary that is
+    recorded in EXPERIMENTS.md.
+    """
+    return format_table(["quantity", "paper", "measured"], rows)

@@ -1,0 +1,24 @@
+"""Cluster substrate: shared file system, periodic jobs, event-driven simulator."""
+
+from repro.cluster.filesystem import SharedFileSystem
+from repro.cluster.job import JobPhase, JobSpec, JobState, PhaseRecord
+from repro.cluster.scheduler import IOScheduler
+from repro.cluster.simulator import (
+    ClusterSimulator,
+    JobResult,
+    SimulationResult,
+    run_isolated,
+)
+
+__all__ = [
+    "SharedFileSystem",
+    "JobPhase",
+    "JobSpec",
+    "JobState",
+    "PhaseRecord",
+    "IOScheduler",
+    "ClusterSimulator",
+    "JobResult",
+    "SimulationResult",
+    "run_isolated",
+]

@@ -1,0 +1,56 @@
+"""Shared parallel-file-system model.
+
+The Set-10 experiments of the paper run on a BeeGFS deployment whose bandwidth
+is shared by the concurrently writing jobs.  This model captures the part that
+matters for contention: a single aggregate bandwidth capacity that the
+scheduler divides among the jobs currently performing I/O.  A job granted a
+fraction ``s`` of the capacity progresses through its I/O phase at
+``min(s × capacity, job.io_bandwidth)`` bytes/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SchedulingError
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SharedFileSystem:
+    """A shared file system with a fixed aggregate bandwidth capacity.
+
+    Attributes
+    ----------
+    capacity:
+        Peak aggregate bandwidth in bytes/s.
+    name:
+        Label used in reports.
+    """
+
+    capacity: float
+    name: str = "pfs"
+
+    def __post_init__(self) -> None:
+        check_positive(self.capacity, "capacity")
+
+    def effective_bandwidth(self, share: float, job_bandwidth: float) -> float:
+        """Bandwidth a job actually achieves given its granted ``share``.
+
+        The job can never exceed its own achievable bandwidth, nor the share
+        of the file-system capacity it was granted.
+        """
+        if share < 0.0 or share > 1.0 + 1e-9:
+            raise SchedulingError(f"bandwidth share must be in [0, 1], got {share}")
+        return min(share * self.capacity, job_bandwidth)
+
+    def validate_allocation(self, shares: dict[str, float]) -> None:
+        """Check that an allocation does not exceed the capacity (sum of shares <= 1)."""
+        total = sum(shares.values())
+        if total > 1.0 + 1e-6:
+            raise SchedulingError(
+                f"scheduler allocated {total:.3f} of the file-system capacity (> 1.0)"
+            )
+        for job, share in shares.items():
+            if share < -1e-12:
+                raise SchedulingError(f"negative bandwidth share for job {job!r}: {share}")

@@ -1,0 +1,185 @@
+"""Job model of the cluster simulator (Section IV substrate).
+
+A job alternates compute phases and I/O phases, like the IOR-derived
+applications of the Set-10 experiment: in isolation every iteration lasts
+``period`` seconds of which ``io_fraction`` is spent writing to the shared
+file system at the job's full achievable bandwidth.  Under contention the
+scheduler grants only part of the file-system bandwidth, so the I/O phase
+stretches and the job's iterations — and total runtime — grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.exceptions import SchedulingError
+from repro.utils.validation import check_non_negative, check_positive, check_positive_int
+
+
+class JobPhase(str, Enum):
+    """Lifecycle states of a simulated job."""
+
+    PENDING = "pending"  # before start_time
+    COMPUTING = "computing"
+    IO = "io"
+    FINISHED = "finished"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Static description of a periodic job.
+
+    Attributes
+    ----------
+    name:
+        Unique job identifier.
+    period:
+        Iteration length in isolation (compute + I/O), seconds.
+    io_fraction:
+        Fraction of the period spent on I/O in isolation (paper: 6.25 %).
+    iterations:
+        Number of iterations the job executes.
+    io_bandwidth:
+        Bandwidth the job achieves when granted exclusive file-system access
+        (bytes/s); the per-phase volume follows from it.
+    nodes:
+        Number of nodes the job occupies (weights the utilization metric).
+    start_time:
+        Time at which the job is released.
+    """
+
+    name: str
+    period: float
+    io_fraction: float
+    iterations: int
+    io_bandwidth: float
+    nodes: int = 1
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.period, "period")
+        if not 0.0 < self.io_fraction < 1.0:
+            raise SchedulingError(f"io_fraction must be in (0, 1), got {self.io_fraction}")
+        check_positive_int(self.iterations, "iterations")
+        check_positive(self.io_bandwidth, "io_bandwidth")
+        check_positive_int(self.nodes, "nodes")
+        check_non_negative(self.start_time, "start_time")
+
+    @property
+    def compute_time(self) -> float:
+        """Length of one compute phase in isolation."""
+        return self.period * (1.0 - self.io_fraction)
+
+    @property
+    def io_time_isolated(self) -> float:
+        """Length of one I/O phase in isolation."""
+        return self.period * self.io_fraction
+
+    @property
+    def io_volume(self) -> float:
+        """Bytes written per I/O phase (volume = isolated time × full bandwidth)."""
+        return self.io_time_isolated * self.io_bandwidth
+
+    @property
+    def isolated_makespan(self) -> float:
+        """Total runtime of the job when it never experiences contention."""
+        return self.iterations * self.period
+
+    @property
+    def isolated_io_time(self) -> float:
+        """Total time spent on I/O when the job never experiences contention."""
+        return self.iterations * self.io_time_isolated
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """One completed I/O phase of a job (what the tracer would have recorded)."""
+
+    job: str
+    iteration: int
+    start: float
+    end: float
+    nbytes: float
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock length of the phase (including contention slowdown)."""
+        return self.end - self.start
+
+
+@dataclass
+class JobState:
+    """Mutable runtime state of a job inside the simulator."""
+
+    spec: JobSpec
+    phase: JobPhase = JobPhase.PENDING
+    iteration: int = 0
+    remaining_compute: float = 0.0
+    remaining_io_bytes: float = 0.0
+    io_phase_start: float | None = None
+    finish_time: float | None = None
+    total_io_time: float = 0.0
+    phase_records: list[PhaseRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Job identifier (delegates to the spec)."""
+        return self.spec.name
+
+    @property
+    def is_active(self) -> bool:
+        """True while the job still has work to do."""
+        return self.phase not in (JobPhase.FINISHED,)
+
+    def start(self, time: float) -> None:
+        """Release the job: begin its first compute phase."""
+        if self.phase is not JobPhase.PENDING:
+            raise SchedulingError(f"job {self.name} was already started")
+        self.phase = JobPhase.COMPUTING
+        self.remaining_compute = self.spec.compute_time
+        self.iteration = 0
+
+    def begin_io(self, time: float) -> None:
+        """Transition from compute to the I/O phase of the current iteration."""
+        if self.phase is not JobPhase.COMPUTING:
+            raise SchedulingError(f"job {self.name} cannot start I/O from phase {self.phase}")
+        self.phase = JobPhase.IO
+        self.remaining_io_bytes = self.spec.io_volume
+        self.io_phase_start = time
+
+    def complete_io(self, time: float) -> PhaseRecord:
+        """Finish the current I/O phase; returns its record and advances the job."""
+        if self.phase is not JobPhase.IO or self.io_phase_start is None:
+            raise SchedulingError(f"job {self.name} is not in an I/O phase")
+        record = PhaseRecord(
+            job=self.name,
+            iteration=self.iteration,
+            start=self.io_phase_start,
+            end=time,
+            nbytes=self.spec.io_volume,
+        )
+        self.phase_records.append(record)
+        self.total_io_time += record.duration
+        self.io_phase_start = None
+        self.iteration += 1
+        if self.iteration >= self.spec.iterations:
+            self.phase = JobPhase.FINISHED
+            self.finish_time = time
+        else:
+            self.phase = JobPhase.COMPUTING
+            self.remaining_compute = self.spec.compute_time
+        return record
+
+    # ------------------------------------------------------------------ #
+    @property
+    def makespan(self) -> float | None:
+        """Total runtime (finish − release), or ``None`` while still running."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.spec.start_time
+
+    def io_waiting_since(self) -> float | None:
+        """Start time of the current (pending) I/O phase, used for FCFS ordering."""
+        return self.io_phase_start

@@ -1,0 +1,44 @@
+"""I/O scheduler interface used by the cluster simulator.
+
+Concrete policies (fair sharing, exclusive FCFS, Set-10) live in
+:mod:`repro.scheduling`; the simulator only depends on this small interface so
+that new policies can be plugged in without touching the event loop.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.cluster.job import JobState, PhaseRecord
+
+
+class IOScheduler(abc.ABC):
+    """Decides how the shared file-system bandwidth is divided among jobs."""
+
+    #: Identifier used in reports and experiment tables.
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def allocate(self, io_jobs: list[JobState], time: float) -> dict[str, float]:
+        """Return the bandwidth share (in [0, 1]) granted to each job doing I/O.
+
+        Parameters
+        ----------
+        io_jobs:
+            The jobs currently in an I/O phase (non-empty).
+        time:
+            Current simulation time.
+
+        Returns
+        -------
+        dict
+            Mapping of job name to its share of the file-system capacity.  The
+            shares must sum to at most 1; jobs omitted from the mapping receive
+            no bandwidth this interval.
+        """
+
+    def on_phase_complete(self, job: JobState, record: PhaseRecord, time: float) -> None:
+        """Hook invoked whenever a job completes an I/O phase (optional)."""
+
+    def on_job_finished(self, job: JobState, time: float) -> None:
+        """Hook invoked whenever a job finishes its last iteration (optional)."""

@@ -1,0 +1,138 @@
+"""Merging consecutive online predictions into frequency intervals (Section II-D).
+
+Different online evaluations use different time windows, so their frequency
+resolution differs and the dominant frequencies they report do not coincide
+exactly.  FTIO therefore merges the predictions with DBSCAN — eps set to the
+resolution difference implied by the window lengths — and reports, per
+cluster, the frequency interval [min, max] together with a probability equal
+to the fraction of predictions that fall into the cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.freq.outliers.dbscan import NOISE, dbscan_labels
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class FrequencyInterval:
+    """A merged cluster of dominant-frequency predictions.
+
+    Attributes
+    ----------
+    low, high:
+        Interval bounds in Hz (min and max of the clustered predictions).
+    probability:
+        Fraction of all predictions that fall into this cluster.
+    count:
+        Number of predictions in the cluster.
+    """
+
+    low: float
+    high: float
+    probability: float
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError(f"interval high ({self.high}) must be >= low ({self.low})")
+
+    @property
+    def center(self) -> float:
+        """Midpoint of the interval in Hz."""
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def period_range(self) -> tuple[float, float]:
+        """The corresponding period interval (seconds), widest first."""
+        if self.low <= 0:
+            return (float("inf"), 1.0 / self.high if self.high > 0 else float("inf"))
+        return (1.0 / self.high, 1.0 / self.low)
+
+    def contains(self, frequency: float, *, slack: float = 0.0) -> bool:
+        """True when ``frequency`` lies inside the (optionally widened) interval."""
+        return (self.low - slack) <= frequency <= (self.high + slack)
+
+
+def resolution_eps(window_lengths: list[float]) -> float:
+    """Derive DBSCAN's eps from the analysis-window lengths of the predictions.
+
+    The frequency resolution of a window of length Δt is 1/Δt, so predictions
+    from windows Δt1 and Δt2 can legitimately differ by about
+    |1/Δt1 − 1/Δt2|; the largest such difference is used as eps.  A minimum of
+    the finest resolution is enforced so identical windows still cluster.
+    """
+    lengths = [w for w in window_lengths if w > 0]
+    if not lengths:
+        return 1e-6
+    resolutions = np.array([1.0 / w for w in lengths])
+    spread = float(resolutions.max() - resolutions.min())
+    return max(spread, float(resolutions.min()), 1e-9)
+
+
+def merge_predictions(
+    frequencies: list[float],
+    window_lengths: list[float] | None = None,
+    *,
+    eps: float | None = None,
+    min_samples: int = 1,
+) -> list[FrequencyInterval]:
+    """Cluster dominant-frequency predictions into probability-weighted intervals.
+
+    Parameters
+    ----------
+    frequencies:
+        The dominant frequencies of the individual predictions (Hz).
+    window_lengths:
+        The Δt of each prediction; used to derive eps when not given.
+    eps:
+        Explicit DBSCAN radius in Hz (overrides the derived value).
+    min_samples:
+        DBSCAN core threshold; 1 means every prediction forms at least a
+        singleton cluster, matching the paper's probability bookkeeping.
+
+    Returns
+    -------
+    list[FrequencyInterval]
+        Intervals sorted by descending probability (ties: lower frequency first).
+    """
+    freqs = np.asarray([f for f in frequencies if f is not None], dtype=np.float64)
+    if freqs.size == 0:
+        return []
+    if eps is None:
+        eps = resolution_eps(list(window_lengths or []) or [1.0 / max(freqs.max(), 1e-9)])
+    check_positive(eps, "eps")
+    labels = dbscan_labels(freqs, eps=eps, min_samples=min_samples)
+
+    total = freqs.size
+    intervals: list[FrequencyInterval] = []
+    # Noise points (possible only when min_samples > 1) become singleton intervals.
+    for label in np.unique(labels):
+        if label == NOISE:
+            for value in freqs[labels == NOISE]:
+                intervals.append(
+                    FrequencyInterval(low=float(value), high=float(value), probability=1.0 / total, count=1)
+                )
+            continue
+        members = freqs[labels == label]
+        intervals.append(
+            FrequencyInterval(
+                low=float(members.min()),
+                high=float(members.max()),
+                probability=float(len(members) / total),
+                count=int(len(members)),
+            )
+        )
+    intervals.sort(key=lambda iv: (-iv.probability, iv.low))
+    return intervals
+
+
+def most_probable_interval(intervals: list[FrequencyInterval]) -> FrequencyInterval | None:
+    """Return the interval with the highest probability, or ``None`` when empty."""
+    if not intervals:
+        return None
+    return intervals[0]

@@ -1,0 +1,245 @@
+"""Online period prediction (Section II-D).
+
+During the execution of an application, the tracer appends new measurements to
+the trace file at every flush.  FTIO is then re-executed on the data collected
+so far to *predict* the period of the upcoming I/O phases.  Two enhancements
+adapt the prediction to changing behaviour:
+
+1. **Adaptive time windows** — after a dominant frequency has been found in
+   ``k`` consecutive evaluations, the analysis window is shrunk to
+   ``k × (last found period)`` so stale history stops diluting the spectrum.
+2. **Frequency intervals** — the dominant frequencies of consecutive
+   evaluations are merged with DBSCAN into intervals with probabilities
+   (:mod:`repro.core.intervals`).
+
+:class:`OnlinePredictor` implements both on top of the offline pipeline;
+:func:`replay_online` drives it over a finished trace as if it were arriving
+flush by flush, which is how the HACC-IO online experiment (Figure 15) is
+reproduced without a live MPI application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.config import FtioConfig
+from repro.core.ftio import Ftio
+from repro.core.intervals import FrequencyInterval, merge_predictions
+from repro.core.result import FtioResult
+from repro.exceptions import AnalysisError, InsufficientSamplesError
+from repro.trace.jsonl import FlushRecord, flushes_to_trace, iter_flushes
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class PredictionStep:
+    """Outcome of one online evaluation.
+
+    Attributes
+    ----------
+    index:
+        Sequence number of the evaluation (0-based).
+    time:
+        Wall-clock time at which the evaluation was triggered (the flush time).
+    window:
+        (t0, t1) analysis window that was used.
+    result:
+        Full FTIO result of the evaluation, or ``None`` when the window held
+        too little data to analyse.
+    """
+
+    index: int
+    time: float
+    window: tuple[float, float]
+    result: FtioResult | None
+
+    @property
+    def dominant_frequency(self) -> float | None:
+        """Dominant frequency of this step, if any."""
+        if self.result is None:
+            return None
+        return self.result.dominant_frequency
+
+    @property
+    def period(self) -> float | None:
+        """Predicted period of this step, if any."""
+        if self.result is None:
+            return None
+        return self.result.period
+
+    @property
+    def confidence(self) -> float:
+        """Confidence of this step (0 when no result)."""
+        if self.result is None:
+            return 0.0
+        return self.result.best_confidence
+
+    @property
+    def window_length(self) -> float:
+        """Length Δt of the analysis window."""
+        return self.window[1] - self.window[0]
+
+
+@dataclass
+class OnlinePredictor:
+    """Stateful online predictor: call :meth:`step` after every flush.
+
+    Parameters
+    ----------
+    config:
+        Analysis configuration (shared with the offline pipeline).
+    adaptive_window:
+        Enable the time-window adaptation (enhancement 1 above).
+    """
+
+    config: FtioConfig = field(default_factory=FtioConfig)
+    adaptive_window: bool = True
+    _ftio: Ftio = field(init=False, repr=False)
+    _history: list[PredictionStep] = field(init=False, default_factory=list, repr=False)
+    _consecutive_hits: int = field(init=False, default=0, repr=False)
+    _last_period: float | None = field(init=False, default=None, repr=False)
+    _window_start: float | None = field(init=False, default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self._ftio = Ftio(self.config)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def history(self) -> tuple[PredictionStep, ...]:
+        """All evaluations performed so far."""
+        return tuple(self._history)
+
+    @property
+    def predictions(self) -> tuple[PredictionStep, ...]:
+        """The evaluations that produced a dominant frequency."""
+        return tuple(s for s in self._history if s.dominant_frequency is not None)
+
+    def latest(self) -> PredictionStep | None:
+        """Most recent evaluation, or ``None`` before the first step."""
+        return self._history[-1] if self._history else None
+
+    def latest_period(self) -> float | None:
+        """Most recent predicted period, or ``None`` if none was ever found."""
+        for step in reversed(self._history):
+            if step.period is not None:
+                return step.period
+        return None
+
+    # ------------------------------------------------------------------ #
+    def step(self, trace: Trace, *, now: float | None = None) -> PredictionStep:
+        """Run one online evaluation on the data available in ``trace``.
+
+        Parameters
+        ----------
+        trace:
+            Everything the tracer has flushed so far (the predictor restricts
+            it to the adaptive window itself).
+        now:
+            Trigger time of the evaluation; defaults to the end of the trace.
+        """
+        if trace.is_empty:
+            raise AnalysisError("cannot run an online prediction on an empty trace")
+        t_end = float(now if now is not None else trace.t_end)
+        t_begin = trace.t_start
+        window_start = t_begin
+        if self.adaptive_window and self._window_start is not None:
+            window_start = max(t_begin, self._window_start)
+        if window_start >= t_end:
+            window_start = t_begin
+        window = (window_start, t_end)
+
+        result: FtioResult | None
+        try:
+            result = self._ftio.detect(trace, window=window)
+        except (InsufficientSamplesError, AnalysisError):
+            result = None
+
+        step = PredictionStep(index=len(self._history), time=t_end, window=window, result=result)
+        self._history.append(step)
+        self._update_adaptive_state(step)
+        return step
+
+    def merged_intervals(self) -> list[FrequencyInterval]:
+        """Merge all predictions so far into frequency intervals with probabilities."""
+        preds = self.predictions
+        freqs = [s.dominant_frequency for s in preds]
+        windows = [s.window_length for s in preds]
+        return merge_predictions(freqs, windows)
+
+    # ------------------------------------------------------------------ #
+    def _update_adaptive_state(self, step: PredictionStep) -> None:
+        if step.period is None:
+            self._consecutive_hits = 0
+            return
+        self._consecutive_hits += 1
+        self._last_period = step.period
+        if not self.adaptive_window:
+            return
+        hits_needed = self.config.online_window_hits
+        if self._consecutive_hits >= hits_needed:
+            # Keep only the last `hits_needed` periods of history for the next
+            # evaluation: window_start = now - k * (last found period).
+            self._window_start = step.time - hits_needed * step.period
+
+
+def replay_online(
+    trace: Trace,
+    prediction_times: list[float],
+    *,
+    config: FtioConfig | None = None,
+    adaptive_window: bool = True,
+) -> list[PredictionStep]:
+    """Replay the online prediction over a finished trace.
+
+    The trace is revealed incrementally: at every time in ``prediction_times``
+    only the requests that have *ended* by then are visible to the predictor,
+    exactly as if the tracer had just flushed them.
+    """
+    predictor = OnlinePredictor(config=config or FtioConfig(), adaptive_window=adaptive_window)
+    steps: list[PredictionStep] = []
+    for t in sorted(prediction_times):
+        visible = trace.window(trace.t_start, t) if not trace.is_empty else trace
+        # Only requests that completed by t have been flushed.
+        if visible.is_empty:
+            continue
+        mask = visible.ends <= t
+        completed = Trace.from_requests(
+            [visible.request(i) for i in range(len(visible)) if mask[i]],
+            metadata=dict(trace.metadata),
+        )
+        if completed.is_empty:
+            continue
+        steps.append(predictor.step(completed, now=t))
+    return steps
+
+
+def predict_from_flushes(
+    flushes: list[FlushRecord],
+    *,
+    config: FtioConfig | None = None,
+    adaptive_window: bool = True,
+) -> list[PredictionStep]:
+    """Run one online evaluation after every flush record (the paper's Figure 5 loop)."""
+    predictor = OnlinePredictor(config=config or FtioConfig(), adaptive_window=adaptive_window)
+    steps: list[PredictionStep] = []
+    seen: list[FlushRecord] = []
+    for flush in sorted(flushes, key=lambda f: f.flush_index):
+        seen.append(flush)
+        trace = flushes_to_trace(seen)
+        if trace.is_empty:
+            continue
+        steps.append(predictor.step(trace, now=flush.timestamp))
+    return steps
+
+
+def predict_from_file(
+    path: str | Path,
+    *,
+    config: FtioConfig | None = None,
+    adaptive_window: bool = True,
+) -> list[PredictionStep]:
+    """Run the online prediction over a JSON Lines trace file flush by flush."""
+    return predict_from_flushes(
+        list(iter_flushes(path)), config=config, adaptive_window=adaptive_window
+    )

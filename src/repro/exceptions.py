@@ -1,0 +1,45 @@
+"""Exception hierarchy for the FTIO reproduction library.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch a single base class at the boundary of the public API while still being
+able to distinguish configuration problems from malformed traces or analysis
+failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is invalid (negative sampling frequency, ...)."""
+
+
+class TraceError(ReproError):
+    """A trace or I/O request violates the trace model invariants."""
+
+
+class TraceFormatError(TraceError):
+    """A serialized trace file could not be parsed."""
+
+
+class EmptyTraceError(TraceError):
+    """An operation that requires at least one request got an empty trace."""
+
+
+class AnalysisError(ReproError):
+    """The frequency analysis could not be performed on the given signal."""
+
+
+class InsufficientSamplesError(AnalysisError):
+    """The discretized signal has too few samples for the requested analysis."""
+
+
+class SchedulingError(ReproError):
+    """The cluster simulator or scheduler was driven into an invalid state."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received inconsistent parameters."""

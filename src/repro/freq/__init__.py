@@ -1,0 +1,46 @@
+"""Frequency-analysis substrate: DFT, power spectrum, autocorrelation, outliers."""
+
+from repro.freq.autocorr import (
+    AutocorrelationResult,
+    autocorrelation,
+    detect_period_autocorrelation,
+    similarity_to_candidates,
+)
+from repro.freq.dft import DftResult, cosine_wave, dft, reconstruct
+from repro.freq.outliers import (
+    DETECTOR_REGISTRY,
+    DbscanDetector,
+    FindPeaksDetector,
+    IsolationForestDetector,
+    LocalOutlierFactorDetector,
+    OutlierDetector,
+    OutlierResult,
+    ZScoreDetector,
+    dbscan_labels,
+    make_detector,
+)
+from repro.freq.spectrum import PowerSpectrum, power_spectrum, power_spectrum_from_dft
+
+__all__ = [
+    "AutocorrelationResult",
+    "autocorrelation",
+    "detect_period_autocorrelation",
+    "similarity_to_candidates",
+    "DftResult",
+    "cosine_wave",
+    "dft",
+    "reconstruct",
+    "DETECTOR_REGISTRY",
+    "DbscanDetector",
+    "FindPeaksDetector",
+    "IsolationForestDetector",
+    "LocalOutlierFactorDetector",
+    "OutlierDetector",
+    "OutlierResult",
+    "ZScoreDetector",
+    "dbscan_labels",
+    "make_detector",
+    "PowerSpectrum",
+    "power_spectrum",
+    "power_spectrum_from_dft",
+]

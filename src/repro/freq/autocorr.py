@@ -1,0 +1,195 @@
+"""Autocorrelation-based period detection (Section II-C).
+
+The autocorrelation function (ACF) measures the correlation of a time series
+with itself at every lag; repeated patterns appear as peaks at multiples of
+the period.  FTIO uses the ACF as a *second opinion* on the DFT result:
+
+1. compute the ACF of the discretized signal (normalized to [-1, 1]),
+2. find the ACF peaks with SciPy's ``find_peaks`` (threshold 0.15),
+3. the gaps between consecutive peaks, divided by fs, are period candidates,
+4. filter candidate outliers with the Z-score using the ACF values as weights,
+5. the period is the (weighted) average of the surviving candidates, and the
+   confidence c_a = 1 − coefficient of variation of those candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+from scipy.signal import find_peaks
+
+from repro.constants import ACF_PEAK_THRESHOLD, ZSCORE_OUTLIER_THRESHOLD
+from repro.exceptions import InsufficientSamplesError
+from repro.utils.stats import coefficient_of_variation, weighted_mean, zscores
+from repro.utils.validation import check_positive
+
+
+def autocorrelation(samples: ArrayLike) -> NDArray[np.float64]:
+    """Return the normalized autocorrelation of ``samples`` for lags 0..N-1.
+
+    The signal is mean-centred first; the ACF is normalized so the zero-lag
+    value is exactly 1.  A constant signal returns an all-zero ACF (no
+    correlation structure) except for the leading 1.
+    """
+    x = np.asarray(samples, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"samples must be one-dimensional, got shape {x.shape}")
+    n = len(x)
+    if n < 2:
+        raise InsufficientSamplesError(f"autocorrelation needs at least 2 samples, got {n}")
+    centred = x - x.mean()
+    energy = float(np.dot(centred, centred))
+    acf = np.zeros(n)
+    acf[0] = 1.0
+    if energy == 0.0:
+        return acf
+    full = np.correlate(centred, centred, mode="full")
+    acf = full[n - 1 :] / energy
+    return acf
+
+
+@dataclass(frozen=True)
+class AutocorrelationResult:
+    """Outcome of the ACF-based period detection.
+
+    Attributes
+    ----------
+    acf:
+        The normalized autocorrelation values for lags 0..N-1.
+    peak_lags:
+        Lags (in samples) of the detected ACF peaks.
+    candidate_periods:
+        Period candidates in seconds (gaps between consecutive peaks / fs),
+        after Z-score filtering.
+    all_periods:
+        Period candidates before outlier filtering.
+    period:
+        The detected period (weighted average of candidates), or ``None`` if
+        no candidates survived.
+    confidence:
+        c_a = 1 − coefficient of variation of the candidates (0 when unknown).
+    sampling_frequency:
+        fs in Hz of the analysed signal.
+    """
+
+    acf: NDArray[np.float64]
+    peak_lags: NDArray[np.int64]
+    candidate_periods: NDArray[np.float64]
+    all_periods: NDArray[np.float64]
+    period: float | None
+    confidence: float
+    sampling_frequency: float
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def dominant_frequency(self) -> float | None:
+        """1 / period, or ``None`` if no period was found."""
+        if self.period is None or self.period <= 0:
+            return None
+        return 1.0 / self.period
+
+
+def detect_period_autocorrelation(
+    samples: ArrayLike,
+    sampling_frequency: float,
+    *,
+    peak_threshold: float = ACF_PEAK_THRESHOLD,
+    zscore_threshold: float = ZSCORE_OUTLIER_THRESHOLD,
+) -> AutocorrelationResult:
+    """Find the period of ``samples`` using the autocorrelation function.
+
+    Parameters
+    ----------
+    samples:
+        Discretized bandwidth signal.
+    sampling_frequency:
+        fs in Hz.
+    peak_threshold:
+        Minimum ACF value for a lag to count as a peak (paper: 0.15).
+    zscore_threshold:
+        Z-score beyond which a candidate period is discarded as an outlier.
+    """
+    fs = check_positive(sampling_frequency, "sampling_frequency")
+    acf = autocorrelation(samples)
+
+    # Peaks of the ACF, excluding the trivial lag-0 peak.
+    peak_indices, _ = find_peaks(acf[1:], height=peak_threshold)
+    peak_lags = (peak_indices + 1).astype(np.int64)
+
+    if len(peak_lags) == 0:
+        return AutocorrelationResult(
+            acf=acf,
+            peak_lags=peak_lags,
+            candidate_periods=np.zeros(0),
+            all_periods=np.zeros(0),
+            period=None,
+            confidence=0.0,
+            sampling_frequency=fs,
+        )
+
+    # Gaps between consecutive peaks (the first gap is measured from lag 0,
+    # i.e. the first peak lag itself) are the period candidates in samples.
+    gaps = np.diff(np.concatenate([[0], peak_lags])).astype(np.float64)
+
+    # When a peak falls below the detection threshold (a weak or noisy burst),
+    # the surrounding gap spans an integer number of periods.  Fold such gaps
+    # back onto the fundamental by dividing by the nearest multiple of the
+    # median gap — the ACF analogue of the DFT harmonic rule.
+    median_gap = float(np.median(gaps))
+    if median_gap > 0:
+        multiples = np.maximum(np.round(gaps / median_gap), 1.0)
+        gaps = gaps / multiples
+    all_periods = gaps / fs
+
+    # Weights: ACF value at the right-hand peak of each gap.
+    weights = acf[peak_lags]
+    weights = np.clip(weights, 0.0, None)
+
+    if len(all_periods) == 1:
+        candidates = all_periods
+        candidate_weights = weights
+    else:
+        scores = zscores(all_periods)
+        keep = scores < zscore_threshold
+        if not keep.any():
+            keep = np.ones(len(all_periods), dtype=bool)
+        candidates = all_periods[keep]
+        candidate_weights = weights[keep]
+
+    period = weighted_mean(candidates, candidate_weights) if len(candidates) else None
+    if period is not None and period <= 0:
+        period = None
+    if period is None:
+        confidence = 0.0
+    else:
+        cov = coefficient_of_variation(candidates, weights=candidate_weights)
+        confidence = float(np.clip(1.0 - cov, 0.0, 1.0))
+
+    return AutocorrelationResult(
+        acf=acf,
+        peak_lags=peak_lags,
+        candidate_periods=candidates,
+        all_periods=all_periods,
+        period=period,
+        confidence=confidence,
+        sampling_frequency=fs,
+        metadata={"n_peaks": int(len(peak_lags)), "n_filtered": int(len(all_periods) - len(candidates))},
+    )
+
+
+def similarity_to_candidates(frequency: float, candidate_periods: ArrayLike) -> float:
+    """Similarity c_s between a DFT dominant frequency and the ACF candidates.
+
+    The similarity is 1 − coefficient of variation of the set {1/f_d} ∪
+    candidates, i.e. how tightly the ACF candidates cluster around the DFT
+    period.  Returns 0 when there are no candidates.
+    """
+    check_positive(frequency, "frequency")
+    periods = np.asarray(candidate_periods, dtype=np.float64)
+    if periods.size == 0:
+        return 0.0
+    combined = np.concatenate([[1.0 / frequency], periods])
+    cov = coefficient_of_variation(combined)
+    return float(np.clip(1.0 - cov, 0.0, 1.0))

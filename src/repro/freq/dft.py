@@ -1,0 +1,177 @@
+"""Discrete Fourier transform helpers (Section II-B1).
+
+FTIO treats the discretized bandwidth signal x_n as a real-valued sequence and
+computes its DFT with the FFT algorithm.  Because the signal is real, the
+spectrum is conjugate-symmetric and only the single-sided half (k in
+[0, N/2]) needs to be inspected; the inverse reconstruction of Eq. (1) then
+uses cosine waves with twice the single-sided amplitude (except for the DC bin
+and, for even N, the Nyquist bin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from repro.exceptions import InsufficientSamplesError
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DftResult:
+    """Single-sided DFT of a real signal.
+
+    Attributes
+    ----------
+    coefficients:
+        Complex DFT coefficients X_k for k in [0, N//2] (``numpy.fft.rfft`` output).
+    frequencies:
+        Frequency of each bin in Hz, f_k = k * fs / N.
+    n_samples:
+        Length N of the time-domain signal.
+    sampling_frequency:
+        fs in Hz.
+    """
+
+    coefficients: NDArray[np.complex128]
+    frequencies: NDArray[np.float64]
+    n_samples: int
+    sampling_frequency: float
+
+    @property
+    def amplitudes(self) -> NDArray[np.float64]:
+        """|X_k| for every single-sided bin."""
+        return np.abs(self.coefficients)
+
+    @property
+    def phases(self) -> NDArray[np.float64]:
+        """arg(X_k) for every single-sided bin."""
+        return np.angle(self.coefficients)
+
+    @property
+    def dc_offset(self) -> float:
+        """X_0 / N: the mean of the time-domain signal."""
+        return float(np.real(self.coefficients[0]) / self.n_samples)
+
+    @property
+    def frequency_resolution(self) -> float:
+        """Spacing between consecutive bins, fs / N = 1 / Δt."""
+        return self.sampling_frequency / self.n_samples
+
+    @property
+    def n_bins(self) -> int:
+        """Number of single-sided bins (N // 2 + 1)."""
+        return int(len(self.coefficients))
+
+    def period_of_bin(self, k: int) -> float:
+        """Period 1 / f_k of bin ``k`` (k must be >= 1)."""
+        if k <= 0:
+            raise ValueError("bin 0 is the DC offset and has no period")
+        return 1.0 / float(self.frequencies[k])
+
+
+def dft(samples: ArrayLike, sampling_frequency: float) -> DftResult:
+    """Compute the single-sided DFT of a real signal via the FFT (O(N log N)).
+
+    Parameters
+    ----------
+    samples:
+        The discretized bandwidth values x_n.
+    sampling_frequency:
+        fs in Hz used during discretization.
+
+    Raises
+    ------
+    InsufficientSamplesError
+        If fewer than 4 samples are provided (no meaningful spectrum).
+    """
+    fs = check_positive(sampling_frequency, "sampling_frequency")
+    x = np.asarray(samples, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"samples must be one-dimensional, got shape {x.shape}")
+    n = len(x)
+    if n < 4:
+        raise InsufficientSamplesError(f"DFT needs at least 4 samples, got {n}")
+    coefficients = np.fft.rfft(x)
+    frequencies = np.fft.rfftfreq(n, d=1.0 / fs)
+    return DftResult(
+        coefficients=coefficients,
+        frequencies=frequencies,
+        n_samples=n,
+        sampling_frequency=fs,
+    )
+
+
+def reconstruct(
+    result: DftResult,
+    *,
+    bins: ArrayLike | None = None,
+    n_samples: int | None = None,
+) -> NDArray[np.float64]:
+    """Reconstruct the time-domain signal from (a subset of) DFT bins — Eq. (1).
+
+    Parameters
+    ----------
+    result:
+        The single-sided DFT.
+    bins:
+        Indices of the bins to include (the DC bin 0 is always included so the
+        reconstruction keeps the signal's mean).  ``None`` uses all bins, which
+        reproduces the original signal up to floating-point error.
+    n_samples:
+        Length of the reconstructed signal; defaults to the original length.
+
+    Returns
+    -------
+    numpy.ndarray
+        The reconstructed samples.
+    """
+    n = int(n_samples if n_samples is not None else result.n_samples)
+    if n <= 0:
+        raise ValueError(f"n_samples must be positive, got {n}")
+    t_index = np.arange(n)
+    total = np.full(n, result.dc_offset * result.n_samples / result.n_samples, dtype=np.float64)
+    total[:] = result.dc_offset
+
+    if bins is None:
+        selected = np.arange(1, result.n_bins)
+    else:
+        selected = np.unique(np.asarray(bins, dtype=np.int64))
+        selected = selected[selected >= 1]
+
+    amplitudes = result.amplitudes
+    phases = result.phases
+    n_orig = result.n_samples
+    for k in selected:
+        k = int(k)
+        # The Nyquist bin of an even-length signal is not doubled.
+        factor = 1.0 if (n_orig % 2 == 0 and k == n_orig // 2) else 2.0
+        total += (
+            factor
+            * amplitudes[k]
+            / n_orig
+            * np.cos(2.0 * np.pi * k * t_index / n_orig + phases[k])
+        )
+    return total
+
+
+def cosine_wave(
+    result: DftResult,
+    k: int,
+    *,
+    n_samples: int | None = None,
+    include_dc: bool = True,
+) -> NDArray[np.float64]:
+    """Return the single cosine wave of bin ``k`` (optionally shifted by the DC offset).
+
+    This is what the paper plots on top of the time-domain signal (Figures 2,
+    13 and 14): the dominant-frequency cosine, shifted upwards by X_0 / N.
+    """
+    if k <= 0 or k >= result.n_bins:
+        raise ValueError(f"bin index must be in [1, {result.n_bins - 1}], got {k}")
+    wave = reconstruct(result, bins=[k], n_samples=n_samples)
+    if not include_dc:
+        wave = wave - result.dc_offset
+    return wave

@@ -1,0 +1,43 @@
+"""Outlier-detection methods for the power spectrum (Section II-B2)."""
+
+from repro.freq.outliers.base import OutlierDetector, OutlierResult
+from repro.freq.outliers.dbscan import NOISE, DbscanDetector, dbscan_labels
+from repro.freq.outliers.isolation_forest import IsolationForestDetector
+from repro.freq.outliers.lof import LocalOutlierFactorDetector, local_outlier_factors
+from repro.freq.outliers.peaks import FindPeaksDetector
+from repro.freq.outliers.zscore import ZScoreDetector
+
+#: Registry of detector factories keyed by their configuration name.
+DETECTOR_REGISTRY: dict[str, type[OutlierDetector]] = {
+    ZScoreDetector.name: ZScoreDetector,
+    DbscanDetector.name: DbscanDetector,
+    IsolationForestDetector.name: IsolationForestDetector,
+    LocalOutlierFactorDetector.name: LocalOutlierFactorDetector,
+    FindPeaksDetector.name: FindPeaksDetector,
+}
+
+
+def make_detector(name: str, **kwargs) -> OutlierDetector:
+    """Instantiate a detector by its registry name (``"zscore"``, ``"dbscan"``, ...)."""
+    try:
+        factory = DETECTOR_REGISTRY[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(DETECTOR_REGISTRY))
+        raise ValueError(f"unknown outlier detector {name!r}; known detectors: {known}") from exc
+    return factory(**kwargs)
+
+
+__all__ = [
+    "OutlierDetector",
+    "OutlierResult",
+    "NOISE",
+    "DbscanDetector",
+    "dbscan_labels",
+    "IsolationForestDetector",
+    "LocalOutlierFactorDetector",
+    "local_outlier_factors",
+    "FindPeaksDetector",
+    "ZScoreDetector",
+    "DETECTOR_REGISTRY",
+    "make_detector",
+]

@@ -1,0 +1,98 @@
+"""Common interface of the outlier-detection methods (Section II-B2).
+
+FTIO extracts the dominant frequency by finding *outliers* in the power
+spectrum: bins whose contribution is abnormally high compared to the rest.
+The default method is the Z-score, but the paper notes that DBSCAN, isolation
+forest, the local outlier factor and SciPy's find-peaks can all "deliver
+decision functions to find the outliers", optionally merged with the Z-score.
+
+Every detector consumes the non-DC power values (and the corresponding
+frequencies, for methods that need the frequency spacing) and produces an
+:class:`OutlierResult`: a per-bin score (higher means more anomalous) and a
+boolean outlier mask.  Detectors only flag *high-power* outliers, since a bin
+with an abnormally low power can never be a dominant frequency.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import NDArray
+
+
+@dataclass(frozen=True)
+class OutlierResult:
+    """Outcome of running one outlier detector on a power spectrum.
+
+    Attributes
+    ----------
+    scores:
+        Per-bin anomaly score; larger means more anomalous.  The scale is
+        method-specific, only the ordering and the mask are comparable.
+    is_outlier:
+        Boolean mask marking the bins classified as (high-power) outliers.
+    method:
+        Name of the detector that produced the result.
+    """
+
+    scores: NDArray[np.float64]
+    is_outlier: NDArray[np.bool_]
+    method: str
+
+    def __post_init__(self) -> None:
+        if len(self.scores) != len(self.is_outlier):
+            raise ValueError("scores and is_outlier must have the same length")
+
+    @property
+    def n_outliers(self) -> int:
+        """Number of bins flagged as outliers."""
+        return int(self.is_outlier.sum())
+
+    def outlier_indices(self) -> NDArray[np.int64]:
+        """Indices (into the analysed array) of the flagged bins."""
+        return np.flatnonzero(self.is_outlier).astype(np.int64)
+
+
+class OutlierDetector(abc.ABC):
+    """Base class of all power-spectrum outlier detectors."""
+
+    #: Short identifier used in configuration and reports.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def detect(
+        self,
+        power: NDArray[np.float64],
+        frequencies: NDArray[np.float64] | None = None,
+    ) -> OutlierResult:
+        """Classify each power bin as outlier / inlier.
+
+        Parameters
+        ----------
+        power:
+            Non-DC power values p_k (k >= 1).
+        frequencies:
+            Matching frequencies f_k; optional, only used by detectors that
+            derive parameters from the frequency spacing (e.g. DBSCAN's eps).
+        """
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validate(power: NDArray[np.float64], frequencies: NDArray[np.float64] | None) -> NDArray[np.float64]:
+        arr = np.asarray(power, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError(f"power must be one-dimensional, got shape {arr.shape}")
+        if frequencies is not None and len(frequencies) != len(arr):
+            raise ValueError(
+                f"frequencies ({len(frequencies)}) and power ({len(arr)}) must have the same length"
+            )
+        return arr
+
+    @staticmethod
+    def _high_power_mask(power: NDArray[np.float64]) -> NDArray[np.bool_]:
+        """Bins whose power exceeds the mean power (candidate-eligible bins)."""
+        if len(power) == 0:
+            return np.zeros(0, dtype=bool)
+        return power > power.mean()

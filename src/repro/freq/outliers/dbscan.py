@@ -1,0 +1,120 @@
+"""DBSCAN-based outlier detection.
+
+The paper mentions DBSCAN as an alternative decision function: the bulk of the
+power-spectrum bins (small, noisy powers) forms one dense cluster, while the
+few bins carrying real periodic power are left as *noise points*, i.e.
+outliers.  The paper also notes that the frequency step can be used to compute
+``eps``.  The same generic DBSCAN implementation is reused by the online
+prediction mode to merge dominant frequencies from consecutive evaluations
+into frequency intervals (Section II-D), which is why :func:`dbscan_labels`
+accepts arbitrary 1-D/2-D point sets and is exported.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from repro.freq.outliers.base import OutlierDetector, OutlierResult
+from repro.utils.validation import check_positive, check_positive_int
+
+#: Label assigned by DBSCAN to noise points.
+NOISE = -1
+
+
+def dbscan_labels(points: ArrayLike, *, eps: float, min_samples: int) -> NDArray[np.int64]:
+    """Run DBSCAN on ``points`` and return one cluster label per point.
+
+    Points that belong to no cluster get the label :data:`NOISE` (-1).
+    The implementation is a straightforward BFS region-growing DBSCAN with a
+    vectorized pairwise-distance neighbourhood query — fine for the small
+    point sets involved here (spectrum bins, online predictions).
+
+    Parameters
+    ----------
+    points:
+        Array of shape (n,) or (n, d).
+    eps:
+        Neighbourhood radius.
+    min_samples:
+        Minimum number of neighbours (including the point itself) for a point
+        to be a core point.
+    """
+    check_positive(eps, "eps")
+    check_positive_int(min_samples, "min_samples")
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim == 1:
+        pts = pts[:, None]
+    n = len(pts)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+
+    # Pairwise distances; n is small (spectrum bins / prediction counts).
+    diffs = pts[:, None, :] - pts[None, :, :]
+    distances = np.sqrt((diffs**2).sum(axis=-1))
+    neighbourhoods = [np.flatnonzero(distances[i] <= eps) for i in range(n)]
+    core = np.array([len(nb) >= min_samples for nb in neighbourhoods])
+
+    labels = np.full(n, NOISE, dtype=np.int64)
+    cluster = 0
+    for i in range(n):
+        if labels[i] != NOISE or not core[i]:
+            continue
+        # Grow a new cluster from core point i.
+        labels[i] = cluster
+        queue = deque(neighbourhoods[i])
+        while queue:
+            j = queue.popleft()
+            if labels[j] == NOISE:
+                labels[j] = cluster
+                if core[j]:
+                    queue.extend(neighbourhoods[j])
+        cluster += 1
+    return labels
+
+
+class DbscanDetector(OutlierDetector):
+    """Flag high-power bins that DBSCAN classifies as noise points.
+
+    Parameters
+    ----------
+    eps:
+        Neighbourhood radius in (normalized) power units.  ``None`` derives it
+        from the data as a multiple of the median absolute deviation, which
+        plays the role of the "frequency step" heuristic in the paper.
+    min_samples:
+        DBSCAN core-point threshold.
+    """
+
+    name = "dbscan"
+
+    def __init__(self, eps: float | None = None, min_samples: int = 5):
+        if eps is not None:
+            check_positive(eps, "eps")
+        self.eps = eps
+        self.min_samples = check_positive_int(min_samples, "min_samples")
+
+    def detect(
+        self,
+        power: NDArray[np.float64],
+        frequencies: NDArray[np.float64] | None = None,
+    ) -> OutlierResult:
+        arr = self._validate(power, frequencies)
+        if len(arr) == 0:
+            return OutlierResult(
+                scores=np.zeros(0), is_outlier=np.zeros(0, dtype=bool), method=self.name
+            )
+        total = arr.sum()
+        normalized = arr / total if total > 0 else arr
+        eps = self.eps
+        if eps is None:
+            spread = float(np.median(np.abs(normalized - np.median(normalized))))
+            eps = max(spread * 3.0, 1e-12)
+        labels = dbscan_labels(normalized, eps=eps, min_samples=min(self.min_samples, len(arr)))
+        noise = labels == NOISE
+        mask = noise & self._high_power_mask(arr)
+        # Score: distance of each bin's power from the mean, in eps units.
+        scores = np.abs(normalized - normalized.mean()) / eps
+        return OutlierResult(scores=scores, is_outlier=mask, method=self.name)

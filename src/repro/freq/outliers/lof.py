@@ -1,0 +1,84 @@
+"""Local-outlier-factor (LOF) detection.
+
+The LOF of a point compares its local reachability density to that of its
+k nearest neighbours; values well above 1 mark points that sit in a much
+sparser region than their neighbours — in the power spectrum, bins whose power
+is far from the bulk of small noisy powers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.freq.outliers.base import OutlierDetector, OutlierResult
+from repro.utils.validation import check_positive, check_positive_int
+
+
+def local_outlier_factors(values: NDArray[np.float64], k: int) -> NDArray[np.float64]:
+    """Compute the LOF of every element of the 1-D array ``values``.
+
+    Uses exact k-nearest neighbours on the sorted values.  Constant inputs
+    (zero distances everywhere) yield LOF = 1 for every point.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    n = len(arr)
+    if n == 0:
+        return np.zeros(0)
+    k = min(k, n - 1)
+    if k < 1:
+        return np.ones(n)
+
+    # Pairwise distances in 1-D.
+    distances = np.abs(arr[:, None] - arr[None, :])
+    np.fill_diagonal(distances, np.inf)
+    neighbour_idx = np.argsort(distances, axis=1)[:, :k]
+    neighbour_dist = np.take_along_axis(distances, neighbour_idx, axis=1)
+
+    # k-distance of each point = distance to its k-th nearest neighbour.
+    k_distance = neighbour_dist[:, -1]
+
+    # Reachability distance of p w.r.t. o = max(k_distance(o), d(p, o)).
+    reach = np.maximum(k_distance[neighbour_idx], neighbour_dist)
+    mean_reach = reach.mean(axis=1)
+
+    # Local reachability density; guard fully-duplicated points.
+    with np.errstate(divide="ignore"):
+        lrd = np.where(mean_reach > 0, 1.0 / mean_reach, np.inf)
+
+    # LOF = mean LRD of neighbours / own LRD.
+    neighbour_lrd = lrd[neighbour_idx]
+    lof = np.empty(n)
+    for i in range(n):
+        own = lrd[i]
+        if np.isinf(own):
+            lof[i] = 1.0
+            continue
+        ratio = neighbour_lrd[i] / own
+        ratio = np.where(np.isinf(neighbour_lrd[i]), 1.0, ratio)
+        lof[i] = float(np.mean(ratio))
+    return lof
+
+
+class LocalOutlierFactorDetector(OutlierDetector):
+    """Flag high-power bins whose LOF exceeds ``threshold`` (1.5 by default)."""
+
+    name = "lof"
+
+    def __init__(self, n_neighbors: int = 20, threshold: float = 1.5):
+        self.n_neighbors = check_positive_int(n_neighbors, "n_neighbors")
+        self.threshold = check_positive(threshold, "threshold")
+
+    def detect(
+        self,
+        power: NDArray[np.float64],
+        frequencies: NDArray[np.float64] | None = None,
+    ) -> OutlierResult:
+        arr = self._validate(power, frequencies)
+        if len(arr) == 0:
+            return OutlierResult(
+                scores=np.zeros(0), is_outlier=np.zeros(0, dtype=bool), method=self.name
+            )
+        scores = local_outlier_factors(arr, self.n_neighbors)
+        mask = (scores >= self.threshold) & self._high_power_mask(arr)
+        return OutlierResult(scores=scores, is_outlier=mask, method=self.name)

@@ -1,0 +1,61 @@
+"""Peak-detection-based outlier detection (SciPy ``find_peaks``).
+
+The paper lists SciPy's find-peaks algorithm among the supported decision
+functions.  A bin is flagged when it is a local maximum of the power spectrum
+whose prominence is a significant fraction of the largest power.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import NDArray
+from scipy.signal import find_peaks
+
+from repro.freq.outliers.base import OutlierDetector, OutlierResult
+from repro.utils.validation import check_in_range
+
+
+class FindPeaksDetector(OutlierDetector):
+    """Flag prominent local maxima of the power spectrum as outliers.
+
+    Parameters
+    ----------
+    prominence_ratio:
+        Minimum peak prominence expressed as a fraction of the maximum power.
+    """
+
+    name = "find_peaks"
+
+    def __init__(self, prominence_ratio: float = 0.5):
+        self.prominence_ratio = check_in_range(
+            prominence_ratio, "prominence_ratio", low=0.0, high=1.0
+        )
+
+    def detect(
+        self,
+        power: NDArray[np.float64],
+        frequencies: NDArray[np.float64] | None = None,
+    ) -> OutlierResult:
+        arr = self._validate(power, frequencies)
+        if len(arr) == 0:
+            return OutlierResult(
+                scores=np.zeros(0), is_outlier=np.zeros(0, dtype=bool), method=self.name
+            )
+        peak_max = float(arr.max())
+        if peak_max <= 0.0:
+            return OutlierResult(
+                scores=np.zeros_like(arr),
+                is_outlier=np.zeros(len(arr), dtype=bool),
+                method=self.name,
+            )
+        indices, properties = find_peaks(arr, prominence=self.prominence_ratio * peak_max)
+        scores = np.zeros_like(arr)
+        if len(indices):
+            scores[indices] = properties["prominences"] / peak_max
+        # The global maximum is a "peak" even when it sits at the array border,
+        # where find_peaks cannot flag it; include it explicitly.
+        argmax = int(arr.argmax())
+        scores[argmax] = max(scores[argmax], 1.0)
+        mask = scores >= self.prominence_ratio
+        mask &= self._high_power_mask(arr)
+        return OutlierResult(scores=scores, is_outlier=mask, method=self.name)

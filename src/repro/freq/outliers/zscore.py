@@ -1,0 +1,36 @@
+"""Z-score outlier detection — the default method of the paper (Eq. 2 and 3).
+
+A bin k is an outlier when its Z-score z_k = (|p_k| - |mean(p)|) / std(p)
+exceeds 3.  The dominant-frequency *candidate* selection additionally requires
+z_k / z_max >= tolerance (0.8 by default); that second step lives in
+:mod:`repro.core.ftio` because it is shared by all detectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.constants import ZSCORE_OUTLIER_THRESHOLD
+from repro.freq.outliers.base import OutlierDetector, OutlierResult
+from repro.utils.stats import zscores
+from repro.utils.validation import check_positive
+
+
+class ZScoreDetector(OutlierDetector):
+    """Flag bins whose Z-score exceeds ``threshold`` (3 by default)."""
+
+    name = "zscore"
+
+    def __init__(self, threshold: float = ZSCORE_OUTLIER_THRESHOLD):
+        self.threshold = check_positive(threshold, "threshold")
+
+    def detect(
+        self,
+        power: NDArray[np.float64],
+        frequencies: NDArray[np.float64] | None = None,
+    ) -> OutlierResult:
+        arr = self._validate(power, frequencies)
+        scores = zscores(arr)
+        mask = scores >= self.threshold
+        return OutlierResult(scores=scores, is_outlier=mask, method=self.name)

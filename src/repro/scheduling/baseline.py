@@ -1,0 +1,41 @@
+"""Baseline bandwidth-sharing policies.
+
+``FairShareScheduler`` models the unmodified file system ("Original" in
+Figure 17): every job currently performing I/O receives an equal share of the
+aggregate bandwidth, which is how an uncoordinated parallel file system
+behaves once the jobs' request streams interleave.
+
+``ExclusiveFcfsScheduler`` is an additional reference policy: only one job at
+a time accesses the file system, in arrival order.  It is not part of the
+paper's Figure 17 but is useful for ablation studies of the simulator.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.job import JobState
+from repro.cluster.scheduler import IOScheduler
+
+
+class FairShareScheduler(IOScheduler):
+    """Split the file-system bandwidth evenly among all jobs doing I/O."""
+
+    name = "original"
+
+    def allocate(self, io_jobs: list[JobState], time: float) -> dict[str, float]:
+        if not io_jobs:
+            return {}
+        share = 1.0 / len(io_jobs)
+        return {job.name: share for job in io_jobs}
+
+
+class ExclusiveFcfsScheduler(IOScheduler):
+    """Grant the whole file system to the job that has waited the longest."""
+
+    name = "exclusive-fcfs"
+
+    def allocate(self, io_jobs: list[JobState], time: float) -> dict[str, float]:
+        if not io_jobs:
+            return {}
+        # FCFS on the I/O-phase start time; ties broken by job name for determinism.
+        chosen = min(io_jobs, key=lambda j: (j.io_waiting_since() or time, j.name))
+        return {chosen.name: 1.0}

@@ -1,0 +1,78 @@
+"""Evaluation metrics of the scheduling use case (Section IV / Figure 17).
+
+Three metrics compare a scheduled execution against the jobs running in
+isolation:
+
+* **stretch** — by how much a job's runtime grew because of inter-job
+  interference (geometric mean over the jobs of one execution; best value 1);
+* **I/O slowdown** — by how much a job's cumulated I/O time grew (geometric
+  mean; best value 1);
+* **utilization** — the fraction of node time spent on computation instead of
+  I/O (system-level metric in [0, 1]; higher is better).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.filesystem import SharedFileSystem
+from repro.cluster.job import JobSpec
+from repro.cluster.simulator import JobResult, SimulationResult, run_isolated
+from repro.utils.stats import geometric_mean
+
+
+@dataclass(frozen=True)
+class SchedulingMetrics:
+    """Aggregated metrics of one simulated execution."""
+
+    scheduler: str
+    stretch: float
+    io_slowdown: float
+    utilization: float
+
+    def as_row(self) -> dict[str, float | str]:
+        """Return the metrics as a flat dict (one row of the Figure 17 table)."""
+        return {
+            "scheduler": self.scheduler,
+            "stretch": self.stretch,
+            "io_slowdown": self.io_slowdown,
+            "utilization": self.utilization,
+        }
+
+
+def isolated_baselines(
+    specs: list[JobSpec], filesystem: SharedFileSystem
+) -> dict[str, JobResult]:
+    """Run every job alone on the file system and return its baseline result."""
+    return {spec.name: run_isolated(spec, filesystem) for spec in specs}
+
+
+def evaluate(
+    result: SimulationResult,
+    baselines: dict[str, JobResult] | None = None,
+    *,
+    filesystem: SharedFileSystem | None = None,
+) -> SchedulingMetrics:
+    """Compute stretch, I/O slowdown and utilization for a simulation result.
+
+    Either precomputed ``baselines`` or the ``filesystem`` (to compute them on
+    the fly) must be provided.
+    """
+    if baselines is None:
+        if filesystem is None:
+            raise ValueError("either baselines or filesystem must be given")
+        baselines = isolated_baselines([r.spec for r in result.jobs], filesystem)
+
+    stretches: list[float] = []
+    slowdowns: list[float] = []
+    for job in result.jobs:
+        baseline = baselines[job.spec.name]
+        stretches.append(max(job.makespan / baseline.makespan, 1e-12))
+        slowdowns.append(max(job.total_io_time / baseline.total_io_time, 1e-12))
+
+    return SchedulingMetrics(
+        scheduler=result.scheduler_name,
+        stretch=geometric_mean(stretches),
+        io_slowdown=geometric_mean(slowdowns),
+        utilization=result.utilization,
+    )

@@ -1,0 +1,144 @@
+"""Period knowledge providers for the Set-10 scheduler (Section IV).
+
+Set-10 groups jobs by the period of their I/O phases.  Figure 17 compares
+four sources of that knowledge:
+
+* **clairvoyant** — the ideal, in-isolation period is supplied manually;
+* **FTIO** — the period is estimated at runtime from the phases observed so
+  far, using the actual FTIO pipeline of this library;
+* **error-injected** — the FTIO estimate is randomly made 50 % larger or
+  smaller before being handed to the scheduler;
+* **original** — no period knowledge at all (no Set-10; plain fair sharing).
+
+All providers implement the tiny :class:`PeriodProvider` protocol consumed by
+:class:`~repro.scheduling.set10.Set10Scheduler`, and providers that learn at
+runtime also act as simulator phase observers.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.job import JobState, PhaseRecord
+from repro.core.config import FtioConfig
+from repro.core.ftio import Ftio
+from repro.exceptions import AnalysisError, InsufficientSamplesError
+from repro.trace.record import IORequest
+from repro.trace.trace import Trace
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive
+
+
+class PeriodProvider(abc.ABC):
+    """Supplies the period estimate Set-10 uses to group and prioritize jobs."""
+
+    @abc.abstractmethod
+    def period_of(self, job_name: str) -> float | None:
+        """Current period estimate of ``job_name`` in seconds, or ``None`` if unknown."""
+
+    def observe_phase(self, job: JobState, record: PhaseRecord, time: float) -> None:
+        """Phase-completion hook (providers that learn at runtime override this)."""
+
+
+@dataclass
+class ClairvoyantPeriods(PeriodProvider):
+    """The ideal provider: periods are known in advance (the paper's "Set-10 + clairv.")."""
+
+    periods: dict[str, float]
+
+    def period_of(self, job_name: str) -> float | None:
+        return self.periods.get(job_name)
+
+
+@dataclass
+class FtioPeriods(PeriodProvider):
+    """Estimate each job's period at runtime with FTIO, from the observed I/O phases.
+
+    Every completed I/O phase is appended to the job's phase-level trace (one
+    request per phase).  Once at least ``min_phases`` phases are available,
+    FTIO is re-run on that trace and the dominant period — the "most recent
+    prediction" in the paper's wording — replaces the previous estimate.
+    Before the first successful detection the average gap between phase starts
+    is used as a bootstrap estimate (the characteristic time w_iter of the
+    original Set-10 formulation).
+    """
+
+    sampling_frequency: float = 1.0
+    min_phases: int = 3
+    use_autocorrelation: bool = False
+    _phases: dict[str, list[PhaseRecord]] = field(default_factory=dict, repr=False)
+    _estimates: dict[str, float] = field(default_factory=dict, repr=False)
+    _evaluations: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive(self.sampling_frequency, "sampling_frequency")
+        config = FtioConfig(
+            sampling_frequency=self.sampling_frequency,
+            use_autocorrelation=self.use_autocorrelation,
+            compute_characterization=False,
+        )
+        self._ftio = Ftio(config)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def evaluations(self) -> int:
+        """Number of FTIO evaluations performed so far (for overhead reporting)."""
+        return self._evaluations
+
+    def period_of(self, job_name: str) -> float | None:
+        return self._estimates.get(job_name)
+
+    def observe_phase(self, job: JobState, record: PhaseRecord, time: float) -> None:
+        phases = self._phases.setdefault(job.name, [])
+        phases.append(record)
+        if len(phases) < 2:
+            return
+        starts = np.array([p.start for p in phases])
+        bootstrap = float(np.diff(starts).mean())
+        estimate = bootstrap
+        if len(phases) >= self.min_phases:
+            detected = self._detect(phases)
+            if detected is not None:
+                estimate = detected
+        self._estimates[job.name] = estimate
+
+    # ------------------------------------------------------------------ #
+    def _detect(self, phases: list[PhaseRecord]) -> float | None:
+        requests = [
+            IORequest(rank=0, start=p.start, end=max(p.end, p.start + 1e-6), nbytes=int(p.nbytes))
+            for p in phases
+        ]
+        trace = Trace.from_requests(requests)
+        try:
+            result = self._ftio.detect(trace)
+        except (InsufficientSamplesError, AnalysisError):
+            return None
+        self._evaluations += 1
+        return result.period
+
+
+@dataclass
+class ErrorInjectedPeriods(PeriodProvider):
+    """Wrap another provider and corrupt its estimates by ±``error`` (paper: 50 %)."""
+
+    inner: PeriodProvider
+    error: float = 0.5
+    seed: SeedLike = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error < 1.0:
+            raise ValueError(f"error must be in [0, 1), got {self.error}")
+        self._rng = as_generator(self.seed)
+
+    def period_of(self, job_name: str) -> float | None:
+        period = self.inner.period_of(job_name)
+        if period is None:
+            return None
+        sign = 1.0 if self._rng.uniform() < 0.5 else -1.0
+        return period * (1.0 + sign * self.error)
+
+    def observe_phase(self, job: JobState, record: PhaseRecord, time: float) -> None:
+        self.inner.observe_phase(job, record, time)

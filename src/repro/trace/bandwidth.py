@@ -1,0 +1,209 @@
+"""Application-level bandwidth signal built from individual I/O requests.
+
+Section II-A of the paper: the tracer records individual requests per rank and
+the analysis script evaluates "the overlapping of the requests (i.e.,
+bandwidth at the application level) ... with a linear complexity with the
+number of I/O requests".  This module implements exactly that: each request is
+modelled as a constant transfer rate ``bytes / duration`` over its lifetime,
+and the application-level signal is the sum of the rates of all requests
+active at a given instant — a piecewise-constant function of time.
+
+The construction is an event sweep over the 2·n request boundaries, i.e.
+O(n log n) for the sort and O(n) for the sweep, fully vectorized in numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from repro.exceptions import EmptyTraceError
+from repro.trace.trace import Trace
+
+#: Requests shorter than this (seconds) are treated as instantaneous point
+#: transfers and spread over this width instead, to keep rates finite.
+_MIN_REQUEST_DURATION = 1e-9
+
+
+@dataclass(frozen=True)
+class BandwidthSignal:
+    """A piecewise-constant bandwidth-over-time signal.
+
+    Attributes
+    ----------
+    times:
+        Segment boundaries, length ``m + 1``, strictly increasing.
+    values:
+        Bandwidth (bytes/s) on each of the ``m`` segments ``[times[i], times[i+1])``.
+    """
+
+    times: NDArray[np.float64]
+    values: NDArray[np.float64]
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.values) + 1:
+            raise ValueError(
+                f"times must have exactly one more entry than values "
+                f"({len(self.times)} vs {len(self.values)})"
+            )
+        if len(self.values) and np.any(np.diff(self.times) <= 0):
+            raise ValueError("segment boundaries must be strictly increasing")
+
+    # -------------------------------------------------------------- #
+    @property
+    def t_start(self) -> float:
+        """First instant covered by the signal."""
+        return float(self.times[0])
+
+    @property
+    def t_end(self) -> float:
+        """Last instant covered by the signal."""
+        return float(self.times[-1])
+
+    @property
+    def duration(self) -> float:
+        """Length of the covered time range in seconds."""
+        return self.t_end - self.t_start
+
+    @property
+    def segment_durations(self) -> NDArray[np.float64]:
+        """Length of each piecewise-constant segment."""
+        return np.diff(self.times)
+
+    def volume(self) -> float:
+        """Total number of bytes represented by the signal (integral of bandwidth)."""
+        if len(self.values) == 0:
+            return 0.0
+        return float(np.dot(self.values, self.segment_durations))
+
+    def max_bandwidth(self) -> float:
+        """Peak instantaneous bandwidth of the signal."""
+        if len(self.values) == 0:
+            return 0.0
+        return float(self.values.max())
+
+    # -------------------------------------------------------------- #
+    def at(self, t: ArrayLike) -> NDArray[np.float64]:
+        """Evaluate the signal at time(s) ``t``.
+
+        Points outside the covered range evaluate to 0.  Within the range the
+        value of the segment containing ``t`` is returned (left-inclusive).
+        """
+        t_arr = np.atleast_1d(np.asarray(t, dtype=np.float64))
+        if len(self.values) == 0:
+            return np.zeros_like(t_arr)
+        idx = np.searchsorted(self.times, t_arr, side="right") - 1
+        inside = (idx >= 0) & (idx < len(self.values)) & (t_arr < self.times[-1])
+        out = np.zeros_like(t_arr)
+        out[inside] = self.values[idx[inside]]
+        return out
+
+    def cumulative_volume(self, t: ArrayLike) -> NDArray[np.float64]:
+        """Bytes transferred from :attr:`t_start` up to time(s) ``t``.
+
+        The cumulative volume of a piecewise-constant rate is piecewise linear,
+        so it can be evaluated exactly with linear interpolation between the
+        segment boundaries.
+        """
+        t_arr = np.atleast_1d(np.asarray(t, dtype=np.float64))
+        if len(self.values) == 0:
+            return np.zeros_like(t_arr)
+        cum = np.concatenate([[0.0], np.cumsum(self.values * self.segment_durations)])
+        clipped = np.clip(t_arr, self.t_start, self.t_end)
+        return np.interp(clipped, self.times, cum)
+
+    def mean_bandwidth(self) -> float:
+        """Average bandwidth over the covered range (the V(T)/L(T) threshold)."""
+        if self.duration == 0.0:
+            return 0.0
+        return self.volume() / self.duration
+
+    def restricted(self, t0: float, t1: float) -> "BandwidthSignal":
+        """Return the signal restricted (and clipped) to the window [t0, t1]."""
+        if t1 <= t0:
+            raise ValueError(f"window end ({t1}) must be > start ({t0})")
+        t0 = max(t0, self.t_start)
+        t1 = min(t1, self.t_end)
+        if t1 <= t0 or len(self.values) == 0:
+            return BandwidthSignal(
+                times=np.array([t0, max(t1, t0 + _MIN_REQUEST_DURATION)]),
+                values=np.array([0.0]),
+            )
+        inner = self.times[(self.times > t0) & (self.times < t1)]
+        times = np.concatenate([[t0], inner, [t1]])
+        mids = 0.5 * (times[:-1] + times[1:])
+        values = self.at(mids)
+        return BandwidthSignal(times=times, values=values)
+
+
+def bandwidth_signal(trace: Trace, *, kind: str | None = "write") -> BandwidthSignal:
+    """Compute the application-level bandwidth signal of ``trace``.
+
+    Parameters
+    ----------
+    trace:
+        The trace to analyse.
+    kind:
+        Restrict to ``"write"`` or ``"read"`` requests, or ``None`` to use all.
+        The paper's analysis focuses on writes by default.
+
+    Returns
+    -------
+    BandwidthSignal
+        The piecewise-constant sum of the per-request transfer rates.
+    """
+    work = trace if kind is None else trace.filter_kind(kind)
+    if work.is_empty:
+        raise EmptyTraceError("cannot build a bandwidth signal from an empty trace")
+
+    starts = work.starts.astype(np.float64)
+    ends = work.ends.astype(np.float64)
+    nbytes = work.nbytes.astype(np.float64)
+
+    durations = np.maximum(ends - starts, _MIN_REQUEST_DURATION)
+    ends = starts + durations
+    rates = nbytes / durations
+
+    # Event sweep: +rate at each start, -rate at each end.
+    boundaries = np.concatenate([starts, ends])
+    deltas = np.concatenate([rates, -rates])
+    order = np.argsort(boundaries, kind="stable")
+    boundaries = boundaries[order]
+    deltas = deltas[order]
+
+    # Collapse identical timestamps so segments have strictly positive width.
+    unique_times, inverse = np.unique(boundaries, return_inverse=True)
+    delta_per_time = np.zeros(len(unique_times))
+    np.add.at(delta_per_time, inverse, deltas)
+
+    active = np.cumsum(delta_per_time)[:-1]
+    # Numerical noise can leave tiny negative rates after full cancellation.
+    active = np.where(np.abs(active) < 1e-6, 0.0, active)
+    active = np.maximum(active, 0.0)
+
+    return BandwidthSignal(times=unique_times, values=active)
+
+
+def phase_boundaries(signal: BandwidthSignal, *, threshold: float = 0.0) -> list[tuple[float, float]]:
+    """Return the maximal time intervals during which the bandwidth exceeds ``threshold``.
+
+    This is a helper for ground-truth-style inspection and for the R_IO /
+    B_IO characterization (Section II-C): with ``threshold = V(T)/L(T)`` the
+    returned intervals are the "substantial I/O" subset S of the trace.
+    """
+    if len(signal.values) == 0:
+        return []
+    above = signal.values > threshold
+    intervals: list[tuple[float, float]] = []
+    start: float | None = None
+    for i, flag in enumerate(above):
+        if flag and start is None:
+            start = float(signal.times[i])
+        elif not flag and start is not None:
+            intervals.append((start, float(signal.times[i])))
+            start = None
+    if start is not None:
+        intervals.append((start, float(signal.times[-1])))
+    return intervals

@@ -1,0 +1,291 @@
+"""Minimal self-contained MessagePack encoder/decoder.
+
+The paper's tracer can flush its records either as JSON Lines or as
+MessagePack [22].  Since no third-party msgpack package is available in this
+environment, this module implements the subset of the MessagePack
+specification needed to round-trip the TMIO flush schema (and a bit more):
+
+* nil, booleans
+* integers (positive/negative fixint, uint8/16/32/64, int8/16/32/64)
+* float64
+* strings (fixstr, str8/16/32)
+* binary (bin8/16/32)
+* arrays (fixarray, array16/32)
+* maps (fixmap, map16/32)
+
+The wire format follows https://github.com/msgpack/msgpack/blob/master/spec.md,
+so files written here are readable by any compliant MessagePack reader.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.exceptions import TraceFormatError
+from repro.trace.jsonl import FlushRecord, flushes_to_trace
+from repro.trace.record import IORequest
+from repro.trace.trace import Trace
+
+
+# --------------------------------------------------------------------- #
+# encoding
+# --------------------------------------------------------------------- #
+def packb(obj: Any) -> bytes:
+    """Serialize ``obj`` to MessagePack bytes."""
+    out = bytearray()
+    _pack_into(obj, out)
+    return bytes(out)
+
+
+def _pack_into(obj: Any, out: bytearray) -> None:
+    if obj is None:
+        out.append(0xC0)
+    elif obj is True:
+        out.append(0xC3)
+    elif obj is False:
+        out.append(0xC2)
+    elif isinstance(obj, int) and not isinstance(obj, bool):
+        _pack_int(obj, out)
+    elif isinstance(obj, float):
+        out.append(0xCB)
+        out += struct.pack(">d", obj)
+    elif isinstance(obj, str):
+        _pack_str(obj, out)
+    elif isinstance(obj, (bytes, bytearray)):
+        _pack_bin(bytes(obj), out)
+    elif isinstance(obj, (list, tuple)):
+        _pack_array(obj, out)
+    elif isinstance(obj, dict):
+        _pack_map(obj, out)
+    else:
+        raise TypeError(f"cannot MessagePack-serialize object of type {type(obj).__name__}")
+
+
+def _pack_int(value: int, out: bytearray) -> None:
+    if 0 <= value <= 0x7F:
+        out.append(value)
+    elif -32 <= value < 0:
+        out.append(value & 0xFF)
+    elif 0 <= value <= 0xFF:
+        out += struct.pack(">BB", 0xCC, value)
+    elif 0 <= value <= 0xFFFF:
+        out += struct.pack(">BH", 0xCD, value)
+    elif 0 <= value <= 0xFFFFFFFF:
+        out += struct.pack(">BI", 0xCE, value)
+    elif 0 <= value <= 0xFFFFFFFFFFFFFFFF:
+        out += struct.pack(">BQ", 0xCF, value)
+    elif -0x80 <= value < 0:
+        out += struct.pack(">Bb", 0xD0, value)
+    elif -0x8000 <= value < 0:
+        out += struct.pack(">Bh", 0xD1, value)
+    elif -0x80000000 <= value < 0:
+        out += struct.pack(">Bi", 0xD2, value)
+    elif -0x8000000000000000 <= value < 0:
+        out += struct.pack(">Bq", 0xD3, value)
+    else:
+        raise OverflowError(f"integer {value} out of MessagePack range")
+
+
+def _pack_str(value: str, out: bytearray) -> None:
+    data = value.encode("utf-8")
+    n = len(data)
+    if n <= 31:
+        out.append(0xA0 | n)
+    elif n <= 0xFF:
+        out += struct.pack(">BB", 0xD9, n)
+    elif n <= 0xFFFF:
+        out += struct.pack(">BH", 0xDA, n)
+    else:
+        out += struct.pack(">BI", 0xDB, n)
+    out += data
+
+
+def _pack_bin(data: bytes, out: bytearray) -> None:
+    n = len(data)
+    if n <= 0xFF:
+        out += struct.pack(">BB", 0xC4, n)
+    elif n <= 0xFFFF:
+        out += struct.pack(">BH", 0xC5, n)
+    else:
+        out += struct.pack(">BI", 0xC6, n)
+    out += data
+
+
+def _pack_array(items: Iterable[Any], out: bytearray) -> None:
+    items = list(items)
+    n = len(items)
+    if n <= 15:
+        out.append(0x90 | n)
+    elif n <= 0xFFFF:
+        out += struct.pack(">BH", 0xDC, n)
+    else:
+        out += struct.pack(">BI", 0xDD, n)
+    for item in items:
+        _pack_into(item, out)
+
+
+def _pack_map(mapping: dict, out: bytearray) -> None:
+    n = len(mapping)
+    if n <= 15:
+        out.append(0x80 | n)
+    elif n <= 0xFFFF:
+        out += struct.pack(">BH", 0xDE, n)
+    else:
+        out += struct.pack(">BI", 0xDF, n)
+    for key, value in mapping.items():
+        _pack_into(key, out)
+        _pack_into(value, out)
+
+
+# --------------------------------------------------------------------- #
+# decoding
+# --------------------------------------------------------------------- #
+class _Unpacker:
+    """Streaming MessagePack decoder over a bytes buffer."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._data)
+
+    def _take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise TraceFormatError("truncated MessagePack data")
+        chunk = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return chunk
+
+    def _unpack_fmt(self, fmt: str) -> Any:
+        size = struct.calcsize(fmt)
+        return struct.unpack(fmt, self._take(size))[0]
+
+    def unpack(self) -> Any:
+        code = self._take(1)[0]
+        # fix types
+        if code <= 0x7F:
+            return code
+        if code >= 0xE0:
+            return code - 0x100
+        if 0x80 <= code <= 0x8F:
+            return self._unpack_map(code & 0x0F)
+        if 0x90 <= code <= 0x9F:
+            return self._unpack_array(code & 0x0F)
+        if 0xA0 <= code <= 0xBF:
+            return self._take(code & 0x1F).decode("utf-8")
+        handlers = {
+            0xC0: lambda: None,
+            0xC2: lambda: False,
+            0xC3: lambda: True,
+            0xC4: lambda: bytes(self._take(self._unpack_fmt(">B"))),
+            0xC5: lambda: bytes(self._take(self._unpack_fmt(">H"))),
+            0xC6: lambda: bytes(self._take(self._unpack_fmt(">I"))),
+            0xCA: lambda: self._unpack_fmt(">f"),
+            0xCB: lambda: self._unpack_fmt(">d"),
+            0xCC: lambda: self._unpack_fmt(">B"),
+            0xCD: lambda: self._unpack_fmt(">H"),
+            0xCE: lambda: self._unpack_fmt(">I"),
+            0xCF: lambda: self._unpack_fmt(">Q"),
+            0xD0: lambda: self._unpack_fmt(">b"),
+            0xD1: lambda: self._unpack_fmt(">h"),
+            0xD2: lambda: self._unpack_fmt(">i"),
+            0xD3: lambda: self._unpack_fmt(">q"),
+            0xD9: lambda: self._take(self._unpack_fmt(">B")).decode("utf-8"),
+            0xDA: lambda: self._take(self._unpack_fmt(">H")).decode("utf-8"),
+            0xDB: lambda: self._take(self._unpack_fmt(">I")).decode("utf-8"),
+            0xDC: lambda: self._unpack_array(self._unpack_fmt(">H")),
+            0xDD: lambda: self._unpack_array(self._unpack_fmt(">I")),
+            0xDE: lambda: self._unpack_map(self._unpack_fmt(">H")),
+            0xDF: lambda: self._unpack_map(self._unpack_fmt(">I")),
+        }
+        try:
+            handler = handlers[code]
+        except KeyError as exc:
+            raise TraceFormatError(f"unsupported MessagePack type code 0x{code:02x}") from exc
+        return handler()
+
+    def _unpack_array(self, n: int) -> list:
+        return [self.unpack() for _ in range(n)]
+
+    def _unpack_map(self, n: int) -> dict:
+        return {self.unpack(): self.unpack() for _ in range(n)}
+
+
+def unpackb(data: bytes) -> Any:
+    """Deserialize a single MessagePack object from ``data``."""
+    unpacker = _Unpacker(data)
+    obj = unpacker.unpack()
+    if not unpacker.exhausted:
+        raise TraceFormatError("trailing bytes after MessagePack object")
+    return obj
+
+
+def unpack_stream(data: bytes) -> Iterator[Any]:
+    """Yield every MessagePack object concatenated in ``data``."""
+    unpacker = _Unpacker(data)
+    while not unpacker.exhausted:
+        yield unpacker.unpack()
+
+
+# --------------------------------------------------------------------- #
+# TMIO flush-file helpers
+# --------------------------------------------------------------------- #
+class MsgpackTraceWriter:
+    """Append-only writer of TMIO flush records in MessagePack form."""
+
+    def __init__(self, path: str | Path):
+        self._path = Path(path)
+        self._flush_index = 0
+
+    @property
+    def path(self) -> Path:
+        """Location of the trace file."""
+        return self._path
+
+    @property
+    def flush_count(self) -> int:
+        """Number of flushes written so far."""
+        return self._flush_index
+
+    def append(self, requests: Iterable[IORequest], *, timestamp: float, metadata: dict | None = None) -> FlushRecord:
+        """Append one flush and return the record written."""
+        record = FlushRecord(
+            flush_index=self._flush_index,
+            timestamp=timestamp,
+            requests=tuple(requests),
+            metadata=dict(metadata or {}),
+        )
+        with self._path.open("ab") as handle:
+            handle.write(packb(record.to_dict()))
+        self._flush_index += 1
+        return record
+
+
+def iter_flushes(path: str | Path) -> Iterator[FlushRecord]:
+    """Yield every flush record stored in a MessagePack trace file."""
+    data = Path(path).read_bytes()
+    for obj in unpack_stream(data):
+        if not isinstance(obj, dict):
+            raise TraceFormatError(f"expected a map per flush, got {type(obj).__name__}")
+        yield FlushRecord.from_dict(obj)
+
+
+def read_trace(path: str | Path) -> Trace:
+    """Read a MessagePack trace file into a single merged :class:`Trace`."""
+    return flushes_to_trace(iter_flushes(path))
+
+
+def write_trace(trace: Trace, path: str | Path) -> int:
+    """Write a whole trace as a single-flush MessagePack file. Returns the flush count."""
+    path = Path(path)
+    if path.exists():
+        path.unlink()
+    writer = MsgpackTraceWriter(path)
+    requests = trace.requests()
+    if requests:
+        writer.append(requests, timestamp=trace.t_end, metadata=trace.metadata)
+    return writer.flush_count

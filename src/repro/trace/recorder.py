@@ -1,0 +1,115 @@
+"""Recorder-style per-rank trace format.
+
+Recorder 2.0 (Wang et al., IPDPSW 2020) captures one file of I/O events per
+rank, each event carrying the function name, timestamps and byte count.  FTIO
+supports Recorder traces as an alternative data source for the offline
+detection mode (Section II-A).  This module implements a simplified,
+text-based rendition of that layout:
+
+* a *directory* holds one ``rank_<i>.csv`` file per rank,
+* each line is ``function,start,end,bytes``,
+* a small ``meta.json`` records the application-level metadata.
+
+Only the information FTIO needs (timestamps, bytes, direction inferred from
+the function name) is retained when converting to a :class:`Trace`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.exceptions import TraceFormatError
+from repro.trace.record import IOKind, IORequest
+from repro.trace.trace import Trace
+
+#: Function names treated as write (resp. read) operations when importing.
+WRITE_FUNCTIONS = frozenset(
+    {"MPI_File_write", "MPI_File_write_all", "MPI_File_write_at", "MPI_File_write_at_all", "write", "pwrite"}
+)
+READ_FUNCTIONS = frozenset(
+    {"MPI_File_read", "MPI_File_read_all", "MPI_File_read_at", "MPI_File_read_at_all", "read", "pread"}
+)
+
+_META_FILENAME = "meta.json"
+
+
+def _kind_for_function(function: str) -> IOKind | None:
+    if function in WRITE_FUNCTIONS:
+        return IOKind.WRITE
+    if function in READ_FUNCTIONS:
+        return IOKind.READ
+    return None
+
+
+def write_recorder_directory(trace: Trace, directory: str | Path) -> Path:
+    """Write ``trace`` as a Recorder-style directory (one CSV per rank).
+
+    Write requests are emitted as ``MPI_File_write_all`` events and read
+    requests as ``MPI_File_read_all`` events.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / _META_FILENAME).write_text(
+        json.dumps({"metadata": dict(trace.metadata), "ranks": trace.rank_count}),
+        encoding="utf-8",
+    )
+    by_rank: dict[int, list[IORequest]] = {}
+    for request in trace:
+        by_rank.setdefault(request.rank, []).append(request)
+    for rank, requests in by_rank.items():
+        path = directory / f"rank_{rank}.csv"
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["function", "start", "end", "bytes"])
+            for req in requests:
+                function = "MPI_File_write_all" if req.kind is IOKind.WRITE else "MPI_File_read_all"
+                writer.writerow([function, f"{req.start:.9f}", f"{req.end:.9f}", req.nbytes])
+    return directory
+
+
+def read_recorder_directory(directory: str | Path) -> Trace:
+    """Read a Recorder-style directory back into a :class:`Trace`.
+
+    Events whose function name is neither a known read nor write operation
+    (e.g. ``MPI_File_open``) are ignored, mirroring FTIO's import behaviour.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise TraceFormatError(f"{directory} is not a Recorder trace directory")
+    metadata: dict = {}
+    meta_path = directory / _META_FILENAME
+    if meta_path.exists():
+        try:
+            metadata = dict(json.loads(meta_path.read_text(encoding="utf-8")).get("metadata", {}))
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"{meta_path}: invalid JSON: {exc}") from exc
+    requests: list[IORequest] = []
+    rank_files = sorted(directory.glob("rank_*.csv"))
+    if not rank_files:
+        raise TraceFormatError(f"{directory} contains no rank_*.csv files")
+    for path in rank_files:
+        try:
+            rank = int(path.stem.split("_", 1)[1])
+        except (IndexError, ValueError) as exc:
+            raise TraceFormatError(f"cannot parse rank from file name {path.name!r}") from exc
+        with path.open("r", newline="", encoding="utf-8") as handle:
+            reader = csv.DictReader(handle)
+            for lineno, row in enumerate(reader, start=2):
+                try:
+                    kind = _kind_for_function(row["function"])
+                    if kind is None:
+                        continue
+                    requests.append(
+                        IORequest(
+                            rank=rank,
+                            start=float(row["start"]),
+                            end=float(row["end"]),
+                            nbytes=int(row["bytes"]),
+                            kind=kind,
+                        )
+                    )
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise TraceFormatError(f"{path}:{lineno}: malformed event: {exc}") from exc
+    return Trace.from_requests(requests, metadata=metadata)

@@ -1,0 +1,294 @@
+"""The :class:`Trace` container: an application-level collection of I/O requests.
+
+A trace is the unit FTIO operates on.  Internally the requests are stored as
+columnar numpy arrays (start, end, bytes, rank) so that the bandwidth-signal
+construction and the characterization metrics are fully vectorized, per the
+linear-complexity claim of Section II-A.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.exceptions import EmptyTraceError, TraceError
+from repro.trace.record import GroundTruth, IOKind, IORequest
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable, time-ordered collection of I/O requests.
+
+    Instances are normally built through :meth:`from_requests` or by a
+    workload generator; the columnar constructor is considered internal but is
+    stable for power users.
+
+    Attributes
+    ----------
+    starts, ends:
+        Request start/end timestamps (seconds), sorted by start time.
+    nbytes:
+        Bytes transferred per request.
+    ranks:
+        Issuing MPI rank per request.
+    kinds:
+        Request direction per request (``IOKind`` values as a string array).
+    ground_truth:
+        Optional generator-provided periodicity information.
+    metadata:
+        Free-form information (application name, rank count, ...).
+    """
+
+    starts: NDArray[np.float64]
+    ends: NDArray[np.float64]
+    nbytes: NDArray[np.int64]
+    ranks: NDArray[np.int64]
+    kinds: NDArray[np.str_]
+    ground_truth: GroundTruth | None = None
+    metadata: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def __post_init__(self) -> None:
+        n = len(self.starts)
+        for name in ("ends", "nbytes", "ranks", "kinds"):
+            if len(getattr(self, name)) != n:
+                raise TraceError(f"column {name!r} has length {len(getattr(self, name))}, expected {n}")
+        if n and np.any(self.ends < self.starts):
+            raise TraceError("every request must satisfy end >= start")
+        if n and np.any(self.nbytes < 0):
+            raise TraceError("request byte counts must be >= 0")
+
+    @classmethod
+    def from_requests(
+        cls,
+        requests: Iterable[IORequest],
+        *,
+        ground_truth: GroundTruth | None = None,
+        metadata: dict | None = None,
+    ) -> "Trace":
+        """Build a trace from an iterable of :class:`IORequest`, sorted by start time."""
+        reqs = sorted(requests, key=lambda r: (r.start, r.end, r.rank))
+        if reqs:
+            starts = np.array([r.start for r in reqs], dtype=np.float64)
+            ends = np.array([r.end for r in reqs], dtype=np.float64)
+            nbytes = np.array([r.nbytes for r in reqs], dtype=np.int64)
+            ranks = np.array([r.rank for r in reqs], dtype=np.int64)
+            kinds = np.array([r.kind.value for r in reqs], dtype=np.str_)
+        else:
+            starts = np.zeros(0, dtype=np.float64)
+            ends = np.zeros(0, dtype=np.float64)
+            nbytes = np.zeros(0, dtype=np.int64)
+            ranks = np.zeros(0, dtype=np.int64)
+            kinds = np.zeros(0, dtype=np.str_)
+        return cls(
+            starts=starts,
+            ends=ends,
+            nbytes=nbytes,
+            ranks=ranks,
+            kinds=kinds,
+            ground_truth=ground_truth,
+            metadata=dict(metadata or {}),
+        )
+
+    @classmethod
+    def empty(cls) -> "Trace":
+        """Return an empty trace (useful as an accumulator seed)."""
+        return cls.from_requests([])
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(len(self.starts))
+
+    def __iter__(self) -> Iterator[IORequest]:
+        for i in range(len(self)):
+            yield self.request(i)
+
+    def request(self, index: int) -> IORequest:
+        """Return the ``index``-th request as an :class:`IORequest` object."""
+        return IORequest(
+            rank=int(self.ranks[index]),
+            start=float(self.starts[index]),
+            end=float(self.ends[index]),
+            nbytes=int(self.nbytes[index]),
+            kind=IOKind(str(self.kinds[index])),
+        )
+
+    def requests(self) -> list[IORequest]:
+        """Materialize all requests as a list of :class:`IORequest`."""
+        return list(self)
+
+    # ------------------------------------------------------------------ #
+    # aggregate properties
+    # ------------------------------------------------------------------ #
+    @property
+    def is_empty(self) -> bool:
+        """True when the trace contains no requests."""
+        return len(self) == 0
+
+    @property
+    def volume(self) -> int:
+        """Total number of bytes transferred (the paper's V(T))."""
+        return int(self.nbytes.sum()) if len(self) else 0
+
+    @property
+    def t_start(self) -> float:
+        """Timestamp of the earliest request start."""
+        self._require_non_empty("t_start")
+        return float(self.starts.min())
+
+    @property
+    def t_end(self) -> float:
+        """Timestamp of the latest request end."""
+        self._require_non_empty("t_end")
+        return float(self.ends.max())
+
+    @property
+    def duration(self) -> float:
+        """Trace length in seconds (the paper's L(T))."""
+        if self.is_empty:
+            return 0.0
+        return self.t_end - self.t_start
+
+    @property
+    def rank_count(self) -> int:
+        """Number of distinct ranks that issued at least one request."""
+        if self.is_empty:
+            return 0
+        return int(np.unique(self.ranks).size)
+
+    def _require_non_empty(self, what: str) -> None:
+        if self.is_empty:
+            raise EmptyTraceError(f"cannot compute {what} of an empty trace")
+
+    # ------------------------------------------------------------------ #
+    # transformations (all return new traces)
+    # ------------------------------------------------------------------ #
+    def _select(self, mask: NDArray[np.bool_]) -> "Trace":
+        return Trace(
+            starts=self.starts[mask],
+            ends=self.ends[mask],
+            nbytes=self.nbytes[mask],
+            ranks=self.ranks[mask],
+            kinds=self.kinds[mask],
+            ground_truth=self.ground_truth,
+            metadata=dict(self.metadata),
+        )
+
+    def filter_kind(self, kind: IOKind | str) -> "Trace":
+        """Return a trace with only read or only write requests."""
+        kind_value = IOKind(kind).value
+        if self.is_empty:
+            return self
+        return self._select(self.kinds == kind_value)
+
+    def filter_ranks(self, ranks: Sequence[int]) -> "Trace":
+        """Return a trace restricted to the given ranks."""
+        if self.is_empty:
+            return self
+        return self._select(np.isin(self.ranks, np.asarray(list(ranks), dtype=np.int64)))
+
+    def window(self, t0: float, t1: float) -> "Trace":
+        """Return the sub-trace of requests that overlap the window [t0, t1).
+
+        Requests are kept whole (not clipped); FTIO's time-window adaptation
+        works on whole requests, as the tracer flushes complete records.
+        """
+        if t1 < t0:
+            raise TraceError(f"window end ({t1}) must be >= start ({t0})")
+        if self.is_empty:
+            return self
+        mask = (self.ends > t0) & (self.starts < t1)
+        return self._select(mask)
+
+    def shifted(self, offset: float) -> "Trace":
+        """Return a copy of the trace with every timestamp shifted by ``offset``."""
+        return Trace(
+            starts=self.starts + offset,
+            ends=self.ends + offset,
+            nbytes=self.nbytes.copy(),
+            ranks=self.ranks.copy(),
+            kinds=self.kinds.copy(),
+            ground_truth=self.ground_truth,
+            metadata=dict(self.metadata),
+        )
+
+    def with_ground_truth(self, ground_truth: GroundTruth) -> "Trace":
+        """Return a copy of the trace carrying the given ground truth."""
+        return Trace(
+            starts=self.starts,
+            ends=self.ends,
+            nbytes=self.nbytes,
+            ranks=self.ranks,
+            kinds=self.kinds,
+            ground_truth=ground_truth,
+            metadata=dict(self.metadata),
+        )
+
+    def with_metadata(self, **metadata) -> "Trace":
+        """Return a copy of the trace with extra metadata entries merged in."""
+        merged = dict(self.metadata)
+        merged.update(metadata)
+        return Trace(
+            starts=self.starts,
+            ends=self.ends,
+            nbytes=self.nbytes,
+            ranks=self.ranks,
+            kinds=self.kinds,
+            ground_truth=self.ground_truth,
+            metadata=merged,
+        )
+
+
+def merge_traces(traces: Iterable[Trace], *, metadata: dict | None = None) -> Trace:
+    """Merge several traces (e.g. per-rank or per-flush traces) into one.
+
+    The merged trace is re-sorted by request start time; ground truth is kept
+    only if exactly one of the inputs carries it (merging ground truths from
+    different applications would be meaningless).
+    """
+    traces = list(traces)
+    if not traces:
+        return Trace.empty()
+    ground_truths = [t.ground_truth for t in traces if t.ground_truth is not None]
+    gt = ground_truths[0] if len(ground_truths) == 1 else None
+    starts = np.concatenate([t.starts for t in traces])
+    order = np.argsort(starts, kind="stable")
+    merged = Trace(
+        starts=starts[order],
+        ends=np.concatenate([t.ends for t in traces])[order],
+        nbytes=np.concatenate([t.nbytes for t in traces])[order],
+        ranks=np.concatenate([t.ranks for t in traces])[order],
+        kinds=np.concatenate([t.kinds for t in traces])[order],
+        ground_truth=gt,
+        metadata=dict(metadata or {}),
+    )
+    return merged
+
+
+def concatenate_in_time(traces: Sequence[Trace], *, gap: float = 0.0) -> Trace:
+    """Concatenate traces back to back along the time axis.
+
+    Each trace is shifted so that it starts where the previous one ended plus
+    ``gap`` seconds.  Used by the semi-synthetic generator to chain I/O phases
+    recorded in isolation.
+    """
+    if not traces:
+        return Trace.empty()
+    shifted: list[Trace] = []
+    cursor = 0.0
+    for i, trace in enumerate(traces):
+        if trace.is_empty:
+            cursor += gap
+            continue
+        offset = cursor - trace.t_start
+        moved = trace.shifted(offset)
+        shifted.append(moved)
+        cursor = moved.t_end + gap
+    return merge_traces(shifted)

@@ -1,0 +1,22 @@
+"""Simulated TMIO tracing library and its overhead model."""
+
+from repro.tracer.overhead import (
+    OverheadEstimate,
+    OverheadModelParameters,
+    TracerOverheadModel,
+    default_rank_sweep,
+    measure_capture_cost,
+)
+from repro.tracer.tmio import TmioTracer, TraceFileFormat, TracerMode, TracerStatistics
+
+__all__ = [
+    "OverheadEstimate",
+    "OverheadModelParameters",
+    "TracerOverheadModel",
+    "default_rank_sweep",
+    "measure_capture_cost",
+    "TmioTracer",
+    "TraceFileFormat",
+    "TracerMode",
+    "TracerStatistics",
+]

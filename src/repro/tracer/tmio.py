@@ -1,0 +1,169 @@
+"""Simulated TMIO tracing library.
+
+The paper's TMIO is a C++ library that intercepts MPI-IO calls and records,
+per rank, the start time, end time and transferred bytes of every request.  It
+offers two linking modes:
+
+``offline``
+    (LD_PRELOAD) all data is kept in memory and written out once, at
+    ``MPI_Finalize``.
+``online``
+    the application is compiled against the library and calls a flush function
+    (a single added line) whenever it wants the collected data appended to the
+    trace file, which FTIO then re-analyses to predict the next phases.
+
+Since no MPI applications run in this environment, :class:`TmioTracer`
+receives its request events from the simulated applications in
+:mod:`repro.workloads` and from the cluster simulator, but exposes the same
+two modes and the same on-disk formats (JSON Lines or MessagePack), so the
+whole offline/online pipeline of the paper can be exercised end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from pathlib import Path
+
+from repro.exceptions import TraceError
+from repro.trace.jsonl import JsonLinesTraceWriter
+from repro.trace.msgpack import MsgpackTraceWriter
+from repro.trace.record import IOKind, IORequest
+from repro.trace.trace import Trace
+
+
+class TracerMode(str, Enum):
+    """Linking mode of the tracer (see module docstring)."""
+
+    OFFLINE = "offline"
+    ONLINE = "online"
+
+
+class TraceFileFormat(str, Enum):
+    """On-disk format used for flushed data."""
+
+    JSONL = "jsonl"
+    MSGPACK = "msgpack"
+
+
+@dataclass(frozen=True)
+class TracerStatistics:
+    """Bookkeeping counters of a tracer instance."""
+
+    recorded_requests: int
+    flushes: int
+    recorded_bytes: int
+
+
+class TmioTracer:
+    """In-process stand-in for the TMIO tracing library.
+
+    Parameters
+    ----------
+    mode:
+        ``offline`` buffers everything until :meth:`finalize`; ``online``
+        allows intermediate :meth:`flush` calls.
+    path:
+        Trace file location.  May be ``None`` for purely in-memory use (the
+        cluster simulator records traces without touching the file system).
+    file_format:
+        JSON Lines (default) or MessagePack.
+    metadata:
+        Application-level metadata stored with every flush.
+    """
+
+    def __init__(
+        self,
+        *,
+        mode: TracerMode | str = TracerMode.ONLINE,
+        path: str | Path | None = None,
+        file_format: TraceFileFormat | str = TraceFileFormat.JSONL,
+        metadata: dict | None = None,
+    ):
+        self._mode = TracerMode(mode)
+        self._format = TraceFileFormat(file_format)
+        self._metadata = dict(metadata or {})
+        self._pending: list[IORequest] = []
+        self._all: list[IORequest] = []
+        self._finalized = False
+        self._flushes = 0
+        self._writer: JsonLinesTraceWriter | MsgpackTraceWriter | None = None
+        if path is not None:
+            path = Path(path)
+            if path.exists():
+                path.unlink()
+            if self._format is TraceFileFormat.JSONL:
+                self._writer = JsonLinesTraceWriter(path)
+            else:
+                self._writer = MsgpackTraceWriter(path)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def mode(self) -> TracerMode:
+        """Linking mode of this tracer."""
+        return self._mode
+
+    @property
+    def path(self) -> Path | None:
+        """Trace file path, or ``None`` for in-memory tracing."""
+        return self._writer.path if self._writer is not None else None
+
+    @property
+    def statistics(self) -> TracerStatistics:
+        """Counters describing what the tracer has recorded so far."""
+        return TracerStatistics(
+            recorded_requests=len(self._all),
+            flushes=self._flushes,
+            recorded_bytes=sum(r.nbytes for r in self._all),
+        )
+
+    # ------------------------------------------------------------------ #
+    def record(self, request: IORequest) -> None:
+        """Record one I/O request (the intercepted MPI-IO call)."""
+        if self._finalized:
+            raise TraceError("cannot record after the tracer has been finalized")
+        self._pending.append(request)
+        self._all.append(request)
+
+    def record_write(self, rank: int, start: float, end: float, nbytes: int) -> None:
+        """Convenience wrapper recording a write request."""
+        self.record(IORequest(rank=rank, start=start, end=end, nbytes=nbytes, kind=IOKind.WRITE))
+
+    def record_read(self, rank: int, start: float, end: float, nbytes: int) -> None:
+        """Convenience wrapper recording a read request."""
+        self.record(IORequest(rank=rank, start=start, end=end, nbytes=nbytes, kind=IOKind.READ))
+
+    def flush(self, *, timestamp: float | None = None) -> int:
+        """Flush the requests recorded since the last flush (online mode only).
+
+        Returns the number of requests flushed.  In the paper this is the
+        "single line added to indicate when to flush the results out to a
+        file".
+        """
+        if self._mode is not TracerMode.ONLINE:
+            raise TraceError("flush() is only available in online mode; use finalize() instead")
+        return self._emit(timestamp=timestamp)
+
+    def finalize(self, *, timestamp: float | None = None) -> Trace:
+        """Finish tracing (MPI_Finalize): flush pending data and return the full trace."""
+        if not self._finalized:
+            self._emit(timestamp=timestamp)
+            self._finalized = True
+        return self.trace()
+
+    def trace(self) -> Trace:
+        """Return everything recorded so far as a single merged :class:`Trace`."""
+        return Trace.from_requests(self._all, metadata=dict(self._metadata))
+
+    # ------------------------------------------------------------------ #
+    def _emit(self, *, timestamp: float | None) -> int:
+        count = len(self._pending)
+        if count == 0:
+            return 0
+        if timestamp is None:
+            timestamp = max(r.end for r in self._pending)
+        if self._writer is not None:
+            self._writer.append(self._pending, timestamp=timestamp, metadata=self._metadata)
+        self._pending = []
+        self._flushes += 1
+        return count

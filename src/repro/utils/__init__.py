@@ -1,0 +1,29 @@
+"""Small shared utilities: validation helpers, statistics, RNG handling."""
+
+from repro.utils.rng import as_generator
+from repro.utils.stats import (
+    coefficient_of_variation,
+    safe_mean,
+    safe_std,
+    weighted_mean,
+    zscores,
+)
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in_range,
+)
+
+__all__ = [
+    "as_generator",
+    "coefficient_of_variation",
+    "safe_mean",
+    "safe_std",
+    "weighted_mean",
+    "zscores",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+]

@@ -1,0 +1,99 @@
+"""Statistical helpers shared by the frequency analysis and the evaluation.
+
+These are deliberately small, vectorized numpy routines: the paper favours
+"simple calculations" (Section II-B2) so that the analysis can run online with
+negligible overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+
+def zscores(values: ArrayLike) -> NDArray[np.float64]:
+    """Return the Z-score of every element of ``values`` (Eq. 2 of the paper).
+
+    The Z-score measures how many standard deviations an element lies away
+    from the mean of the whole sample.  A constant input (zero standard
+    deviation) yields all-zero scores instead of dividing by zero.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    std = float(arr.std())
+    if std == 0.0:
+        return np.zeros_like(arr)
+    return (np.abs(arr) - abs(float(arr.mean()))) / std
+
+
+def coefficient_of_variation(values: ArrayLike, *, weights: ArrayLike | None = None) -> float:
+    """Return sigma / mean of ``values`` (optionally weighted).
+
+    Used for the autocorrelation confidence ``c_a = 1 - sigma/mean`` and for the
+    similarity score between the DFT result and the ACF candidates.  Returns
+    0.0 for constant input and ``inf`` when the mean is zero but the spread is
+    not (a degenerate case the caller treats as "no confidence").
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return float("inf")
+    if weights is not None:
+        w = np.asarray(weights, dtype=np.float64)
+        mean = weighted_mean(arr, w)
+        var = weighted_mean((arr - mean) ** 2, w)
+        std = float(np.sqrt(var))
+    else:
+        mean = float(arr.mean())
+        std = float(arr.std())
+    if std == 0.0:
+        return 0.0
+    if mean == 0.0:
+        return float("inf")
+    return std / abs(mean)
+
+
+def weighted_mean(values: ArrayLike, weights: ArrayLike) -> float:
+    """Return the weighted arithmetic mean of ``values``.
+
+    Falls back to the unweighted mean when all weights are zero so that
+    degenerate ACF peak sets do not poison the confidence computation.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    w = np.asarray(weights, dtype=np.float64)
+    if arr.shape != w.shape:
+        raise ValueError(f"values {arr.shape} and weights {w.shape} must have the same shape")
+    total = float(w.sum())
+    if total == 0.0:
+        return safe_mean(arr)
+    return float((arr * w).sum() / total)
+
+
+def safe_mean(values: ArrayLike) -> float:
+    """Mean that returns 0.0 for an empty input instead of warning."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    return float(arr.mean())
+
+
+def safe_std(values: ArrayLike) -> float:
+    """Standard deviation that returns 0.0 for an empty input instead of warning."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    return float(arr.std())
+
+
+def geometric_mean(values: ArrayLike) -> float:
+    """Geometric mean of strictly positive values.
+
+    The Section IV metrics (stretch, I/O slowdown) aggregate per-application
+    factors with the geometric mean, as in the IO-Sets paper.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.log(arr).mean()))

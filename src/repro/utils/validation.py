@@ -1,0 +1,73 @@
+"""Validation helpers used across the library.
+
+Every public entry point validates its numeric parameters with these helpers
+so that configuration mistakes surface as :class:`~repro.exceptions.ConfigurationError`
+with a descriptive message rather than as a numpy broadcasting error deep in
+the analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+
+def check_positive(value: float, name: str) -> float:
+    """Return ``value`` if it is strictly positive, otherwise raise.
+
+    Parameters
+    ----------
+    value:
+        The numeric value to validate.
+    name:
+        Parameter name used in the error message.
+    """
+    value = float(value)
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if it is >= 0, otherwise raise."""
+    value = float(value)
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Return ``value`` if it lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    *,
+    low: float,
+    high: float,
+    inclusive: bool = True,
+) -> float:
+    """Return ``value`` if it lies within ``[low, high]`` (or ``(low, high)``)."""
+    value = float(value)
+    if inclusive:
+        ok = low <= value <= high
+    else:
+        ok = low < value < high
+    if not ok:
+        bounds = f"[{low}, {high}]" if inclusive else f"({low}, {high})"
+        raise ConfigurationError(f"{name} must be in {bounds}, got {value!r}")
+    return value
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Return ``value`` as ``int`` if it is a strictly positive integer."""
+    ivalue = int(value)
+    if ivalue != value or ivalue <= 0:
+        raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+    return ivalue

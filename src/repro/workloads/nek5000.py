@@ -1,0 +1,111 @@
+"""Nek5000-like Darshan heatmap generator (Figure 11).
+
+The paper downloads a Darshan profile of a Nek5000 turbulence simulation
+(2048 ranks, Mogon II) from the I/O Trace Initiative and feeds its heatmap to
+FTIO.  The profile's structure, as described in Section III-B(b):
+
+* total duration of about 86 000 s,
+* regular checkpoint phases writing about 7 GB each, *not* equally spaced but
+  clustered around a period of roughly 4642 s,
+* a 13 GB phase at time 0 and a 75 GB phase near 45 000 s,
+* two irregular phases at roughly 57 000 s and 85 000 s writing about 30 GB,
+* on the full window FTIO declares the trace aperiodic; restricting the window
+  to Δt = 56 000 s removes the irregular phases and yields a period of
+  4642.1 s with 85.4 % confidence.
+
+:func:`nek5000_heatmap` regenerates a heatmap with exactly those features so
+experiment E11 can reproduce the window-sensitivity result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import GIB
+from repro.trace.darshan import DarshanHeatmap
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive
+
+
+def nek5000_heatmap(
+    *,
+    duration: float = 86_000.0,
+    bin_width: float = 160.0,
+    checkpoint_period: float = 4642.0,
+    checkpoint_volume: float = 7 * GIB,
+    checkpoint_duration: float = 1200.0,
+    period_jitter: float = 0.04,
+    seed: SeedLike = None,
+) -> DarshanHeatmap:
+    """Build the Nek5000-like Darshan heatmap described in the paper.
+
+    Parameters
+    ----------
+    duration:
+        Total profile length in seconds (paper: ≈ 86 000 s).
+    bin_width:
+        Heatmap bin width; the paper's profile had coarse bins
+        (fs ≈ 0.006 Hz corresponds to ≈ 160 s bins).
+    checkpoint_period:
+        Nominal spacing of the regular 7 GB checkpoint phases.
+    checkpoint_volume:
+        Bytes written per regular checkpoint.
+    checkpoint_duration:
+        Wall-clock length of a checkpoint phase (Darshan's coarse bins make
+        each phase span several bins, which is what gives the spectrum a
+        decaying-harmonic envelope rather than a flat impulse-train spectrum).
+    period_jitter:
+        Relative jitter of the checkpoint spacing ("not equally spaced").
+    """
+    check_positive(duration, "duration")
+    check_positive(bin_width, "bin_width")
+    check_positive(checkpoint_period, "checkpoint_period")
+    check_positive(checkpoint_duration, "checkpoint_duration")
+    rng = as_generator(seed)
+
+    n_bins = int(np.ceil(duration / bin_width))
+    write_bins = np.zeros(n_bins)
+
+    def deposit(time: float, volume: float, phase_duration: float) -> None:
+        """Spread ``volume`` bytes uniformly over [time, time + phase_duration)."""
+        first = int(np.clip(time // bin_width, 0, n_bins - 1))
+        last = int(np.clip((time + phase_duration) // bin_width, first, n_bins - 1))
+        span = np.arange(first, last + 1)
+        write_bins[span] += volume / len(span)
+
+    # Boundary phases: 13 GB at t = 0 and 75 GB near t = 45 000 s.
+    deposit(0.0, 13 * GIB, checkpoint_duration)
+    deposit(45_000.0, 75 * GIB, 2 * checkpoint_duration)
+
+    # Regular checkpoints, roughly every `checkpoint_period`, skipping the
+    # neighbourhood of the special phases so volumes match the description.
+    t = checkpoint_period
+    while t < duration - bin_width:
+        near_special = any(
+            abs(t - special) < checkpoint_period / 3 for special in (45_000.0, 57_000.0, 85_000.0)
+        )
+        if not near_special:
+            deposit(t, checkpoint_volume * float(rng.uniform(0.9, 1.1)), checkpoint_duration)
+        t += checkpoint_period * (1.0 + float(rng.normal(0.0, period_jitter)))
+
+    # Irregular 30 GB phases at ≈ 57 000 s and ≈ 85 000 s.
+    deposit(57_000.0, 30 * GIB, 1.5 * checkpoint_duration)
+    deposit(85_000.0, 30 * GIB, 0.5 * checkpoint_duration)
+
+    return DarshanHeatmap(
+        bin_width=bin_width,
+        write_bins=write_bins,
+        read_bins=np.zeros(n_bins),
+        t_start=0.0,
+        metadata={
+            "application": "nek5000",
+            "ranks": 2048,
+            "source": "synthetic reconstruction of the I/O Trace Initiative profile",
+            "checkpoint_period": checkpoint_period,
+        },
+    )
+
+
+def reduced_window() -> tuple[float, float]:
+    """The reduced analysis window Δt = 56 000 s used in the paper's Figure 11."""
+    return (0.0, 56_000.0)

@@ -1,0 +1,112 @@
+"""Noise-trace generation for the limitation study (Section III-A).
+
+The paper emulates background I/O noise with 200 traces of single-process IOR
+runs in two configurations — "low" noise of roughly 500 MB/s and "high" noise
+of roughly 1 GB/s — each containing 10 short periods of about 2.2 s.  Noise is
+added to an application trace by randomly selecting a sequence of noise traces
+and overlaying them on the application's time range.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.constants import MIB
+from repro.trace.record import IOKind, IORequest
+from repro.trace.trace import Trace, merge_traces
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class NoiseLevel(str, Enum):
+    """The two noise configurations used in the paper."""
+
+    NONE = "none"
+    LOW = "low"  # about 500 MB/s
+    HIGH = "high"  # about 1 GB/s
+
+    @property
+    def bandwidth(self) -> float:
+        """Nominal bandwidth of the noise bursts in bytes/s."""
+        if self is NoiseLevel.LOW:
+            return 500e6
+        if self is NoiseLevel.HIGH:
+            return 1e9
+        return 0.0
+
+
+def noise_trace(
+    *,
+    level: NoiseLevel | str = NoiseLevel.LOW,
+    periods: int = 10,
+    period_length: float = 2.2,
+    duty_cycle: float = 0.5,
+    rank: int = 0,
+    start: float = 0.0,
+    seed: SeedLike = None,
+) -> Trace:
+    """Generate one single-process noise trace (10 bursts of ~2.2 s by default)."""
+    level = NoiseLevel(level)
+    check_positive(period_length, "period_length")
+    check_non_negative(start, "start")
+    if not 0.0 < duty_cycle <= 1.0:
+        raise ValueError(f"duty_cycle must be in (0, 1], got {duty_cycle}")
+    rng = as_generator(seed)
+    requests: list[IORequest] = []
+    if level is NoiseLevel.NONE:
+        return Trace.from_requests([])
+    for i in range(periods):
+        burst_start = start + i * period_length
+        burst_length = period_length * duty_cycle * float(rng.uniform(0.8, 1.2))
+        nbytes = int(level.bandwidth * burst_length)
+        if nbytes <= 0:
+            continue
+        # Split the burst into 1 MiB requests, as IOR would issue them.
+        cursor = burst_start
+        remaining = nbytes
+        request_duration = burst_length * MIB / nbytes if nbytes >= MIB else burst_length
+        while remaining > 0:
+            chunk = min(MIB, remaining)
+            duration = request_duration * (chunk / MIB)
+            requests.append(
+                IORequest(rank=rank, start=cursor, end=cursor + duration, nbytes=chunk, kind=IOKind.WRITE)
+            )
+            cursor += duration
+            remaining -= chunk
+    return Trace.from_requests(requests, metadata={"application": "noise", "level": level.value})
+
+
+def add_noise(
+    trace: Trace,
+    *,
+    level: NoiseLevel | str = NoiseLevel.LOW,
+    seed: SeedLike = None,
+) -> Trace:
+    """Overlay background noise over the full time range of ``trace``.
+
+    Noise traces are generated back to back until the application's duration
+    is covered, then merged with the original requests.  The ground truth of
+    the application trace is preserved (the noise is not part of the phases).
+    """
+    level = NoiseLevel(level)
+    if level is NoiseLevel.NONE or trace.is_empty:
+        return trace
+    rng = as_generator(seed)
+    noise_rank = int(trace.ranks.max()) + 1 if len(trace) else 0
+    pieces: list[Trace] = []
+    cursor = trace.t_start
+    while cursor < trace.t_end:
+        piece = noise_trace(
+            level=level,
+            rank=noise_rank,
+            start=cursor,
+            seed=rng,
+        )
+        if piece.is_empty:
+            break
+        pieces.append(piece)
+        cursor = piece.t_end + float(rng.uniform(0.0, 1.0))
+    merged = merge_traces([trace, *pieces], metadata=dict(trace.metadata))
+    return merged.with_ground_truth(trace.ground_truth) if trace.ground_truth else merged

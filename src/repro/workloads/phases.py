@@ -1,0 +1,139 @@
+"""Building blocks shared by the workload generators: single I/O phases.
+
+An I/O phase is a set of requests issued by ``ranks`` processes during one
+burst: every process writes ``volume_per_rank`` bytes split into requests of
+``request_size`` bytes at a given per-rank bandwidth.  Processes may be
+desynchronized by a per-process start delay (the δ_k of Section III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.trace.record import IOKind, IORequest
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_non_negative, check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """Specification of one I/O phase.
+
+    Attributes
+    ----------
+    ranks:
+        Number of processes taking part in the phase.
+    volume_per_rank:
+        Bytes each process transfers during the phase.
+    request_size:
+        Size of the individual requests each process issues.
+    rank_bandwidth:
+        Sustained per-rank transfer rate in bytes/s.
+    kind:
+        Whether the phase reads or writes.
+    """
+
+    ranks: int
+    volume_per_rank: int
+    request_size: int
+    rank_bandwidth: float
+    kind: IOKind = IOKind.WRITE
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.ranks, "ranks")
+        check_positive_int(self.volume_per_rank, "volume_per_rank")
+        check_positive_int(self.request_size, "request_size")
+        check_positive(self.rank_bandwidth, "rank_bandwidth")
+        if self.request_size > self.volume_per_rank:
+            raise WorkloadError(
+                f"request_size ({self.request_size}) cannot exceed "
+                f"volume_per_rank ({self.volume_per_rank})"
+            )
+
+    @property
+    def requests_per_rank(self) -> int:
+        """Number of requests each rank issues (last one may be smaller)."""
+        return int(np.ceil(self.volume_per_rank / self.request_size))
+
+    @property
+    def nominal_duration(self) -> float:
+        """Duration of the phase for a perfectly synchronized, noise-free run."""
+        return self.volume_per_rank / self.rank_bandwidth
+
+
+def generate_phase(
+    spec: PhaseSpec,
+    *,
+    start: float = 0.0,
+    rank_offset: int = 0,
+    rank_delays: np.ndarray | None = None,
+    bandwidth_jitter: float = 0.0,
+    seed: SeedLike = None,
+) -> list[IORequest]:
+    """Generate the requests of one I/O phase.
+
+    Parameters
+    ----------
+    spec:
+        The phase specification.
+    start:
+        Wall-clock time at which the phase begins.
+    rank_offset:
+        First rank id to use (allows composing phases of disjoint rank groups).
+    rank_delays:
+        Optional per-rank start delays δ_k (seconds); length must equal
+        ``spec.ranks``.  Process 0 traditionally keeps δ_0 = 0 so the phase
+        boundary is preserved (Section III-A).
+    bandwidth_jitter:
+        Relative standard deviation applied to each request's duration to
+        emulate file-system variability (0 disables it).
+    seed:
+        RNG seed / generator for the jitter.
+    """
+    check_non_negative(start, "start")
+    check_non_negative(bandwidth_jitter, "bandwidth_jitter")
+    if rank_delays is not None and len(rank_delays) != spec.ranks:
+        raise WorkloadError(
+            f"rank_delays has length {len(rank_delays)}, expected {spec.ranks}"
+        )
+    rng = as_generator(seed)
+    requests: list[IORequest] = []
+    base_request_time = spec.request_size / spec.rank_bandwidth
+    for local_rank in range(spec.ranks):
+        delay = float(rank_delays[local_rank]) if rank_delays is not None else 0.0
+        cursor = start + delay
+        remaining = spec.volume_per_rank
+        while remaining > 0:
+            nbytes = min(spec.request_size, remaining)
+            duration = base_request_time * (nbytes / spec.request_size)
+            if bandwidth_jitter > 0:
+                duration *= float(
+                    np.clip(rng.normal(1.0, bandwidth_jitter), 0.2, 5.0)
+                )
+            requests.append(
+                IORequest(
+                    rank=rank_offset + local_rank,
+                    start=cursor,
+                    end=cursor + duration,
+                    nbytes=int(nbytes),
+                    kind=spec.kind,
+                )
+            )
+            cursor += duration
+            remaining -= nbytes
+    return requests
+
+
+def phase_duration(requests: list[IORequest]) -> float:
+    """Wall-clock length of a phase described by ``requests``."""
+    if not requests:
+        return 0.0
+    return max(r.end for r in requests) - min(r.start for r in requests)
+
+
+def phase_volume(requests: list[IORequest]) -> int:
+    """Total bytes transferred by ``requests``."""
+    return sum(r.nbytes for r in requests)

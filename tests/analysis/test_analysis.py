@@ -1,0 +1,152 @@
+"""Unit tests for the analysis harness: errors, sweeps, reports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.error import detection_error, evaluate_trace
+from repro.analysis.report import (
+    format_boxplot,
+    format_sweep,
+    format_table,
+    paper_comparison_table,
+)
+from repro.analysis.sweep import BoxplotStats, LimitationStudy, SweepPoint
+from repro.core import FtioConfig
+from repro.exceptions import WorkloadError
+from repro.workloads.noise import NoiseLevel
+from repro.workloads.synthetic import SyntheticAppConfig
+
+
+class TestDetectionError:
+    def test_relative_error(self):
+        assert detection_error(110.0, 100.0) == pytest.approx(0.1)
+        assert detection_error(100.0, 100.0) == pytest.approx(0.0)
+
+    def test_missing_detection_counts_as_one(self):
+        assert detection_error(None, 50.0) == 1.0
+        assert detection_error(0.0, 50.0) == 1.0
+
+    def test_invalid_true_period(self):
+        with pytest.raises(ValueError):
+            detection_error(10.0, 0.0)
+
+    def test_evaluate_trace_on_periodic_ior(self, periodic_trace):
+        outcome = evaluate_trace(periodic_trace, config=FtioConfig(sampling_frequency=1.0))
+        assert outcome.detected
+        assert outcome.error < 0.1
+        assert outcome.true_period == pytest.approx(
+            periodic_trace.ground_truth.average_period()
+        )
+        assert outcome.sigma_vol is not None
+
+    def test_evaluate_trace_requires_ground_truth(self, simple_trace):
+        with pytest.raises(WorkloadError):
+            evaluate_trace(simple_trace)
+
+
+class TestBoxplotStats:
+    def test_quartiles(self):
+        stats = BoxplotStats.from_values(np.arange(1, 101, dtype=float))
+        assert stats.median == pytest.approx(50.5)
+        assert stats.q1 == pytest.approx(25.75)
+        assert stats.q3 == pytest.approx(75.25)
+        assert stats.count == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoxplotStats.from_values([])
+
+
+@pytest.fixture(scope="module")
+def tiny_study(small_phase_library):
+    return LimitationStudy(
+        library=small_phase_library, traces_per_point=3, sampling_frequency=1.0
+    )
+
+
+# Redefine the session fixture at module scope for this module's tiny study.
+@pytest.fixture(scope="module")
+def small_phase_library():
+    from repro.constants import MIB
+    from repro.workloads.synthetic import PhaseLibrary
+
+    return PhaseLibrary.generate(
+        n_phases=4,
+        ranks=4,
+        volume_per_rank=400 * MIB,
+        request_size=8 * MIB,
+        aggregate_bandwidth=200e6,
+        seed=11,
+    )
+
+
+class TestLimitationStudy:
+    def test_point_builders(self, tiny_study):
+        ratio_points = tiny_study.phase_ratio_points(ratios=(0.5, 2.0), noise=NoiseLevel.LOW)
+        assert len(ratio_points) == 2
+        assert ratio_points[0].app_config.noise == NoiseLevel.LOW
+        desync_points = tiny_study.desync_points(phis=(0.0, 5.0))
+        assert desync_points[1].app_config.desync_mean == 5.0
+        var_points = tiny_study.variability_points(sigma_over_mu=(0.0, 1.0))
+        assert var_points[1].app_config.compute_std == pytest.approx(11.0)
+
+    def test_run_point_produces_outcomes(self, tiny_study):
+        point = SweepPoint(
+            label="steady",
+            value=0.0,
+            app_config=SyntheticAppConfig(iterations=6, compute_mean=5.0),
+        )
+        result = tiny_study.run_point(point, seed=0)
+        assert len(result.outcomes) == 3
+        assert result.errors.shape == (3,)
+        stats = result.error_stats()
+        assert stats.count == 3
+        assert 0.0 <= stats.median <= 1.0
+
+    def test_errors_grow_with_variability(self, tiny_study):
+        points = tiny_study.variability_points(sigma_over_mu=(0.0, 2.0), compute_mean=5.0)
+        results = tiny_study.run(points, seed=1)
+        steady, wobbly = results
+        assert steady.error_stats().median <= wobbly.error_stats().median + 0.2
+
+    def test_run_is_deterministic(self, tiny_study):
+        point = SweepPoint(
+            label="steady",
+            value=0.0,
+            app_config=SyntheticAppConfig(iterations=5, compute_mean=5.0),
+        )
+        a = tiny_study.run_point(point, seed=3)
+        b = tiny_study.run_point(point, seed=3)
+        assert np.allclose(a.errors, b.errors)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["alpha", 1.23456], ["b", 7]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in table
+        assert len(lines) == 4
+
+    def test_format_boxplot(self):
+        stats = BoxplotStats.from_values([0.1, 0.2, 0.3])
+        text = format_boxplot(stats, as_percent=True)
+        assert "%" in text
+        assert "median" in text
+
+    def test_format_sweep(self, tiny_study):
+        point = SweepPoint(
+            label="p", value=1.0, app_config=SyntheticAppConfig(iterations=5, compute_mean=5.0)
+        )
+        results = [tiny_study.run_point(point, seed=0)]
+        for metric in ("error", "confidence", "sigma_vol"):
+            text = format_sweep(results, metric=metric)
+            assert "p" in text
+            assert "median" in text.splitlines()[0]
+
+    def test_paper_comparison_table(self):
+        text = paper_comparison_table([("period", 111.67, 109.2), ("confidence", "60.5%", "62%")])
+        assert "quantity" in text
+        assert "111.7" in text

@@ -1,0 +1,162 @@
+"""Unit tests for the cluster substrate: jobs, file system, simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.filesystem import SharedFileSystem
+from repro.cluster.job import JobPhase, JobSpec, JobState
+from repro.cluster.simulator import ClusterSimulator, run_isolated
+from repro.exceptions import SchedulingError
+from repro.scheduling.baseline import ExclusiveFcfsScheduler, FairShareScheduler
+
+
+def make_spec(name="job", period=100.0, io_fraction=0.1, iterations=3, bandwidth=1e9, start=0.0):
+    return JobSpec(
+        name=name,
+        period=period,
+        io_fraction=io_fraction,
+        iterations=iterations,
+        io_bandwidth=bandwidth,
+        start_time=start,
+    )
+
+
+class TestJobSpec:
+    def test_derived_quantities(self):
+        spec = make_spec(period=100.0, io_fraction=0.1, iterations=4, bandwidth=1e9)
+        assert spec.compute_time == pytest.approx(90.0)
+        assert spec.io_time_isolated == pytest.approx(10.0)
+        assert spec.io_volume == pytest.approx(1e10)
+        assert spec.isolated_makespan == pytest.approx(400.0)
+        assert spec.isolated_io_time == pytest.approx(40.0)
+
+    def test_invalid_io_fraction(self):
+        with pytest.raises(SchedulingError):
+            make_spec(io_fraction=0.0)
+        with pytest.raises(SchedulingError):
+            make_spec(io_fraction=1.0)
+
+
+class TestJobState:
+    def test_lifecycle(self):
+        state = JobState(spec=make_spec(iterations=2))
+        state.start(0.0)
+        assert state.phase is JobPhase.COMPUTING
+        state.remaining_compute = 0.0
+        state.begin_io(90.0)
+        assert state.phase is JobPhase.IO
+        record = state.complete_io(100.0)
+        assert record.duration == pytest.approx(10.0)
+        assert state.phase is JobPhase.COMPUTING
+        state.begin_io(190.0)
+        state.complete_io(200.0)
+        assert state.phase is JobPhase.FINISHED
+        assert state.makespan == pytest.approx(200.0)
+        assert state.total_io_time == pytest.approx(20.0)
+
+    def test_invalid_transitions(self):
+        state = JobState(spec=make_spec())
+        with pytest.raises(SchedulingError):
+            state.begin_io(0.0)
+        state.start(0.0)
+        with pytest.raises(SchedulingError):
+            state.complete_io(1.0)
+        with pytest.raises(SchedulingError):
+            state.start(1.0)
+
+
+class TestSharedFileSystem:
+    def test_effective_bandwidth_capped_by_job(self):
+        fs = SharedFileSystem(capacity=10e9)
+        assert fs.effective_bandwidth(1.0, 4e9) == pytest.approx(4e9)
+        assert fs.effective_bandwidth(0.2, 4e9) == pytest.approx(2e9)
+
+    def test_invalid_share(self):
+        fs = SharedFileSystem(capacity=1e9)
+        with pytest.raises(SchedulingError):
+            fs.effective_bandwidth(1.5, 1e9)
+
+    def test_allocation_validation(self):
+        fs = SharedFileSystem(capacity=1e9)
+        fs.validate_allocation({"a": 0.5, "b": 0.5})
+        with pytest.raises(SchedulingError):
+            fs.validate_allocation({"a": 0.9, "b": 0.9})
+        with pytest.raises(SchedulingError):
+            fs.validate_allocation({"a": -0.1})
+
+
+class TestClusterSimulator:
+    def test_isolated_job_matches_analytic_makespan(self):
+        fs = SharedFileSystem(capacity=2e9)
+        spec = make_spec(period=100.0, io_fraction=0.1, iterations=3, bandwidth=1e9)
+        result = run_isolated(spec, fs)
+        assert result.makespan == pytest.approx(spec.isolated_makespan, rel=1e-6)
+        assert result.total_io_time == pytest.approx(spec.isolated_io_time, rel=1e-6)
+        assert result.stretch == pytest.approx(1.0, rel=1e-6)
+        assert result.io_slowdown == pytest.approx(1.0, rel=1e-6)
+
+    def test_contention_slows_io_with_fair_share(self):
+        fs = SharedFileSystem(capacity=1e9)
+        # Two identical jobs that always overlap: each gets half the bandwidth.
+        jobs = [
+            make_spec(name="a", period=100.0, io_fraction=0.5, iterations=2, bandwidth=1e9),
+            make_spec(name="b", period=100.0, io_fraction=0.5, iterations=2, bandwidth=1e9),
+        ]
+        result = ClusterSimulator(fs, FairShareScheduler(), jobs).run()
+        for job in result.jobs:
+            assert job.io_slowdown > 1.5
+            assert job.makespan > job.spec.isolated_makespan
+
+    def test_exclusive_scheduler_serializes(self):
+        fs = SharedFileSystem(capacity=1e9)
+        jobs = [
+            make_spec(name="a", period=10.0, io_fraction=0.5, iterations=1, bandwidth=1e9),
+            make_spec(name="b", period=10.0, io_fraction=0.5, iterations=1, bandwidth=1e9),
+        ]
+        result = ClusterSimulator(fs, ExclusiveFcfsScheduler(), jobs).run()
+        # One of the two jobs waits for the other's 5 s I/O phase.
+        makespans = sorted(j.makespan for j in result.jobs)
+        assert makespans[0] == pytest.approx(10.0, rel=1e-6)
+        assert makespans[1] == pytest.approx(15.0, rel=1e-6)
+
+    def test_phase_observer_called(self):
+        fs = SharedFileSystem(capacity=1e9)
+        seen = []
+        sim = ClusterSimulator(
+            fs,
+            FairShareScheduler(),
+            [make_spec(name="a", iterations=3)],
+            phase_observers=[lambda job, record, time: seen.append((job.name, record.iteration))],
+        )
+        sim.run()
+        assert seen == [("a", 0), ("a", 1), ("a", 2)]
+
+    def test_start_time_offsets_release(self):
+        fs = SharedFileSystem(capacity=1e9)
+        spec = make_spec(name="late", iterations=1, start=50.0)
+        result = ClusterSimulator(fs, FairShareScheduler(), [spec]).run()
+        job = result.job("late")
+        assert result.end_time == pytest.approx(50.0 + spec.isolated_makespan, rel=1e-6)
+        assert job.makespan == pytest.approx(spec.isolated_makespan, rel=1e-6)
+
+    def test_duplicate_names_rejected(self):
+        fs = SharedFileSystem(capacity=1e9)
+        with pytest.raises(SchedulingError):
+            ClusterSimulator(fs, FairShareScheduler(), [make_spec(name="x"), make_spec(name="x")])
+
+    def test_no_jobs_rejected(self):
+        with pytest.raises(SchedulingError):
+            ClusterSimulator(SharedFileSystem(capacity=1e9), FairShareScheduler(), [])
+
+    def test_utilization_definition(self):
+        fs = SharedFileSystem(capacity=1e9)
+        spec = make_spec(period=100.0, io_fraction=0.25, iterations=2)
+        result = ClusterSimulator(fs, FairShareScheduler(), [spec]).run()
+        assert result.utilization == pytest.approx(0.75, rel=1e-6)
+
+    def test_unknown_job_lookup(self):
+        fs = SharedFileSystem(capacity=1e9)
+        result = ClusterSimulator(fs, FairShareScheduler(), [make_spec(name="a")]).run()
+        with pytest.raises(KeyError):
+            result.job("nope")

@@ -1,0 +1,103 @@
+"""Unit tests for the characterization metrics (sigma_vol, sigma_time, R_IO, B_IO)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.characterization import (
+    characterize,
+    substantial_io_threshold,
+    time_ratio_and_bandwidth,
+)
+from repro.exceptions import AnalysisError
+from repro.trace.sampling import DiscreteSignal
+from tests.conftest import make_square_wave
+
+
+def square_signal(period=10.0, duty=0.4, n_periods=10, fs=2.0, high=1e9) -> DiscreteSignal:
+    samples = make_square_wave(period=period, duty=duty, n_periods=n_periods, fs=fs, high=high)
+    return DiscreteSignal(samples=samples, sampling_frequency=fs)
+
+
+class TestThresholdAndRatio:
+    def test_threshold_is_mean_bandwidth(self):
+        signal = square_signal(duty=0.5)
+        assert substantial_io_threshold(signal) == pytest.approx(signal.samples.mean())
+
+    def test_time_ratio_matches_duty_cycle(self):
+        signal = square_signal(duty=0.3)
+        r_io, b_io, threshold = time_ratio_and_bandwidth(signal)
+        assert r_io == pytest.approx(0.3, abs=0.05)
+        assert b_io == pytest.approx(1e9, rel=1e-6)
+        assert 0 < threshold < 1e9
+
+    def test_constant_signal_has_zero_ratio(self):
+        signal = DiscreteSignal(samples=np.full(100, 5.0), sampling_frequency=1.0)
+        r_io, b_io, _ = time_ratio_and_bandwidth(signal)
+        # Nothing exceeds the mean of a constant signal.
+        assert r_io == 0.0
+        assert b_io == 0.0
+
+
+class TestCharacterize:
+    def test_ideal_periodic_signal(self):
+        signal = square_signal(period=10.0, duty=0.4, n_periods=20)
+        result = characterize(signal, dominant_frequency=0.1)
+        assert result.sigma_vol == pytest.approx(0.0, abs=0.02)
+        assert result.sigma_time == pytest.approx(0.0, abs=0.02)
+        assert result.time_ratio == pytest.approx(0.4, abs=0.05)
+        assert result.periodicity_score > 0.95
+        assert result.io_bandwidth == pytest.approx(1e9, rel=1e-6)
+
+    def test_volume_variation_increases_sigma_vol(self):
+        fs, period = 2.0, 10.0
+        base = make_square_wave(period=period, duty=0.4, n_periods=10, fs=fs)
+        varied = base.copy()
+        # Halve the amplitude of every other period.
+        samples_per_period = int(period * fs)
+        for i in range(0, 10, 2):
+            varied[i * samples_per_period : (i + 1) * samples_per_period] *= 0.3
+        uniform = characterize(DiscreteSignal(samples=base, sampling_frequency=fs), 0.1)
+        wobbly = characterize(DiscreteSignal(samples=varied, sampling_frequency=fs), 0.1)
+        assert wobbly.sigma_vol > uniform.sigma_vol
+
+    def test_time_variation_increases_sigma_time(self):
+        fs, period = 2.0, 10.0
+        samples_per_period = int(period * fs)
+        pieces = []
+        for i in range(10):
+            duty = 0.2 if i % 2 == 0 else 0.8
+            piece = make_square_wave(period=period, duty=duty, n_periods=1, fs=fs)
+            pieces.append(piece[:samples_per_period])
+        jittery = np.concatenate(pieces)
+        steady = make_square_wave(period=period, duty=0.5, n_periods=10, fs=fs)
+        r_jittery = characterize(DiscreteSignal(samples=jittery, sampling_frequency=fs), 0.1)
+        r_steady = characterize(DiscreteSignal(samples=steady, sampling_frequency=fs), 0.1)
+        assert r_jittery.sigma_time > r_steady.sigma_time
+
+    def test_bytes_per_period(self):
+        signal = square_signal(period=10.0, duty=0.5, n_periods=10, fs=2.0, high=100.0)
+        result = characterize(signal, dominant_frequency=0.1)
+        # Each period transfers ~ 100 B/s * 5 s of substantial I/O.
+        assert result.bytes_per_period == pytest.approx(500.0, rel=0.1)
+
+    def test_period_below_resolution_rejected(self):
+        signal = square_signal(fs=1.0)
+        with pytest.raises(AnalysisError):
+            characterize(signal, dominant_frequency=10.0)
+
+    def test_signal_shorter_than_period_rejected(self):
+        signal = DiscreteSignal(samples=np.ones(5), sampling_frequency=1.0)
+        with pytest.raises(AnalysisError):
+            characterize(signal, dominant_frequency=0.01)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(Exception):
+            characterize(square_signal(), dominant_frequency=0.0)
+
+    def test_score_within_bounds(self, periodic_result):
+        characterization = periodic_result.characterization
+        assert characterization is not None
+        assert 0.0 <= characterization.periodicity_score <= 1.0
+        assert 0.0 <= characterization.time_ratio <= 1.0

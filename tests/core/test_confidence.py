@@ -1,0 +1,79 @@
+"""Unit tests for the confidence metrics (Section II-C formulas)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.confidence import (
+    candidate_confidence,
+    confidence_index_sets,
+    refined_confidence,
+)
+
+
+class TestIndexSets:
+    def test_single_outlier(self):
+        scores = np.array([0.1, 0.2, 8.0, 0.3])
+        i1, i2 = confidence_index_sets(scores)
+        assert i1.tolist() == [2]
+        assert i2.tolist() == [2]
+
+    def test_tolerance_widens_i2(self):
+        scores = np.array([0.1, 4.0, 5.0])
+        i1, i2 = confidence_index_sets(scores, tolerance=0.5)
+        assert set(i1.tolist()) == {1, 2}
+        assert set(i2.tolist()) == {1, 2}
+        _, i2_strict = confidence_index_sets(scores, tolerance=0.9)
+        assert i2_strict.tolist() == [2]
+
+    def test_no_outliers(self):
+        i1, i2 = confidence_index_sets(np.array([0.1, 0.2, 0.3]))
+        assert i1.size == 0
+        assert i2.size > 0  # tolerance set is relative to the max
+
+    def test_empty_and_flat_input(self):
+        i1, i2 = confidence_index_sets(np.zeros(0))
+        assert i1.size == 0 and i2.size == 0
+        i1, i2 = confidence_index_sets(np.zeros(5))
+        assert i1.size == 0 and i2.size == 0
+
+
+class TestCandidateConfidence:
+    def test_single_candidate_has_full_confidence(self):
+        scores = np.array([0.0, 0.1, 9.0, 0.2])
+        assert candidate_confidence(2, scores) == pytest.approx(1.0)
+
+    def test_two_equal_candidates_split_confidence(self):
+        scores = np.array([0.0, 6.0, 6.0, 0.0])
+        c1 = candidate_confidence(1, scores)
+        c2 = candidate_confidence(2, scores)
+        assert c1 == pytest.approx(0.5)
+        assert c2 == pytest.approx(0.5)
+
+    def test_matches_paper_formula(self):
+        scores = np.array([1.0, 5.0, 4.0, 3.5, 0.5])
+        # I1 = {1, 2, 3} (z >= 3); I2 with tolerance 0.8 = {1, 2} (z/zmax >= 0.8).
+        z = scores
+        expected = 0.5 * (z[1] / (z[1] + z[2] + z[3]) + z[1] / (z[1] + z[2]))
+        assert candidate_confidence(1, scores) == pytest.approx(expected)
+
+    def test_out_of_range_index(self):
+        with pytest.raises(IndexError):
+            candidate_confidence(10, np.array([1.0, 2.0]))
+
+    def test_degenerate_flat_scores(self):
+        assert candidate_confidence(0, np.zeros(4)) == pytest.approx(0.0)
+
+
+class TestRefinedConfidence:
+    def test_average_of_three(self):
+        assert refined_confidence(0.6, 0.9, 0.9) == pytest.approx(0.8)
+
+    def test_paper_example_values(self):
+        # Section II-C: (62.5 % + 99.58 % + 97.6 %) / 3 ≈ 86.5 %.
+        assert refined_confidence(0.625, 0.9958, 0.976) == pytest.approx(0.865, abs=0.005)
+
+    def test_clipping(self):
+        assert refined_confidence(1.5, 1.0, 1.0) == pytest.approx(1.0)
+        assert refined_confidence(-0.5, 0.0, 0.0) == pytest.approx(0.0)

@@ -1,0 +1,52 @@
+"""Unit tests for FtioConfig validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FtioConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestFtioConfig:
+    def test_defaults_match_paper(self):
+        config = FtioConfig()
+        assert config.sampling_frequency == pytest.approx(10.0)
+        assert config.tolerance == pytest.approx(0.8)
+        assert config.zscore_threshold == pytest.approx(3.0)
+        assert config.outlier_method == "zscore"
+        assert config.use_autocorrelation is True
+
+    def test_with_updates_returns_new_instance(self):
+        config = FtioConfig()
+        updated = config.with_updates(sampling_frequency=1.0, tolerance=0.45)
+        assert updated.sampling_frequency == 1.0
+        assert updated.tolerance == 0.45
+        assert config.sampling_frequency == 10.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sampling_frequency": 0.0},
+            {"sampling_frequency": -1.0},
+            {"tolerance": 1.5},
+            {"zscore_threshold": 0.0},
+            {"outlier_method": "nonsense"},
+            {"io_kind": "append"},
+            {"sampling_mode": "interpolate"},
+            {"window": (10.0, 5.0)},
+            {"acf_peak_threshold": 2.0},
+            {"harmonic_tolerance": 0.9},
+            {"online_window_hits": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FtioConfig(**kwargs)
+
+    def test_all_outlier_methods_accepted(self):
+        for method in ("zscore", "dbscan", "isolation_forest", "lof", "find_peaks"):
+            assert FtioConfig(outlier_method=method).outlier_method == method
+
+    def test_io_kind_none_allowed(self):
+        assert FtioConfig(io_kind=None).io_kind is None

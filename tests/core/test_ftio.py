@@ -1,0 +1,161 @@
+"""Unit and integration tests for the FTIO detection pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Ftio, FtioConfig, Periodicity, detect
+from repro.trace.sampling import DiscreteSignal
+from repro.trace.bandwidth import bandwidth_signal
+from repro.workloads.ior import ior_trace
+from repro.workloads.nek5000 import nek5000_heatmap
+from tests.conftest import make_square_wave
+
+
+class TestDetectOnTraces:
+    def test_periodic_trace_detected(self, periodic_trace, periodic_result):
+        true_period = periodic_trace.ground_truth.average_period()
+        assert periodic_result.is_periodic
+        assert periodic_result.period == pytest.approx(true_period, rel=0.1)
+        assert 0.0 < periodic_result.confidence <= 1.0
+        assert periodic_result.analysis_time >= 0.0
+
+    def test_refined_confidence_present_with_autocorrelation(self, periodic_result):
+        assert periodic_result.refined_confidence is not None
+        assert periodic_result.best_confidence == periodic_result.refined_confidence
+
+    def test_disable_autocorrelation(self, periodic_trace):
+        result = Ftio(FtioConfig(sampling_frequency=1.0, use_autocorrelation=False)).detect(
+            periodic_trace
+        )
+        assert result.autocorrelation is None
+        assert result.refined_confidence is None
+        assert result.best_confidence == result.confidence
+
+    def test_convenience_function(self, periodic_trace):
+        result = detect(periodic_trace, sampling_frequency=1.0, use_autocorrelation=False)
+        assert result.is_periodic
+
+    def test_window_restriction(self, periodic_trace):
+        full = Ftio(FtioConfig(sampling_frequency=1.0)).detect(periodic_trace)
+        half = Ftio(FtioConfig(sampling_frequency=1.0)).detect(
+            periodic_trace, window=(periodic_trace.t_start, periodic_trace.t_start + 400.0)
+        )
+        assert half.signal.n_samples < full.signal.n_samples
+
+    def test_detect_accepts_bandwidth_signal_and_discrete_signal(self, periodic_trace):
+        ftio = Ftio(FtioConfig(sampling_frequency=1.0))
+        from_trace = ftio.detect(periodic_trace)
+        from_signal = ftio.detect(bandwidth_signal(periodic_trace))
+        from_discrete = ftio.detect(from_trace.signal)
+        assert from_signal.period == pytest.approx(from_trace.period, rel=1e-6)
+        assert from_discrete.period == pytest.approx(from_trace.period, rel=1e-6)
+
+    def test_detect_accepts_heatmap(self):
+        heatmap = nek5000_heatmap(seed=0)
+        result = Ftio().detect(heatmap, window=(0.0, 56_000.0))
+        assert result.is_periodic
+        assert result.period == pytest.approx(4642.0, rel=0.1)
+
+    def test_unsupported_source_rejected(self):
+        with pytest.raises(TypeError):
+            Ftio().detect([1, 2, 3])
+
+    def test_metadata_propagated(self, periodic_result):
+        assert periodic_result.metadata["trace_metadata"]["application"] == "ior"
+        assert periodic_result.metadata["outlier_method"] == "zscore"
+
+
+class TestCandidateRules:
+    def make_signal(self, samples: np.ndarray, fs: float = 1.0) -> DiscreteSignal:
+        return DiscreteSignal(samples=samples, sampling_frequency=fs)
+
+    def test_square_wave_single_candidate(self):
+        samples = make_square_wave(period=20.0, duty=0.5, n_periods=15, fs=1.0)
+        result = Ftio(FtioConfig(sampling_frequency=1.0, use_autocorrelation=False)).analyze_signal(
+            self.make_signal(samples)
+        )
+        assert result.periodicity in (Periodicity.PERIODIC, Periodicity.PERIODIC_WITH_VARIATION)
+        assert result.period == pytest.approx(20.0, rel=0.05)
+
+    def test_harmonics_are_ignored(self):
+        # A bursty square wave has strong harmonics at integer multiples of the
+        # fundamental; they must not switch the verdict to "not periodic".
+        samples = make_square_wave(period=50.0, duty=0.1, n_periods=12, fs=1.0)
+        result = Ftio(FtioConfig(sampling_frequency=1.0, use_autocorrelation=False)).analyze_signal(
+            self.make_signal(samples)
+        )
+        assert result.is_periodic
+        assert result.period == pytest.approx(50.0, rel=0.05)
+        assert any(c.is_harmonic for c in result.candidates)
+
+    def test_white_noise_has_no_confident_period(self):
+        # White noise has no true period.  The DFT of noise can still produce a
+        # spurious outlier bin (a known property the paper's confidence metric
+        # is designed to expose), so the verdict is either "not periodic" or a
+        # low-confidence detection — never a confident period.
+        rng = np.random.default_rng(123)
+        samples = rng.random(600) * 1e6
+        result = Ftio(FtioConfig(sampling_frequency=1.0, use_autocorrelation=False)).analyze_signal(
+            self.make_signal(samples)
+        )
+        if result.periodicity is Periodicity.NOT_PERIODIC:
+            assert result.dominant_frequency is None
+            assert result.period is None
+        else:
+            assert result.confidence < 0.6
+
+    def test_flat_signal_is_not_periodic(self):
+        samples = np.full(400, 2.5e6)
+        result = Ftio(FtioConfig(sampling_frequency=1.0, use_autocorrelation=False)).analyze_signal(
+            self.make_signal(samples)
+        )
+        assert result.periodicity is Periodicity.NOT_PERIODIC
+        assert result.dominant_frequency is None
+
+    def test_two_close_frequencies_periodic_with_variation(self):
+        fs, n = 1.0, 600
+        t = np.arange(n) / fs
+        samples = (
+            1e6
+            + 5e5 * np.cos(2 * np.pi * 0.05 * t)
+            + 4.9e5 * np.cos(2 * np.pi * 0.06 * t)
+        )
+        result = Ftio(FtioConfig(sampling_frequency=fs, use_autocorrelation=False)).analyze_signal(
+            self.make_signal(samples)
+        )
+        assert result.periodicity is Periodicity.PERIODIC_WITH_VARIATION
+        assert len(result.active_candidates()) == 2
+        # The dominant one is the candidate with the larger power.
+        assert result.dominant_frequency == pytest.approx(0.05, abs=0.005)
+
+    def test_summary_strings(self, periodic_result):
+        text = periodic_result.summary()
+        assert "period" in text
+        flat = Ftio(FtioConfig(sampling_frequency=1.0, use_autocorrelation=False)).analyze_signal(
+            self.make_signal(np.full(300, 1e6))
+        )
+        assert "not periodic" in flat.summary()
+
+
+class TestSkipFirstPhase:
+    def test_skip_first_phase_drops_leading_burst(self):
+        trace = ior_trace(ranks=4, iterations=6, compute_time=50.0, seed=3)
+        config = FtioConfig(sampling_frequency=1.0, skip_first_phase=True, use_autocorrelation=False)
+        skipped = Ftio(config).detect(trace)
+        full = Ftio(config.with_updates(skip_first_phase=False)).detect(trace)
+        assert skipped.signal.n_samples < full.signal.n_samples
+        assert skipped.is_periodic
+
+    def test_all_outlier_methods_agree_on_clean_signal(self, periodic_trace):
+        periods = {}
+        for method in ("zscore", "dbscan", "find_peaks", "lof"):
+            config = FtioConfig(
+                sampling_frequency=1.0, outlier_method=method, use_autocorrelation=False
+            )
+            result = Ftio(config).detect(periodic_trace)
+            assert result.is_periodic, f"{method} failed to detect the period"
+            periods[method] = result.period
+        values = list(periods.values())
+        assert max(values) - min(values) < 0.1 * values[0]

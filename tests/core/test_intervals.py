@@ -1,0 +1,83 @@
+"""Unit tests for frequency-interval merging (online prediction enhancement 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.intervals import (
+    FrequencyInterval,
+    merge_predictions,
+    most_probable_interval,
+    resolution_eps,
+)
+
+
+class TestFrequencyInterval:
+    def test_center_and_period_range(self):
+        interval = FrequencyInterval(low=0.1, high=0.2, probability=0.5, count=2)
+        assert interval.center == pytest.approx(0.15)
+        low_p, high_p = interval.period_range
+        assert low_p == pytest.approx(5.0)
+        assert high_p == pytest.approx(10.0)
+
+    def test_contains(self):
+        interval = FrequencyInterval(low=0.1, high=0.2, probability=1.0, count=1)
+        assert interval.contains(0.15)
+        assert not interval.contains(0.25)
+        assert interval.contains(0.25, slack=0.1)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            FrequencyInterval(low=0.2, high=0.1, probability=1.0, count=1)
+
+
+class TestResolutionEps:
+    def test_identical_windows_use_resolution(self):
+        assert resolution_eps([100.0, 100.0]) == pytest.approx(0.01)
+
+    def test_different_windows_use_spread(self):
+        eps = resolution_eps([50.0, 200.0])
+        assert eps == pytest.approx(1 / 50 - 1 / 200)
+
+    def test_empty_windows(self):
+        assert resolution_eps([]) > 0
+
+
+class TestMergePredictions:
+    def test_close_predictions_merge_into_one_interval(self):
+        freqs = [0.100, 0.101, 0.102, 0.099]
+        intervals = merge_predictions(freqs, [100.0] * 4)
+        assert len(intervals) == 1
+        assert intervals[0].probability == pytest.approx(1.0)
+        assert intervals[0].count == 4
+        assert intervals[0].low <= 0.099 and intervals[0].high >= 0.102
+
+    def test_two_groups_split_probability(self):
+        freqs = [0.1, 0.1, 0.1, 0.5]
+        intervals = merge_predictions(freqs, [100.0] * 4, eps=0.05)
+        assert len(intervals) == 2
+        assert intervals[0].probability == pytest.approx(0.75)
+        assert intervals[1].probability == pytest.approx(0.25)
+        assert sum(i.probability for i in intervals) == pytest.approx(1.0)
+
+    def test_most_probable_interval(self):
+        freqs = [0.1, 0.1, 0.5]
+        intervals = merge_predictions(freqs, [100.0] * 3, eps=0.05)
+        best = most_probable_interval(intervals)
+        assert best is not None
+        assert best.contains(0.1)
+
+    def test_empty_input(self):
+        assert merge_predictions([], []) == []
+        assert most_probable_interval([]) is None
+
+    def test_none_predictions_are_dropped(self):
+        intervals = merge_predictions([0.1, None, 0.1], [100.0, 100.0, 100.0])
+        assert len(intervals) == 1
+        assert intervals[0].count == 2
+
+    def test_noise_points_become_singletons(self):
+        freqs = [0.1, 0.100001, 3.0]
+        intervals = merge_predictions(freqs, [1000.0] * 3, eps=0.01, min_samples=2)
+        probabilities = sorted(i.probability for i in intervals)
+        assert probabilities == pytest.approx([1 / 3, 2 / 3])

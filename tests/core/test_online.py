@@ -1,0 +1,108 @@
+"""Unit and integration tests for the online prediction mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FtioConfig, OnlinePredictor
+from repro.core.online import predict_from_file, predict_from_flushes, replay_online
+from repro.exceptions import AnalysisError
+from repro.trace import jsonl
+from repro.trace.trace import Trace
+from repro.workloads.hacc import hacc_flush_times, hacc_io_trace
+from repro.workloads.ior import ior_trace
+
+
+@pytest.fixture(scope="module")
+def hacc_trace():
+    return hacc_io_trace(ranks=16, loops=10, period=8.0, first_phase_delay=6.0, seed=4)
+
+
+@pytest.fixture(scope="module")
+def online_config():
+    return FtioConfig(sampling_frequency=10.0, use_autocorrelation=False, compute_characterization=False)
+
+
+class TestOnlinePredictor:
+    def test_step_on_empty_trace_rejected(self, online_config):
+        predictor = OnlinePredictor(config=online_config)
+        with pytest.raises(AnalysisError):
+            predictor.step(Trace.empty())
+
+    def test_history_grows_and_latest_returns_last(self, hacc_trace, online_config):
+        predictor = OnlinePredictor(config=online_config)
+        flush_times = hacc_flush_times(hacc_trace)[:4]
+        for t in flush_times:
+            predictor.step(hacc_trace.window(hacc_trace.t_start, t), now=t)
+        assert len(predictor.history) == 4
+        assert predictor.latest() is predictor.history[-1]
+        assert predictor.latest().index == 3
+
+    def test_predictions_converge_to_true_period(self, hacc_trace, online_config):
+        steps = replay_online(hacc_trace, hacc_flush_times(hacc_trace), config=online_config)
+        periods = [s.period for s in steps if s.period is not None]
+        assert len(periods) >= 3
+        true_period = hacc_trace.ground_truth.average_period()
+        # The last prediction should be close to the ground truth (Figure 15).
+        assert periods[-1] == pytest.approx(true_period, rel=0.2)
+
+    def test_adaptive_window_shrinks(self, hacc_trace, online_config):
+        steps = replay_online(
+            hacc_trace, hacc_flush_times(hacc_trace), config=online_config, adaptive_window=True
+        )
+        # After `online_window_hits` consecutive detections the window stops
+        # growing with the trace: its length is bounded by hits * period.
+        later = [s for s in steps[4:] if s.period is not None]
+        assert later, "expected predictions after the warm-up"
+        hits = online_config.online_window_hits
+        for step in later:
+            assert step.window_length <= (hits + 1.5) * step.period
+
+    def test_non_adaptive_window_keeps_growing(self, hacc_trace, online_config):
+        steps = replay_online(
+            hacc_trace, hacc_flush_times(hacc_trace), config=online_config, adaptive_window=False
+        )
+        lengths = [s.window_length for s in steps]
+        assert lengths == sorted(lengths)
+
+    def test_merged_intervals_cover_true_frequency(self, hacc_trace, online_config):
+        predictor = OnlinePredictor(config=online_config)
+        for t in hacc_flush_times(hacc_trace):
+            visible = hacc_trace.window(hacc_trace.t_start, t)
+            if visible.is_empty:
+                continue
+            predictor.step(visible, now=t)
+        intervals = predictor.merged_intervals()
+        assert intervals
+        true_freq = 1.0 / hacc_trace.ground_truth.average_period()
+        best = intervals[0]
+        assert best.probability >= 0.5
+        assert best.contains(true_freq, slack=0.05)
+
+    def test_latest_period_skips_failed_steps(self, online_config):
+        trace = ior_trace(ranks=4, iterations=6, compute_time=50.0, seed=9)
+        predictor = OnlinePredictor(config=FtioConfig(sampling_frequency=1.0, use_autocorrelation=False))
+        # First step sees only a sliver of data: typically no detection.
+        early_end = trace.t_start + 30.0
+        early = trace.window(trace.t_start, early_end)
+        if not early.is_empty:
+            predictor.step(early, now=early_end)
+        predictor.step(trace, now=trace.t_end)
+        assert predictor.latest_period() is not None
+
+
+class TestReplayHelpers:
+    def test_predict_from_flushes(self, hacc_trace, online_config, tmp_path):
+        path = tmp_path / "hacc.jsonl"
+        jsonl.write_trace(hacc_trace, path, requests_per_flush=max(len(hacc_trace) // 10, 1))
+        flushes = list(jsonl.iter_flushes(path))
+        steps = predict_from_flushes(flushes, config=online_config)
+        assert len(steps) >= 5
+        assert any(s.period is not None for s in steps)
+
+    def test_predict_from_file(self, hacc_trace, online_config, tmp_path):
+        path = tmp_path / "hacc.jsonl"
+        jsonl.write_trace(hacc_trace, path, requests_per_flush=max(len(hacc_trace) // 6, 1))
+        steps = predict_from_file(path, config=online_config)
+        assert steps
+        assert steps[-1].period is not None

@@ -1,0 +1,93 @@
+"""Unit tests for the DFT helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InsufficientSamplesError
+from repro.freq.dft import cosine_wave, dft, reconstruct
+
+
+def cosine_signal(freq: float, fs: float, n: int, amplitude: float = 2.0, offset: float = 5.0):
+    t = np.arange(n) / fs
+    return offset + amplitude * np.cos(2 * np.pi * freq * t)
+
+
+class TestDft:
+    def test_peak_at_known_frequency(self):
+        fs, n, freq = 10.0, 1000, 0.5
+        result = dft(cosine_signal(freq, fs, n), fs)
+        # Skip the DC bin when looking for the peak.
+        peak_bin = int(np.argmax(result.amplitudes[1:])) + 1
+        assert result.frequencies[peak_bin] == pytest.approx(freq, abs=result.frequency_resolution)
+
+    def test_dc_offset_equals_signal_mean(self):
+        fs, n = 4.0, 256
+        signal = cosine_signal(0.25, fs, n, offset=7.5)
+        result = dft(signal, fs)
+        assert result.dc_offset == pytest.approx(signal.mean(), rel=1e-9)
+
+    def test_frequency_resolution(self):
+        result = dft(np.ones(100), 10.0)
+        assert result.frequency_resolution == pytest.approx(0.1)
+        assert result.n_bins == 51
+
+    def test_period_of_bin(self):
+        result = dft(np.ones(100), 10.0)
+        assert result.period_of_bin(1) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            result.period_of_bin(0)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(InsufficientSamplesError):
+            dft([1.0, 2.0], 1.0)
+
+    def test_multidimensional_rejected(self):
+        with pytest.raises(ValueError):
+            dft(np.ones((4, 4)), 1.0)
+
+
+class TestReconstruct:
+    def test_full_reconstruction_matches_original(self):
+        rng = np.random.default_rng(0)
+        signal = rng.random(128) * 1e6
+        result = dft(signal, 2.0)
+        rebuilt = reconstruct(result)
+        assert np.allclose(rebuilt, signal, rtol=1e-8, atol=1e-3)
+
+    def test_full_reconstruction_odd_length(self):
+        rng = np.random.default_rng(1)
+        signal = rng.random(129)
+        rebuilt = reconstruct(dft(signal, 1.0))
+        assert np.allclose(rebuilt, signal, rtol=1e-8, atol=1e-9)
+
+    def test_single_bin_reconstruction_is_cosine(self):
+        fs, n, freq = 8.0, 512, 1.0
+        signal = cosine_signal(freq, fs, n, amplitude=3.0, offset=2.0)
+        result = dft(signal, fs)
+        k = int(round(freq / result.frequency_resolution))
+        wave = cosine_wave(result, k)
+        # The single dominant cosine plus DC reproduces the signal closely.
+        assert np.allclose(wave, signal, atol=1e-6)
+
+    def test_cosine_wave_without_dc(self):
+        fs, n, freq = 8.0, 512, 1.0
+        result = dft(cosine_signal(freq, fs, n, amplitude=3.0, offset=2.0), fs)
+        k = int(round(freq / result.frequency_resolution))
+        wave = cosine_wave(result, k, include_dc=False)
+        assert wave.mean() == pytest.approx(0.0, abs=1e-9)
+
+    def test_cosine_wave_invalid_bin(self):
+        result = dft(np.ones(16), 1.0)
+        with pytest.raises(ValueError):
+            cosine_wave(result, 0)
+        with pytest.raises(ValueError):
+            cosine_wave(result, result.n_bins)
+
+    def test_reconstruct_custom_length(self):
+        result = dft(cosine_signal(1.0, 8.0, 64), 8.0)
+        rebuilt = reconstruct(result, n_samples=32)
+        assert len(rebuilt) == 32
+        with pytest.raises(ValueError):
+            reconstruct(result, n_samples=0)

@@ -1,0 +1,156 @@
+"""Unit tests for the outlier-detection methods."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.freq.outliers import (
+    DETECTOR_REGISTRY,
+    DbscanDetector,
+    FindPeaksDetector,
+    IsolationForestDetector,
+    LocalOutlierFactorDetector,
+    ZScoreDetector,
+    dbscan_labels,
+    make_detector,
+)
+from repro.freq.outliers.dbscan import NOISE
+from repro.freq.outliers.lof import local_outlier_factors
+
+
+def spectrum_with_outlier(n: int = 200, outlier_value: float = 50.0, index: int = 42):
+    """A noisy flat power spectrum with one huge bin."""
+    rng = np.random.default_rng(1)
+    power = rng.random(n)
+    power[index] = outlier_value
+    return power, index
+
+
+class TestZScore:
+    def test_detects_single_outlier(self):
+        power, index = spectrum_with_outlier()
+        result = ZScoreDetector().detect(power)
+        assert result.is_outlier[index]
+        assert result.n_outliers == 1
+        assert result.outlier_indices().tolist() == [index]
+
+    def test_flat_spectrum_has_no_outliers(self):
+        result = ZScoreDetector().detect(np.full(100, 3.0))
+        assert result.n_outliers == 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(Exception):
+            ZScoreDetector(threshold=0.0)
+
+    def test_scores_match_zscore_definition(self):
+        power = np.array([1.0, 1.0, 1.0, 10.0])
+        result = ZScoreDetector().detect(power)
+        expected = (np.abs(power) - abs(power.mean())) / power.std()
+        assert np.allclose(result.scores, expected)
+
+
+class TestDbscan:
+    def test_labels_cluster_and_noise(self):
+        points = np.array([0.0, 0.1, 0.2, 0.15, 10.0])
+        labels = dbscan_labels(points, eps=0.5, min_samples=2)
+        assert labels[-1] == NOISE
+        assert len(set(labels[:-1])) == 1
+        assert labels[0] != NOISE
+
+    def test_two_clusters(self):
+        points = np.concatenate([np.linspace(0, 1, 10), np.linspace(100, 101, 10)])
+        labels = dbscan_labels(points, eps=0.5, min_samples=3)
+        assert set(labels) == {0, 1}
+
+    def test_2d_points(self):
+        pts = np.array([[0, 0], [0.1, 0.1], [0.2, 0], [5, 5]])
+        labels = dbscan_labels(pts, eps=0.5, min_samples=2)
+        assert labels[3] == NOISE
+
+    def test_empty_input(self):
+        assert dbscan_labels(np.zeros(0), eps=1.0, min_samples=2).size == 0
+
+    def test_detector_flags_high_power_noise_points(self):
+        power, index = spectrum_with_outlier()
+        result = DbscanDetector().detect(power)
+        assert result.is_outlier[index]
+
+    def test_detector_empty_input(self):
+        result = DbscanDetector().detect(np.zeros(0))
+        assert result.n_outliers == 0
+
+
+class TestIsolationForest:
+    def test_detects_outlier(self):
+        power, index = spectrum_with_outlier()
+        result = IsolationForestDetector(n_trees=30, seed=3).detect(power)
+        assert result.is_outlier[index]
+        assert 0.0 <= result.scores.min() and result.scores.max() <= 1.0
+
+    def test_outlier_scores_highest_at_anomaly(self):
+        power, index = spectrum_with_outlier()
+        detector = IsolationForestDetector(n_trees=30, seed=3)
+        scores = detector.anomaly_scores(power)
+        assert int(np.argmax(scores)) == index
+
+    def test_deterministic_with_seed(self):
+        power, _ = spectrum_with_outlier()
+        a = IsolationForestDetector(seed=5).detect(power)
+        b = IsolationForestDetector(seed=5).detect(power)
+        assert np.allclose(a.scores, b.scores)
+
+
+class TestLocalOutlierFactor:
+    def test_lof_of_uniform_data_near_one(self):
+        values = np.linspace(0, 1, 50)
+        lof = local_outlier_factors(values, k=5)
+        assert np.all(lof[1:-1] < 1.5)
+
+    def test_detects_outlier(self):
+        power, index = spectrum_with_outlier()
+        result = LocalOutlierFactorDetector(n_neighbors=10).detect(power)
+        assert result.is_outlier[index]
+
+    def test_constant_input(self):
+        lof = local_outlier_factors(np.full(20, 2.0), k=3)
+        assert np.allclose(lof, 1.0)
+
+    def test_empty_input(self):
+        result = LocalOutlierFactorDetector().detect(np.zeros(0))
+        assert result.n_outliers == 0
+
+
+class TestFindPeaks:
+    def test_detects_dominant_peak(self):
+        power, index = spectrum_with_outlier()
+        result = FindPeaksDetector(prominence_ratio=0.5).detect(power)
+        assert result.is_outlier[index]
+
+    def test_flat_spectrum(self):
+        result = FindPeaksDetector().detect(np.zeros(50))
+        assert result.n_outliers == 0
+
+    def test_prominence_ratio_validation(self):
+        with pytest.raises(Exception):
+            FindPeaksDetector(prominence_ratio=1.5)
+
+
+class TestRegistry:
+    def test_all_registered_detectors_run(self):
+        power, index = spectrum_with_outlier()
+        for name in DETECTOR_REGISTRY:
+            detector = make_detector(name)
+            result = detector.detect(power)
+            assert result.method == name
+            assert len(result.scores) == len(power)
+            # Every method should flag the blatant outlier.
+            assert result.is_outlier[index], f"{name} missed the outlier"
+
+    def test_unknown_detector_rejected(self):
+        with pytest.raises(ValueError):
+            make_detector("does-not-exist")
+
+    def test_mismatched_frequencies_rejected(self):
+        with pytest.raises(ValueError):
+            ZScoreDetector().detect(np.ones(10), np.ones(5))

@@ -1,0 +1,76 @@
+"""Unit tests for the power spectrum."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.freq.dft import dft
+from repro.freq.spectrum import power_spectrum, power_spectrum_from_dft
+
+
+class TestPowerSpectrum:
+    def test_power_definition(self):
+        signal = np.cos(2 * np.pi * 0.1 * np.arange(100))
+        result = dft(signal, 1.0)
+        spectrum = power_spectrum_from_dft(result)
+        assert np.allclose(spectrum.power, np.abs(result.coefficients) ** 2 / result.n_samples)
+
+    def test_normalized_power_sums_to_one(self):
+        rng = np.random.default_rng(3)
+        spectrum = power_spectrum(rng.random(200), 2.0)
+        assert spectrum.normalized_power.sum() == pytest.approx(1.0)
+
+    def test_dominant_contribution_of_pure_cosine(self):
+        fs, n, freq = 10.0, 1000, 1.0
+        t = np.arange(n) / fs
+        spectrum = power_spectrum(5.0 + np.cos(2 * np.pi * freq * t), fs)
+        top = spectrum.top_bins(1)[0]
+        assert spectrum.frequencies[top] == pytest.approx(freq, abs=spectrum.frequency_resolution)
+        assert spectrum.contribution(top) > 0.95
+
+    def test_dc_power_excluded_from_analysis(self):
+        spectrum = power_spectrum(np.full(64, 3.0), 1.0)
+        assert spectrum.dc_power > 0
+        assert spectrum.total_power == pytest.approx(0.0, abs=1e-12)
+        assert np.allclose(spectrum.normalized_power, 0.0)
+
+    def test_max_frequency_is_nyquist(self):
+        spectrum = power_spectrum(np.ones(100), 10.0)
+        assert spectrum.max_frequency == pytest.approx(5.0)
+
+    def test_period_of_bin_and_bounds(self):
+        spectrum = power_spectrum(np.arange(50, dtype=float), 1.0)
+        assert spectrum.period_of_bin(1) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            spectrum.period_of_bin(0)
+        with pytest.raises(ValueError):
+            spectrum.contribution(spectrum.n_bins)
+
+    def test_top_bins_ordering(self):
+        fs, n = 10.0, 500
+        t = np.arange(n) / fs
+        signal = 3.0 * np.cos(2 * np.pi * 1.0 * t) + 1.0 * np.cos(2 * np.pi * 2.0 * t)
+        spectrum = power_spectrum(signal, fs)
+        top2 = spectrum.top_bins(2)
+        assert spectrum.frequencies[top2[0]] == pytest.approx(1.0, abs=0.05)
+        assert spectrum.frequencies[top2[1]] == pytest.approx(2.0, abs=0.05)
+        assert spectrum.top_bins(0) == []
+
+    def test_parseval_theorem(self):
+        """Sum of DFT powers equals the time-domain energy (Parseval)."""
+        rng = np.random.default_rng(7)
+        signal = rng.random(256)
+        result = dft(signal, 1.0)
+        # Rebuild the full two-sided power from the single-sided coefficients.
+        full = np.fft.fft(signal)
+        lhs = float(np.sum(np.abs(full) ** 2) / len(signal))
+        rhs = float(np.sum(signal**2))
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+        # The single-sided spectrum's DC + doubled positive bins match too.
+        spectrum = power_spectrum_from_dft(result)
+        doubled = spectrum.power.copy()
+        doubled[1:] *= 2.0
+        if len(signal) % 2 == 0:
+            doubled[-1] /= 2.0
+        assert float(doubled.sum()) == pytest.approx(rhs, rel=1e-9)

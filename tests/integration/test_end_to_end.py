@@ -1,0 +1,103 @@
+"""End-to-end integration tests: tracer → file → FTIO → scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Ftio, FtioConfig
+from repro.core.online import predict_from_file
+from repro.trace import jsonl, msgpack
+from repro.trace.darshan import heatmap_from_trace, read_heatmap, write_heatmap
+from repro.trace.recorder import read_recorder_directory, write_recorder_directory
+from repro.tracer.tmio import TmioTracer, TracerMode
+from repro.workloads.hacc import hacc_flush_times, hacc_io_trace
+from repro.workloads.ior import ior_trace
+
+
+@pytest.fixture(scope="module")
+def ior():
+    return ior_trace(ranks=8, iterations=8, compute_time=90.0, seed=21)
+
+
+@pytest.fixture(scope="module")
+def detection_config():
+    return FtioConfig(sampling_frequency=1.0, use_autocorrelation=True)
+
+
+class TestOfflinePipeline:
+    def test_tracer_to_jsonl_to_detection(self, ior, detection_config, tmp_path):
+        """Simulated application + TMIO offline mode + FTIO detection."""
+        path = tmp_path / "app.jsonl"
+        tracer = TmioTracer(mode=TracerMode.OFFLINE, path=path, metadata=dict(ior.metadata))
+        for request in ior:
+            tracer.record(request)
+        tracer.finalize()
+
+        restored = jsonl.read_trace(path)
+        assert restored.volume == ior.volume
+
+        result = Ftio(detection_config).detect(restored)
+        true_period = ior.ground_truth.average_period()
+        assert result.is_periodic
+        assert result.period == pytest.approx(true_period, rel=0.1)
+
+    def test_all_formats_give_identical_periods(self, ior, detection_config, tmp_path):
+        """JSONL, MessagePack, Recorder and Darshan inputs agree on the period."""
+        ftio = Ftio(detection_config)
+        reference = ftio.detect(ior).period
+
+        jsonl_path = tmp_path / "trace.jsonl"
+        jsonl.write_trace(ior, jsonl_path)
+        assert ftio.detect(jsonl.read_trace(jsonl_path)).period == pytest.approx(reference, rel=1e-6)
+
+        msgpack_path = tmp_path / "trace.msgpack"
+        msgpack.write_trace(ior, msgpack_path)
+        assert ftio.detect(msgpack.read_trace(msgpack_path)).period == pytest.approx(
+            reference, rel=1e-6
+        )
+
+        recorder_dir = write_recorder_directory(ior, tmp_path / "recorder")
+        assert ftio.detect(read_recorder_directory(recorder_dir)).period == pytest.approx(
+            reference, rel=1e-6
+        )
+
+        heatmap_path = tmp_path / "darshan.json"
+        write_heatmap(heatmap_from_trace(ior, bin_width=1.0), heatmap_path)
+        heatmap_period = ftio.detect(read_heatmap(heatmap_path)).period
+        assert heatmap_period == pytest.approx(reference, rel=0.05)
+
+
+class TestOnlinePipeline:
+    def test_online_flushes_to_prediction(self, tmp_path):
+        """Simulated HACC-IO loop flushing after every phase, FTIO predicting online."""
+        trace = hacc_io_trace(ranks=16, loops=10, period=8.0, first_phase_delay=6.0, seed=22)
+        path = tmp_path / "hacc.jsonl"
+        tracer = TmioTracer(mode=TracerMode.ONLINE, path=path, metadata={"app": "hacc-io"})
+
+        flush_times = hacc_flush_times(trace)
+        requests = sorted(trace.requests(), key=lambda r: r.end)
+        cursor = 0
+        for flush_time in flush_times:
+            while cursor < len(requests) and requests[cursor].end <= flush_time:
+                tracer.record(requests[cursor])
+                cursor += 1
+            tracer.flush(timestamp=flush_time)
+
+        config = FtioConfig(
+            sampling_frequency=10.0, use_autocorrelation=False, compute_characterization=False
+        )
+        steps = predict_from_file(path, config=config)
+        assert len(steps) == len(flush_times)
+        periods = [s.period for s in steps if s.period is not None]
+        assert periods, "online prediction never found a period"
+        true_period = trace.ground_truth.average_period()
+        assert periods[-1] == pytest.approx(true_period, rel=0.2)
+
+    def test_characterization_consistent_with_workload(self, ior, detection_config):
+        result = Ftio(detection_config).detect(ior)
+        characterization = result.characterization
+        assert characterization is not None
+        # The IOR job spends roughly io_phase_duration / period of its time on I/O.
+        expected_ratio = 10.0 / ior.ground_truth.average_period()
+        assert characterization.time_ratio == pytest.approx(expected_ratio, rel=0.5)
+        assert characterization.periodicity_score > 0.5

@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.characterization import characterize
+from repro.exceptions import AnalysisError
+from repro.freq.autocorr import autocorrelation
+from repro.freq.dft import dft, reconstruct
+from repro.freq.spectrum import power_spectrum
+from repro.trace import msgpack
+from repro.trace.bandwidth import bandwidth_signal
+from repro.trace.record import IOKind, IORequest
+from repro.trace.sampling import DiscreteSignal, discretize_trace
+from repro.trace.trace import Trace, merge_traces
+
+# ----------------------------------------------------------------------- #
+# strategies
+# ----------------------------------------------------------------------- #
+# Draw (rank, start, duration, nbytes, kind) and build the request from it so
+# the end >= start invariant holds by construction.
+request_strategy = st.tuples(
+    st.integers(min_value=0, max_value=7),
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False),
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False),
+    st.integers(min_value=0, max_value=10**9),
+    st.sampled_from([IOKind.WRITE, IOKind.READ]),
+).map(
+    lambda t: IORequest(rank=t[0], start=t[1], end=t[1] + t[2], nbytes=t[3], kind=t[4])
+)
+
+requests_strategy = st.lists(request_strategy, min_size=1, max_size=30)
+
+signal_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False),
+    min_size=8,
+    max_size=256,
+).map(lambda xs: np.asarray(xs))
+
+msgpack_value = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**62), max_value=2**62)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=40)
+    | st.binary(max_size=40),
+    lambda children: st.lists(children, max_size=6)
+    | st.dictionaries(st.text(max_size=10), children, max_size=6),
+    max_leaves=20,
+)
+
+
+# ----------------------------------------------------------------------- #
+# trace invariants
+# ----------------------------------------------------------------------- #
+class TestTraceProperties:
+    @given(requests=requests_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_volume_is_sum_of_requests(self, requests):
+        trace = Trace.from_requests(requests)
+        assert trace.volume == sum(r.nbytes for r in requests)
+        assert len(trace) == len(requests)
+
+    @given(requests=requests_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_starts_are_sorted(self, requests):
+        trace = Trace.from_requests(requests)
+        assert np.all(np.diff(trace.starts) >= 0)
+
+    @given(requests=requests_strategy, offset=st.floats(min_value=0.0, max_value=1e4))
+    @settings(max_examples=30, deadline=None)
+    def test_shift_preserves_volume_and_duration(self, requests, offset):
+        trace = Trace.from_requests(requests)
+        moved = trace.shifted(offset)
+        assert moved.volume == trace.volume
+        assert moved.duration == pytest.approx(trace.duration, rel=1e-9, abs=1e-9)
+
+    @given(requests=requests_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_kind_partition_is_complete(self, requests):
+        trace = Trace.from_requests(requests)
+        writes = trace.filter_kind(IOKind.WRITE)
+        reads = trace.filter_kind(IOKind.READ)
+        assert len(writes) + len(reads) == len(trace)
+        assert writes.volume + reads.volume == trace.volume
+
+    @given(requests=requests_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_with_empty_is_identity(self, requests):
+        trace = Trace.from_requests(requests)
+        merged = merge_traces([trace, Trace.empty()])
+        assert len(merged) == len(trace)
+        assert merged.volume == trace.volume
+
+
+class TestBandwidthProperties:
+    @given(requests=requests_strategy)
+    @settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.filter_too_much])
+    def test_bandwidth_signal_conserves_volume(self, requests):
+        trace = Trace.from_requests(requests)
+        writes = trace.filter_kind(IOKind.WRITE)
+        if writes.is_empty or writes.volume == 0:
+            return
+        signal = bandwidth_signal(trace)
+        # Instantaneous requests produce extreme rates that can cost a few
+        # bytes to floating-point cancellation; conservation holds to 0.01 %.
+        assert signal.volume() == pytest.approx(writes.volume, rel=1e-4)
+        assert np.all(signal.values >= 0)
+
+    @given(requests=requests_strategy, fs=st.sampled_from([0.5, 1.0, 4.0]))
+    @settings(max_examples=30, deadline=None)
+    def test_bin_sampling_conserves_volume(self, requests, fs):
+        trace = Trace.from_requests(requests)
+        writes = trace.filter_kind(IOKind.WRITE)
+        if writes.is_empty or writes.volume == 0 or writes.duration < 4.0 / fs:
+            return
+        discrete = discretize_trace(trace, fs, mode="bin")
+        assert discrete.volume() == pytest.approx(writes.volume, rel=1e-4)
+        assert discrete.abstraction_error == pytest.approx(0.0, abs=1e-4)
+
+
+# ----------------------------------------------------------------------- #
+# spectral invariants
+# ----------------------------------------------------------------------- #
+class TestSpectralProperties:
+    @given(samples=signal_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_dft_idft_round_trip(self, samples):
+        result = dft(samples, 1.0)
+        rebuilt = reconstruct(result)
+        assert np.allclose(rebuilt, samples, rtol=1e-6, atol=1e-3)
+
+    @given(samples=signal_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_normalized_power_is_a_distribution(self, samples):
+        spectrum = power_spectrum(samples, 1.0)
+        normalized = spectrum.normalized_power
+        assert np.all(normalized >= -1e-12)
+        total = normalized.sum()
+        assert total == pytest.approx(1.0) or total == pytest.approx(0.0)
+
+    @given(samples=signal_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_autocorrelation_bounded_and_unit_at_zero(self, samples):
+        acf = autocorrelation(samples)
+        assert acf[0] == pytest.approx(1.0)
+        assert np.all(acf <= 1.0 + 1e-6)
+        assert np.all(acf >= -1.0 - 1e-6)
+
+    @given(
+        samples=signal_strategy,
+        frequency=st.floats(min_value=0.02, max_value=0.45),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_characterization_metrics_in_domain(self, samples, frequency):
+        signal = DiscreteSignal(samples=samples, sampling_frequency=1.0)
+        try:
+            result = characterize(signal, frequency)
+        except AnalysisError:
+            return
+        assert 0.0 <= result.time_ratio <= 1.0
+        assert result.sigma_vol >= 0.0
+        assert result.sigma_time >= 0.0
+        assert 0.0 <= result.periodicity_score <= 1.0
+
+
+# ----------------------------------------------------------------------- #
+# serialization invariants
+# ----------------------------------------------------------------------- #
+class TestMsgpackProperties:
+    @given(value=msgpack_value)
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip(self, value):
+        assert msgpack.unpackb(msgpack.packb(value)) == value

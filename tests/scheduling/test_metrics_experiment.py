@@ -1,0 +1,109 @@
+"""Unit and integration tests for the scheduling metrics and the Figure 17 experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.filesystem import SharedFileSystem
+from repro.cluster.job import JobSpec
+from repro.cluster.simulator import ClusterSimulator
+from repro.scheduling.baseline import FairShareScheduler
+from repro.scheduling.experiment import (
+    CONFIGURATIONS,
+    SchedulingExperiment,
+    WorkloadConfig,
+    summarize,
+)
+from repro.scheduling.metrics import evaluate, isolated_baselines
+
+
+class TestMetrics:
+    def test_isolated_execution_has_unit_metrics(self):
+        fs = SharedFileSystem(capacity=1e9)
+        spec = JobSpec(name="solo", period=50.0, io_fraction=0.2, iterations=3, io_bandwidth=1e9)
+        result = ClusterSimulator(fs, FairShareScheduler(), [spec]).run()
+        metrics = evaluate(result, filesystem=fs)
+        assert metrics.stretch == pytest.approx(1.0, rel=1e-6)
+        assert metrics.io_slowdown == pytest.approx(1.0, rel=1e-6)
+        assert metrics.utilization == pytest.approx(0.8, rel=1e-6)
+        assert metrics.as_row()["scheduler"] == "original"
+
+    def test_contended_execution_has_higher_metrics(self):
+        fs = SharedFileSystem(capacity=1e9)
+        jobs = [
+            JobSpec(name=f"j{i}", period=50.0, io_fraction=0.4, iterations=3, io_bandwidth=1e9)
+            for i in range(3)
+        ]
+        result = ClusterSimulator(fs, FairShareScheduler(), jobs).run()
+        baselines = isolated_baselines(jobs, fs)
+        metrics = evaluate(result, baselines)
+        assert metrics.stretch > 1.0
+        assert metrics.io_slowdown > 1.0
+
+    def test_evaluate_requires_baselines_or_filesystem(self):
+        fs = SharedFileSystem(capacity=1e9)
+        spec = JobSpec(name="solo", period=50.0, io_fraction=0.2, iterations=1, io_bandwidth=1e9)
+        result = ClusterSimulator(fs, FairShareScheduler(), [spec]).run()
+        with pytest.raises(ValueError):
+            evaluate(result)
+
+
+class TestWorkloadConfig:
+    def test_defaults_match_paper(self):
+        config = WorkloadConfig()
+        assert config.high_frequency_period == pytest.approx(19.2)
+        assert config.low_frequency_period == pytest.approx(384.0)
+        assert config.n_high == 1
+        assert config.n_low == 15
+        assert config.io_fraction == pytest.approx(0.0625)
+
+    def test_invalid_values(self):
+        with pytest.raises(Exception):
+            WorkloadConfig(io_fraction=0.0)
+        with pytest.raises(Exception):
+            WorkloadConfig(n_low=0)
+
+
+@pytest.fixture(scope="module")
+def small_experiment():
+    """A reduced Figure 17 workload that keeps the test fast."""
+    return SchedulingExperiment(
+        WorkloadConfig(n_low=5, iterations_high=20, iterations_low=2, release_jitter=10.0)
+    )
+
+
+class TestSchedulingExperiment:
+    def test_build_jobs(self, small_experiment):
+        jobs = small_experiment.build_jobs(seed=0)
+        assert len(jobs) == 6
+        names = [j.name for j in jobs]
+        assert "high-0" in names
+        periods = small_experiment.true_periods(jobs)
+        assert periods["high-0"] == pytest.approx(19.2)
+        assert periods["low-0"] == pytest.approx(384.0)
+
+    def test_unknown_configuration_rejected(self, small_experiment):
+        with pytest.raises(ValueError):
+            small_experiment.run_configuration("set10-magic", seed=0)
+
+    def test_all_configurations_run_and_rank_correctly(self, small_experiment):
+        runs = small_experiment.run(repetitions=2, seed=3)
+        assert len(runs) == 2 * len(CONFIGURATIONS)
+        summary = summarize(runs)
+        assert set(summary) == set(CONFIGURATIONS)
+        original = summary["original"]
+        ftio = summary["set10-ftio"]
+        clairvoyant = summary["set10-clairvoyant"]
+        # Figure 17 ordering: Set-10 beats the unmodified system on every metric,
+        # and the clairvoyant variant is at least as good as the FTIO-fed one.
+        assert ftio["io_slowdown"] < original["io_slowdown"]
+        assert ftio["stretch"] < original["stretch"]
+        assert ftio["utilization"] > original["utilization"]
+        assert clairvoyant["io_slowdown"] <= ftio["io_slowdown"] * 1.02
+
+    def test_repetitions_are_paired_across_configurations(self, small_experiment):
+        runs = small_experiment.run(repetitions=1, seed=5)
+        by_config = {run.configuration: run for run in runs}
+        jobs_a = [j.spec.start_time for j in by_config["original"].result.jobs]
+        jobs_b = [j.spec.start_time for j in by_config["set10-ftio"].result.jobs]
+        assert jobs_a == pytest.approx(jobs_b)

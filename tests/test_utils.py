@@ -1,0 +1,116 @@
+"""Unit tests for the shared utilities (stats, validation, rng)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import as_generator, spawn
+from repro.utils.stats import (
+    coefficient_of_variation,
+    geometric_mean,
+    safe_mean,
+    safe_std,
+    weighted_mean,
+    zscores,
+)
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestZscores:
+    def test_matches_definition(self):
+        values = np.array([1.0, 2.0, 3.0, 10.0])
+        expected = (np.abs(values) - abs(values.mean())) / values.std()
+        assert np.allclose(zscores(values), expected)
+
+    def test_constant_input_gives_zeros(self):
+        assert np.allclose(zscores(np.full(5, 3.0)), 0.0)
+
+    def test_empty_input(self):
+        assert zscores([]).size == 0
+
+
+class TestStats:
+    def test_coefficient_of_variation(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+        values = np.array([1.0, 3.0])
+        assert coefficient_of_variation(values) == pytest.approx(values.std() / 2.0)
+
+    def test_coefficient_of_variation_weighted(self):
+        values = [1.0, 100.0]
+        # All weight on the first value: no spread.
+        assert coefficient_of_variation(values, weights=[1.0, 0.0]) == pytest.approx(0.0)
+
+    def test_coefficient_of_variation_degenerate(self):
+        assert coefficient_of_variation([]) == float("inf")
+        assert coefficient_of_variation([-1.0, 1.0]) == float("inf")
+
+    def test_weighted_mean(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 3.0]) == pytest.approx(2.5)
+        assert weighted_mean([1.0, 3.0], [0.0, 0.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [1.0, 2.0])
+
+    def test_safe_mean_std(self):
+        assert safe_mean([]) == 0.0
+        assert safe_std([]) == 0.0
+        assert safe_mean([2.0, 4.0]) == pytest.approx(3.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+        with pytest.raises(ConfigurationError):
+            check_positive(0.0, "x")
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ConfigurationError):
+            check_non_negative(-0.1, "x")
+
+    def test_check_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        with pytest.raises(ConfigurationError):
+            check_probability(1.5, "p")
+
+    def test_check_in_range(self):
+        assert check_in_range(0.5, "x", low=0.0, high=1.0) == 0.5
+        with pytest.raises(ConfigurationError):
+            check_in_range(0.0, "x", low=0.0, high=1.0, inclusive=False)
+
+    def test_check_positive_int(self):
+        assert check_positive_int(3, "n") == 3
+        with pytest.raises(ConfigurationError):
+            check_positive_int(0, "n")
+        with pytest.raises(ConfigurationError):
+            check_positive_int(2.5, "n")
+
+
+class TestRng:
+    def test_as_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_generator(rng) is rng
+
+    def test_as_generator_seeded_reproducible(self):
+        assert as_generator(5).integers(0, 100) == as_generator(5).integers(0, 100)
+
+    def test_spawn_independent_streams(self):
+        children = spawn(np.random.default_rng(1), 3)
+        assert len(children) == 3
+        draws = [c.integers(0, 10**9) for c in children]
+        assert len(set(draws)) == 3
+        with pytest.raises(ValueError):
+            spawn(np.random.default_rng(1), -1)

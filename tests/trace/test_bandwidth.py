@@ -1,0 +1,113 @@
+"""Unit tests for the application-level bandwidth signal."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyTraceError
+from repro.trace.bandwidth import BandwidthSignal, bandwidth_signal, phase_boundaries
+from repro.trace.record import IORequest
+from repro.trace.trace import Trace
+
+
+def single_request_trace(nbytes: int = 1000, start: float = 0.0, end: float = 1.0) -> Trace:
+    return Trace.from_requests([IORequest(rank=0, start=start, end=end, nbytes=nbytes)])
+
+
+class TestBandwidthSignal:
+    def test_single_request_rate(self):
+        signal = bandwidth_signal(single_request_trace(nbytes=1000, start=0.0, end=2.0))
+        assert signal.t_start == pytest.approx(0.0)
+        assert signal.t_end == pytest.approx(2.0)
+        assert signal.values == pytest.approx([500.0])
+
+    def test_overlapping_requests_sum(self):
+        trace = Trace.from_requests(
+            [
+                IORequest(rank=0, start=0.0, end=2.0, nbytes=2000),
+                IORequest(rank=1, start=1.0, end=3.0, nbytes=2000),
+            ]
+        )
+        signal = bandwidth_signal(trace)
+        # Segments: [0,1) -> 1000, [1,2) -> 2000, [2,3) -> 1000.
+        assert signal.at([0.5, 1.5, 2.5]) == pytest.approx([1000.0, 2000.0, 1000.0])
+
+    def test_volume_conservation(self, periodic_trace):
+        signal = bandwidth_signal(periodic_trace)
+        assert signal.volume() == pytest.approx(periodic_trace.volume, rel=1e-9)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(EmptyTraceError):
+            bandwidth_signal(Trace.empty())
+
+    def test_kind_filter(self, simple_trace):
+        writes_only = bandwidth_signal(simple_trace, kind="write")
+        everything = bandwidth_signal(simple_trace, kind=None)
+        assert writes_only.volume() < everything.volume()
+
+    def test_at_outside_range_is_zero(self):
+        signal = bandwidth_signal(single_request_trace())
+        assert signal.at([-1.0, 10.0]) == pytest.approx([0.0, 0.0])
+
+    def test_cumulative_volume_is_monotonic(self, periodic_trace):
+        signal = bandwidth_signal(periodic_trace)
+        times = np.linspace(signal.t_start, signal.t_end, 50)
+        cumulative = signal.cumulative_volume(times)
+        assert np.all(np.diff(cumulative) >= -1e-6)
+        assert cumulative[-1] == pytest.approx(signal.volume(), rel=1e-9)
+
+    def test_restricted_window(self):
+        trace = Trace.from_requests(
+            [
+                IORequest(rank=0, start=0.0, end=1.0, nbytes=1000),
+                IORequest(rank=0, start=5.0, end=6.0, nbytes=1000),
+            ]
+        )
+        signal = bandwidth_signal(trace)
+        sub = signal.restricted(4.0, 7.0)
+        assert sub.t_start == pytest.approx(4.0)
+        assert sub.t_end == pytest.approx(6.0)
+        assert sub.volume() == pytest.approx(1000.0)
+
+    def test_mean_bandwidth(self):
+        signal = bandwidth_signal(single_request_trace(nbytes=1000, start=0.0, end=4.0))
+        assert signal.mean_bandwidth() == pytest.approx(250.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            BandwidthSignal(times=np.array([0.0, 1.0]), values=np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            BandwidthSignal(times=np.array([0.0, 0.0, 1.0]), values=np.array([1.0, 2.0]))
+
+    def test_zero_duration_request_contributes_volume(self):
+        trace = Trace.from_requests([IORequest(rank=0, start=1.0, end=1.0, nbytes=500)])
+        signal = bandwidth_signal(trace)
+        assert signal.volume() == pytest.approx(500.0, rel=1e-6)
+
+
+class TestPhaseBoundaries:
+    def test_boundaries_above_threshold(self):
+        trace = Trace.from_requests(
+            [
+                IORequest(rank=0, start=0.0, end=1.0, nbytes=1000),
+                IORequest(rank=0, start=5.0, end=6.0, nbytes=1000),
+            ]
+        )
+        signal = bandwidth_signal(trace)
+        intervals = phase_boundaries(signal, threshold=0.0)
+        assert len(intervals) == 2
+        assert intervals[0] == pytest.approx((0.0, 1.0))
+        assert intervals[1] == pytest.approx((5.0, 6.0))
+
+    def test_threshold_filters_low_activity(self):
+        trace = Trace.from_requests(
+            [
+                IORequest(rank=0, start=0.0, end=1.0, nbytes=10_000),
+                IORequest(rank=0, start=5.0, end=6.0, nbytes=10),
+            ]
+        )
+        signal = bandwidth_signal(trace)
+        intervals = phase_boundaries(signal, threshold=100.0)
+        assert len(intervals) == 1
+        assert intervals[0][0] == pytest.approx(0.0)

@@ -1,0 +1,223 @@
+"""Unit tests for the trace file formats: JSON Lines, MessagePack, Darshan, Recorder."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceFormatError
+from repro.trace import jsonl, msgpack
+from repro.trace.darshan import (
+    DarshanHeatmap,
+    heatmap_from_trace,
+    heatmap_to_signal,
+    read_heatmap,
+    write_heatmap,
+)
+from repro.trace.record import IOKind, IORequest
+from repro.trace.recorder import read_recorder_directory, write_recorder_directory
+from repro.trace.trace import Trace
+
+
+class TestJsonLines:
+    def test_round_trip_single_flush(self, simple_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        flushes = jsonl.write_trace(simple_trace, path)
+        assert flushes == 1
+        restored = jsonl.read_trace(path)
+        assert len(restored) == len(simple_trace)
+        assert restored.volume == simple_trace.volume
+        assert restored.metadata["application"] == "unit-test"
+
+    def test_round_trip_multiple_flushes(self, simple_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        flushes = jsonl.write_trace(simple_trace, path, requests_per_flush=2)
+        assert flushes == 2
+        records = list(jsonl.iter_flushes(path))
+        assert [r.flush_index for r in records] == [0, 1]
+        assert jsonl.read_trace(path).volume == simple_trace.volume
+
+    def test_writer_appends(self, simple_requests, tmp_path):
+        path = tmp_path / "append.jsonl"
+        writer = jsonl.JsonLinesTraceWriter(path)
+        writer.append(simple_requests[:2], timestamp=1.5)
+        writer.append(simple_requests[2:], timestamp=4.0)
+        assert writer.flush_count == 2
+        assert len(list(jsonl.iter_flushes(path))) == 2
+
+    def test_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(TraceFormatError):
+            list(jsonl.iter_flushes(path))
+
+    def test_missing_field_raises(self, tmp_path):
+        path = tmp_path / "incomplete.jsonl"
+        path.write_text(json.dumps({"flush_index": 0}) + "\n")
+        with pytest.raises(TraceFormatError):
+            list(jsonl.iter_flushes(path))
+
+    def test_empty_lines_skipped(self, simple_trace, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        jsonl.write_trace(simple_trace, path)
+        with path.open("a") as handle:
+            handle.write("\n\n")
+        assert len(jsonl.read_trace(path)) == len(simple_trace)
+
+
+class TestMsgpack:
+    @pytest.mark.parametrize(
+        "obj",
+        [
+            None,
+            True,
+            False,
+            0,
+            127,
+            128,
+            -1,
+            -33,
+            2**40,
+            -(2**40),
+            3.14159,
+            "",
+            "hello",
+            "x" * 300,
+            b"\x00\x01binary",
+            [1, "two", 3.0, None],
+            list(range(100)),
+            {"a": 1, "nested": {"b": [1, 2, 3]}},
+        ],
+    )
+    def test_scalar_and_container_round_trip(self, obj):
+        assert msgpack.unpackb(msgpack.packb(obj)) == obj
+
+    def test_large_collections_round_trip(self):
+        big_list = list(range(70_000))
+        assert msgpack.unpackb(msgpack.packb(big_list)) == big_list
+        big_map = {f"key-{i}": i for i in range(20_000)}
+        assert msgpack.unpackb(msgpack.packb(big_map)) == big_map
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            msgpack.packb(object())
+
+    def test_trailing_bytes_rejected(self):
+        data = msgpack.packb(1) + msgpack.packb(2)
+        with pytest.raises(TraceFormatError):
+            msgpack.unpackb(data)
+        assert list(msgpack.unpack_stream(data)) == [1, 2]
+
+    def test_truncated_data_rejected(self):
+        data = msgpack.packb("hello world")
+        with pytest.raises(TraceFormatError):
+            msgpack.unpackb(data[:-3])
+
+    def test_trace_round_trip(self, simple_trace, tmp_path):
+        path = tmp_path / "trace.msgpack"
+        msgpack.write_trace(simple_trace, path)
+        restored = msgpack.read_trace(path)
+        assert len(restored) == len(simple_trace)
+        assert restored.volume == simple_trace.volume
+
+    def test_writer_appends(self, simple_requests, tmp_path):
+        path = tmp_path / "append.msgpack"
+        writer = msgpack.MsgpackTraceWriter(path)
+        writer.append(simple_requests[:1], timestamp=1.0)
+        writer.append(simple_requests[1:], timestamp=4.0)
+        assert len(list(msgpack.iter_flushes(path))) == 2
+
+
+class TestDarshanHeatmap:
+    def make_heatmap(self) -> DarshanHeatmap:
+        return DarshanHeatmap(
+            bin_width=10.0,
+            write_bins=np.array([0.0, 100.0, 0.0, 100.0]),
+            read_bins=np.array([1.0, 2.0, 3.0, 4.0]),
+            metadata={"application": "test"},
+        )
+
+    def test_basic_properties(self):
+        heatmap = self.make_heatmap()
+        assert heatmap.n_bins == 4
+        assert heatmap.duration == pytest.approx(40.0)
+        assert heatmap.sampling_frequency == pytest.approx(0.1)
+        assert heatmap.total_bytes(kind="write") == pytest.approx(200.0)
+        assert heatmap.total_bytes(kind="read") == pytest.approx(10.0)
+
+    def test_file_round_trip(self, tmp_path):
+        heatmap = self.make_heatmap()
+        path = tmp_path / "profile.json"
+        write_heatmap(heatmap, path)
+        restored = read_heatmap(path)
+        assert restored.bin_width == heatmap.bin_width
+        assert np.allclose(restored.write_bins, heatmap.write_bins)
+        assert restored.metadata == heatmap.metadata
+
+    def test_invalid_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{\"format\": \"something-else\"}")
+        with pytest.raises(TraceFormatError):
+            read_heatmap(path)
+
+    def test_heatmap_to_signal_sets_fs_to_bin_width(self):
+        heatmap = self.make_heatmap()
+        signal = heatmap_to_signal(heatmap)
+        assert signal.sampling_frequency == pytest.approx(0.1)
+        assert signal.volume() == pytest.approx(200.0)
+
+    def test_heatmap_from_trace_conserves_volume(self, periodic_trace):
+        heatmap = heatmap_from_trace(periodic_trace, bin_width=5.0)
+        assert heatmap.total_bytes(kind="write") == pytest.approx(periodic_trace.volume, rel=1e-6)
+
+    def test_mismatched_bins_rejected(self):
+        with pytest.raises(TraceFormatError):
+            DarshanHeatmap(
+                bin_width=1.0,
+                write_bins=np.array([1.0, 2.0]),
+                read_bins=np.array([1.0]),
+            )
+
+
+class TestRecorder:
+    def test_directory_round_trip(self, simple_trace, tmp_path):
+        directory = write_recorder_directory(simple_trace, tmp_path / "recorder")
+        restored = read_recorder_directory(directory)
+        assert len(restored) == len(simple_trace)
+        assert restored.volume == simple_trace.volume
+        assert restored.metadata["application"] == "unit-test"
+        # Kinds survive the round trip.
+        assert len(restored.filter_kind(IOKind.READ)) == 1
+
+    def test_unknown_functions_ignored(self, tmp_path):
+        directory = tmp_path / "recorder"
+        directory.mkdir()
+        (directory / "rank_0.csv").write_text(
+            "function,start,end,bytes\n"
+            "MPI_File_open,0.0,0.1,0\n"
+            "MPI_File_write_all,1.0,2.0,100\n"
+        )
+        trace = read_recorder_directory(directory)
+        assert len(trace) == 1
+        assert trace.volume == 100
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            read_recorder_directory(tmp_path / "does-not-exist")
+
+    def test_empty_directory_rejected(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(TraceFormatError):
+            read_recorder_directory(empty)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        directory = tmp_path / "recorder"
+        directory.mkdir()
+        (directory / "rank_0.csv").write_text(
+            "function,start,end,bytes\nMPI_File_write_all,zero,1.0,100\n"
+        )
+        with pytest.raises(TraceFormatError):
+            read_recorder_directory(directory)

@@ -1,0 +1,111 @@
+"""Unit tests for the discretization / sampling layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, InsufficientSamplesError
+from repro.trace.bandwidth import bandwidth_signal
+from repro.trace.record import IORequest
+from repro.trace.sampling import (
+    DiscreteSignal,
+    discretize_signal,
+    discretize_trace,
+    recommend_sampling_frequency,
+)
+from repro.trace.trace import Trace
+from repro.workloads.miniio import miniio_trace
+
+
+def square_trace(n_bursts: int = 5, period: float = 10.0, burst: float = 2.0) -> Trace:
+    requests = [
+        IORequest(rank=0, start=i * period, end=i * period + burst, nbytes=int(1e9))
+        for i in range(n_bursts)
+    ]
+    return Trace.from_requests(requests)
+
+
+class TestDiscretize:
+    def test_sample_count_matches_duration(self):
+        signal = bandwidth_signal(square_trace())
+        discrete = discretize_signal(signal, 1.0)
+        assert discrete.n_samples == int(np.floor(signal.duration)) + 1
+        assert discrete.sampling_frequency == 1.0
+
+    def test_bin_mode_conserves_volume(self):
+        trace = square_trace()
+        discrete = discretize_trace(trace, 0.5, mode="bin")
+        assert discrete.volume() == pytest.approx(trace.volume, rel=1e-6)
+        assert discrete.abstraction_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_point_mode_well_sampled_has_small_error(self):
+        trace = square_trace()
+        discrete = discretize_trace(trace, 50.0, mode="point")
+        assert discrete.abstraction_error < 0.1
+
+    def test_point_mode_undersampled_has_large_error(self):
+        # miniIO-style sub-10-ms bursts sampled at 100 Hz: aliasing (Figure 6).
+        trace = miniio_trace(ranks=4, bursts=20, seed=1)
+        coarse = discretize_trace(trace, 100.0, mode="point")
+        fine = discretize_trace(trace, 2000.0, mode="point")
+        assert coarse.abstraction_error > 0.5
+        assert fine.abstraction_error < 0.3
+        assert coarse.abstraction_error > fine.abstraction_error
+
+    def test_window_restriction(self):
+        trace = square_trace(n_bursts=10)
+        full = discretize_trace(trace, 1.0)
+        windowed = discretize_trace(trace, 1.0, window=(0.0, 30.0))
+        assert windowed.n_samples < full.n_samples
+        assert windowed.duration <= 31.0
+
+    def test_too_few_samples_rejected(self):
+        signal = bandwidth_signal(square_trace(n_bursts=1, period=1.0, burst=0.5))
+        with pytest.raises(InsufficientSamplesError):
+            discretize_signal(signal, 0.1)
+
+    def test_invalid_sampling_frequency(self):
+        signal = bandwidth_signal(square_trace())
+        with pytest.raises(ConfigurationError):
+            discretize_signal(signal, 0.0)
+
+
+class TestDiscreteSignal:
+    def test_times_and_resolution(self):
+        signal = DiscreteSignal(samples=np.ones(10), sampling_frequency=2.0, t_start=5.0)
+        assert signal.duration == pytest.approx(5.0)
+        assert signal.frequency_resolution == pytest.approx(0.2)
+        assert signal.times[0] == pytest.approx(5.0)
+        assert signal.times[-1] == pytest.approx(9.5)
+
+    def test_volume(self):
+        signal = DiscreteSignal(samples=np.full(4, 10.0), sampling_frequency=2.0)
+        assert signal.volume() == pytest.approx(20.0)
+
+    def test_window(self):
+        signal = DiscreteSignal(samples=np.arange(10, dtype=float), sampling_frequency=1.0)
+        sub = signal.window(3.0, 7.0)
+        assert sub.n_samples == 4
+        assert sub.samples[0] == pytest.approx(3.0)
+        assert sub.t_start == pytest.approx(3.0)
+
+    def test_window_invalid(self):
+        signal = DiscreteSignal(samples=np.arange(10, dtype=float), sampling_frequency=1.0)
+        with pytest.raises(ValueError):
+            signal.window(5.0, 5.0)
+
+
+class TestRecommendSamplingFrequency:
+    def test_recommends_nyquist_of_shortest_request(self):
+        trace = Trace.from_requests(
+            [
+                IORequest(rank=0, start=0.0, end=0.5, nbytes=100),
+                IORequest(rank=0, start=1.0, end=1.1, nbytes=100),
+            ]
+        )
+        fs = recommend_sampling_frequency(trace)
+        assert fs == pytest.approx(2.0 / 0.1, rel=1e-6)
+
+    def test_empty_trace_returns_zero(self):
+        assert recommend_sampling_frequency(Trace.empty()) == 0.0

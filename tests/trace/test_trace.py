@@ -1,0 +1,128 @@
+"""Unit tests for the Trace container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import MIB
+from repro.exceptions import EmptyTraceError, TraceError
+from repro.trace.record import GroundTruth, IOKind, IOPhase, IORequest
+from repro.trace.trace import Trace, concatenate_in_time, merge_traces
+
+
+class TestConstruction:
+    def test_from_requests_sorts_by_start(self, simple_requests):
+        shuffled = list(reversed(simple_requests))
+        trace = Trace.from_requests(shuffled)
+        assert np.all(np.diff(trace.starts) >= 0)
+
+    def test_empty_trace(self):
+        trace = Trace.empty()
+        assert trace.is_empty
+        assert len(trace) == 0
+        assert trace.volume == 0
+        assert trace.duration == 0.0
+
+    def test_len_and_iteration(self, simple_trace, simple_requests):
+        assert len(simple_trace) == len(simple_requests)
+        assert sorted(r.nbytes for r in simple_trace) == sorted(r.nbytes for r in simple_requests)
+
+    def test_request_round_trip(self, simple_trace):
+        first = simple_trace.request(0)
+        assert isinstance(first, IORequest)
+        assert first.start == simple_trace.t_start
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(
+                starts=np.array([0.0, 1.0]),
+                ends=np.array([1.0]),
+                nbytes=np.array([1, 2]),
+                ranks=np.array([0, 0]),
+                kinds=np.array(["write", "write"]),
+            )
+
+
+class TestAggregates:
+    def test_volume_and_duration(self, simple_trace):
+        assert simple_trace.volume == 260 * MIB
+        assert simple_trace.t_start == pytest.approx(0.0)
+        assert simple_trace.t_end == pytest.approx(4.0)
+        assert simple_trace.duration == pytest.approx(4.0)
+
+    def test_rank_count(self, simple_trace):
+        assert simple_trace.rank_count == 2
+
+    def test_empty_trace_raises_on_boundaries(self):
+        with pytest.raises(EmptyTraceError):
+            _ = Trace.empty().t_start
+
+
+class TestTransformations:
+    def test_filter_kind(self, simple_trace):
+        writes = simple_trace.filter_kind("write")
+        reads = simple_trace.filter_kind(IOKind.READ)
+        assert len(writes) == 3
+        assert len(reads) == 1
+        assert len(writes) + len(reads) == len(simple_trace)
+
+    def test_filter_ranks(self, simple_trace):
+        only_zero = simple_trace.filter_ranks([0])
+        assert set(only_zero.ranks.tolist()) == {0}
+
+    def test_window_keeps_overlapping_requests(self, simple_trace):
+        window = simple_trace.window(0.75, 3.25)
+        # Requests [0,1], [0.5,1.5], [3,4] and [3,3.5] all overlap (0.75, 3.25).
+        assert len(window) == 4
+        narrow = simple_trace.window(1.6, 2.9)
+        assert narrow.is_empty
+
+    def test_window_invalid_bounds(self, simple_trace):
+        with pytest.raises(TraceError):
+            simple_trace.window(2.0, 1.0)
+
+    def test_shifted(self, simple_trace):
+        moved = simple_trace.shifted(100.0)
+        assert moved.t_start == pytest.approx(simple_trace.t_start + 100.0)
+        assert moved.volume == simple_trace.volume
+
+    def test_with_ground_truth_and_metadata(self, simple_trace):
+        gt = GroundTruth(phases=(IOPhase(start=0.0, end=1.0, nbytes=1),))
+        updated = simple_trace.with_ground_truth(gt).with_metadata(extra=1)
+        assert updated.ground_truth is gt
+        assert updated.metadata["extra"] == 1
+        assert updated.metadata["application"] == "unit-test"
+
+
+class TestMergeAndConcatenate:
+    def test_merge_traces_preserves_requests(self, simple_trace):
+        other = simple_trace.shifted(10.0)
+        merged = merge_traces([simple_trace, other])
+        assert len(merged) == 2 * len(simple_trace)
+        assert merged.volume == 2 * simple_trace.volume
+        assert np.all(np.diff(merged.starts) >= 0)
+
+    def test_merge_empty_list(self):
+        assert merge_traces([]).is_empty
+
+    def test_merge_keeps_single_ground_truth(self, simple_trace):
+        gt = GroundTruth(phases=(IOPhase(start=0.0, end=1.0, nbytes=1),))
+        merged = merge_traces([simple_trace.with_ground_truth(gt), simple_trace.shifted(50.0)])
+        assert merged.ground_truth is gt
+
+    def test_merge_drops_conflicting_ground_truths(self, simple_trace):
+        gt = GroundTruth(phases=(IOPhase(start=0.0, end=1.0, nbytes=1),))
+        merged = merge_traces(
+            [simple_trace.with_ground_truth(gt), simple_trace.shifted(1.0).with_ground_truth(gt)]
+        )
+        assert merged.ground_truth is None
+
+    def test_concatenate_in_time(self, simple_trace):
+        combined = concatenate_in_time([simple_trace, simple_trace], gap=5.0)
+        assert len(combined) == 2 * len(simple_trace)
+        # The second copy starts after the first one ends plus the gap.
+        assert combined.duration == pytest.approx(2 * simple_trace.duration + 5.0)
+
+    def test_concatenate_empty(self):
+        assert concatenate_in_time([]).is_empty

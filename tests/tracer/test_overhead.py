@@ -1,0 +1,86 @@
+"""Unit tests for the tracer overhead model (Figure 16 substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.tracer.overhead import (
+    OverheadModelParameters,
+    TracerOverheadModel,
+    default_rank_sweep,
+    measure_capture_cost,
+)
+from repro.tracer.tmio import TracerMode
+
+
+class TestOverheadModel:
+    def setup_method(self):
+        self.model = TracerOverheadModel()
+
+    def test_aggregated_overhead_share_stays_small(self):
+        # The paper reports at most 0.6 % aggregated overhead in online mode.
+        for ranks in default_rank_sweep():
+            estimate = self.model.estimate(
+                ranks=ranks,
+                requests_per_rank=40,
+                application_time=500.0,
+                mode=TracerMode.ONLINE,
+                flushes=8,
+            )
+            assert estimate.aggregated_overhead_ratio < 0.01
+
+    def test_rank0_share_grows_with_ranks(self):
+        estimates = self.model.sweep_ranks(
+            [96, 384, 1536, 6144],
+            requests_per_rank=40,
+            application_time=500.0,
+            mode=TracerMode.ONLINE,
+            flushes=8,
+        )
+        ratios = [e.rank0_overhead_ratio for e in estimates]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > ratios[0]
+        # Still bounded by the paper's 6.9 % for rank 0.
+        assert ratios[-1] < 0.069
+
+    def test_offline_cheaper_than_online_for_rank0(self):
+        online = self.model.estimate(
+            ranks=4608, requests_per_rank=40, application_time=500.0, mode="online", flushes=10
+        )
+        offline = self.model.estimate(
+            ranks=4608, requests_per_rank=40, application_time=500.0, mode="offline"
+        )
+        assert offline.rank0_overhead < online.rank0_overhead
+
+    def test_total_time_includes_overhead(self):
+        estimate = self.model.estimate(
+            ranks=96, requests_per_rank=10, application_time=100.0
+        )
+        assert estimate.total_time > estimate.application_time
+        assert estimate.aggregated_application_time == pytest.approx(96 * 100.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.model.estimate(ranks=0, requests_per_rank=1, application_time=1.0)
+        with pytest.raises(ConfigurationError):
+            self.model.estimate(ranks=1, requests_per_rank=1, application_time=0.0)
+        with pytest.raises(ConfigurationError):
+            OverheadModelParameters(capture_cost_per_request=0.0)
+
+
+class TestDefaultRankSweep:
+    def test_multiples_of_cores_per_node(self):
+        sweep = default_rank_sweep()
+        assert sweep[0] == 96
+        assert sweep[-1] == 10752
+        assert all(r % 96 == 0 for r in sweep)
+
+    def test_custom_limits(self):
+        assert default_rank_sweep(max_ranks=384) == [96, 192, 384]
+
+
+def test_measured_capture_cost_is_microsecond_scale():
+    cost = measure_capture_cost(n_requests=2000)
+    # Recording one request should cost far less than a millisecond.
+    assert 0.0 < cost < 1e-3

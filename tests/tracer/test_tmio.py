@@ -1,0 +1,81 @@
+"""Unit tests for the simulated TMIO tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TraceError
+from repro.trace import jsonl, msgpack
+from repro.tracer.tmio import TmioTracer, TraceFileFormat, TracerMode
+
+
+class TestOnlineMode:
+    def test_flush_writes_incrementally(self, tmp_path):
+        path = tmp_path / "online.jsonl"
+        tracer = TmioTracer(mode=TracerMode.ONLINE, path=path, metadata={"app": "demo"})
+        tracer.record_write(rank=0, start=0.0, end=1.0, nbytes=100)
+        tracer.record_write(rank=1, start=0.5, end=1.5, nbytes=100)
+        assert tracer.flush(timestamp=2.0) == 2
+        tracer.record_read(rank=0, start=3.0, end=3.5, nbytes=50)
+        assert tracer.flush() == 1
+        # A flush with nothing pending is a no-op.
+        assert tracer.flush() == 0
+
+        flushes = list(jsonl.iter_flushes(path))
+        assert len(flushes) == 2
+        assert flushes[0].metadata["app"] == "demo"
+        trace = jsonl.read_trace(path)
+        assert len(trace) == 3
+
+    def test_statistics(self):
+        tracer = TmioTracer(mode=TracerMode.ONLINE)
+        tracer.record_write(rank=0, start=0.0, end=1.0, nbytes=100)
+        tracer.record_write(rank=0, start=1.0, end=2.0, nbytes=200)
+        stats = tracer.statistics
+        assert stats.recorded_requests == 2
+        assert stats.recorded_bytes == 300
+        assert stats.flushes == 0
+
+    def test_msgpack_format(self, tmp_path):
+        path = tmp_path / "online.msgpack"
+        tracer = TmioTracer(mode=TracerMode.ONLINE, path=path, file_format=TraceFileFormat.MSGPACK)
+        tracer.record_write(rank=0, start=0.0, end=1.0, nbytes=100)
+        tracer.flush()
+        assert len(msgpack.read_trace(path)) == 1
+
+
+class TestOfflineMode:
+    def test_finalize_writes_once(self, tmp_path):
+        path = tmp_path / "offline.jsonl"
+        tracer = TmioTracer(mode=TracerMode.OFFLINE, path=path)
+        tracer.record_write(rank=0, start=0.0, end=1.0, nbytes=100)
+        tracer.record_write(rank=0, start=2.0, end=3.0, nbytes=100)
+        trace = tracer.finalize()
+        assert len(trace) == 2
+        assert len(list(jsonl.iter_flushes(path))) == 1
+
+    def test_flush_rejected_in_offline_mode(self):
+        tracer = TmioTracer(mode=TracerMode.OFFLINE)
+        with pytest.raises(TraceError):
+            tracer.flush()
+
+    def test_record_after_finalize_rejected(self):
+        tracer = TmioTracer(mode=TracerMode.OFFLINE)
+        tracer.record_write(rank=0, start=0.0, end=1.0, nbytes=1)
+        tracer.finalize()
+        with pytest.raises(TraceError):
+            tracer.record_write(rank=0, start=2.0, end=3.0, nbytes=1)
+
+    def test_finalize_is_idempotent(self):
+        tracer = TmioTracer(mode=TracerMode.OFFLINE)
+        tracer.record_write(rank=0, start=0.0, end=1.0, nbytes=1)
+        first = tracer.finalize()
+        second = tracer.finalize()
+        assert len(first) == len(second) == 1
+
+    def test_in_memory_tracer_has_no_path(self):
+        tracer = TmioTracer(mode=TracerMode.ONLINE)
+        assert tracer.path is None
+        tracer.record_write(rank=0, start=0.0, end=1.0, nbytes=1)
+        tracer.flush()
+        assert len(tracer.trace()) == 1

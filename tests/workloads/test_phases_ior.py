@@ -1,0 +1,114 @@
+"""Unit tests for the phase building blocks and the IOR generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import MIB
+from repro.exceptions import WorkloadError
+from repro.workloads.ior import ior_periodic_job_trace, ior_phase, ior_trace
+from repro.workloads.phases import PhaseSpec, generate_phase, phase_duration, phase_volume
+
+
+class TestPhaseSpec:
+    def test_requests_per_rank_and_duration(self):
+        spec = PhaseSpec(ranks=4, volume_per_rank=10 * MIB, request_size=3 * MIB, rank_bandwidth=1e6)
+        assert spec.requests_per_rank == 4
+        assert spec.nominal_duration == pytest.approx(10 * MIB / 1e6)
+
+    def test_request_larger_than_volume_rejected(self):
+        with pytest.raises(WorkloadError):
+            PhaseSpec(ranks=1, volume_per_rank=MIB, request_size=2 * MIB, rank_bandwidth=1e6)
+
+
+class TestGeneratePhase:
+    def test_volume_and_rank_assignment(self):
+        spec = PhaseSpec(ranks=3, volume_per_rank=4 * MIB, request_size=MIB, rank_bandwidth=1e7)
+        requests = generate_phase(spec, start=5.0, rank_offset=10)
+        assert phase_volume(requests) == 3 * 4 * MIB
+        assert {r.rank for r in requests} == {10, 11, 12}
+        assert min(r.start for r in requests) == pytest.approx(5.0)
+
+    def test_rank_delays_shift_individual_ranks(self):
+        spec = PhaseSpec(ranks=2, volume_per_rank=MIB, request_size=MIB, rank_bandwidth=1e7)
+        requests = generate_phase(spec, rank_delays=np.array([0.0, 3.0]))
+        start_by_rank = {r.rank: r.start for r in requests}
+        assert start_by_rank[1] - start_by_rank[0] == pytest.approx(3.0)
+
+    def test_delay_length_mismatch_rejected(self):
+        spec = PhaseSpec(ranks=2, volume_per_rank=MIB, request_size=MIB, rank_bandwidth=1e7)
+        with pytest.raises(WorkloadError):
+            generate_phase(spec, rank_delays=np.zeros(3))
+
+    def test_jitter_changes_durations_deterministically(self):
+        spec = PhaseSpec(ranks=2, volume_per_rank=8 * MIB, request_size=MIB, rank_bandwidth=1e7)
+        a = generate_phase(spec, bandwidth_jitter=0.2, seed=1)
+        b = generate_phase(spec, bandwidth_jitter=0.2, seed=1)
+        c = generate_phase(spec, bandwidth_jitter=0.2, seed=2)
+        assert [r.end for r in a] == [r.end for r in b]
+        assert [r.end for r in a] != [r.end for r in c]
+
+    def test_phase_duration_helper(self):
+        spec = PhaseSpec(ranks=1, volume_per_rank=2 * MIB, request_size=MIB, rank_bandwidth=1e6)
+        requests = generate_phase(spec)
+        assert phase_duration(requests) == pytest.approx(2 * MIB / 1e6)
+        assert phase_duration([]) == 0.0
+
+
+class TestIorPhase:
+    def test_default_phase_duration_matches_paper(self):
+        requests = ior_phase(seed=0, duration_jitter=0.0)
+        duration = phase_duration(requests)
+        # 32 ranks × 3.5 GiB at ~10 GB/s aggregate → 11–12 s.
+        assert 9.0 < duration < 15.0
+        assert len({r.rank for r in requests}) == 32
+
+    def test_custom_parameters(self):
+        requests = ior_phase(
+            ranks=4, volume_per_rank=8 * MIB, request_size=2 * MIB, aggregate_bandwidth=16 * MIB, seed=1
+        )
+        assert phase_volume(requests) == 4 * 8 * MIB
+        assert phase_duration(requests) == pytest.approx(2.0, rel=0.5)
+
+
+class TestIorTrace:
+    def test_ground_truth_period(self):
+        trace = ior_trace(ranks=4, iterations=6, compute_time=50.0, io_phase_duration=10.0, seed=2)
+        gt = trace.ground_truth
+        assert gt is not None
+        assert len(gt.phases) == 6
+        assert gt.average_period() == pytest.approx(60.0, rel=0.15)
+        assert trace.metadata["application"] == "ior"
+
+    def test_volume_scales_with_iterations(self):
+        one = ior_trace(ranks=2, iterations=1, seed=3)
+        four = ior_trace(ranks=2, iterations=4, seed=3)
+        assert four.volume == pytest.approx(4 * one.volume, rel=1e-6)
+
+    def test_explicit_bandwidth_respected(self):
+        trace = ior_trace(ranks=2, iterations=2, aggregate_bandwidth=1e6, block_size=MIB, segments=1, seed=4)
+        phase = trace.ground_truth.phases[0]
+        # 2 ranks × 1 MiB at 1 MB/s aggregate → phase of ≈ 2.1 s.
+        assert phase.duration == pytest.approx(2 * MIB / 1e6, rel=0.3)
+
+    def test_reproducibility(self):
+        a = ior_trace(ranks=2, iterations=3, seed=5)
+        b = ior_trace(ranks=2, iterations=3, seed=5)
+        assert np.allclose(a.starts, b.starts)
+        assert np.allclose(a.ends, b.ends)
+
+
+class TestIorPeriodicJobTrace:
+    def test_period_and_io_fraction(self):
+        trace = ior_periodic_job_trace(period=100.0, io_fraction=0.1, iterations=5, ranks=2, seed=6)
+        gt = trace.ground_truth
+        assert gt.mean_period == pytest.approx(100.0)
+        assert gt.average_period() == pytest.approx(100.0, rel=0.1)
+        # Each I/O phase lasts about io_fraction * period.
+        durations = [p.duration for p in gt.phases]
+        assert np.mean(durations) == pytest.approx(10.0, rel=0.3)
+
+    def test_invalid_io_fraction(self):
+        with pytest.raises(ValueError):
+            ior_periodic_job_trace(period=10.0, io_fraction=1.5)

@@ -1,0 +1,128 @@
+"""Unit tests for the semi-synthetic generator and the noise traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import MIB
+from repro.exceptions import WorkloadError
+from repro.trace.bandwidth import bandwidth_signal
+from repro.workloads.noise import NoiseLevel, add_noise, noise_trace
+from repro.workloads.synthetic import (
+    PhaseLibrary,
+    SemiSyntheticGenerator,
+    SyntheticAppConfig,
+    mean_period,
+)
+
+
+class TestPhaseLibrary:
+    def test_generated_library_size_and_durations(self, small_phase_library):
+        assert small_phase_library.size == 6
+        durations = small_phase_library.durations()
+        assert len(durations) == 6
+        assert np.all(durations > 0)
+        assert small_phase_library.mean_duration() == pytest.approx(durations.mean())
+
+    def test_default_library_duration_matches_paper(self):
+        library = PhaseLibrary.generate(n_phases=5, seed=1)
+        # The paper's phases average ≈ 10.4 s, all within [10.2, 13.4] s.
+        assert 8.0 < library.mean_duration() < 16.0
+
+    def test_pick_is_deterministic_per_rng(self, small_phase_library):
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        assert small_phase_library.pick(rng_a) is small_phase_library.pick(rng_b)
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(WorkloadError):
+            PhaseLibrary(phases=(), ranks=4)
+
+
+class TestSemiSyntheticGenerator:
+    def test_iteration_count_and_ground_truth(self, small_generator):
+        config = SyntheticAppConfig(iterations=5, compute_mean=4.0)
+        trace = small_generator.generate(config, seed=1)
+        assert trace.ground_truth is not None
+        assert len(trace.ground_truth.phases) == 5
+        assert trace.metadata["application"] == "semi-synthetic"
+        assert mean_period(trace) > 4.0
+
+    def test_mean_period_tracks_compute_time(self, small_generator):
+        short = small_generator.generate(SyntheticAppConfig(iterations=5, compute_mean=2.0), seed=2)
+        long = small_generator.generate(SyntheticAppConfig(iterations=5, compute_mean=20.0), seed=2)
+        assert mean_period(long) > mean_period(short)
+
+    def test_desync_stretches_phases(self, small_generator):
+        tight = small_generator.generate(
+            SyntheticAppConfig(iterations=4, compute_mean=5.0, desync_mean=0.0), seed=3
+        )
+        loose = small_generator.generate(
+            SyntheticAppConfig(iterations=4, compute_mean=5.0, desync_mean=10.0), seed=3
+        )
+        tight_durations = np.mean([p.duration for p in tight.ground_truth.phases])
+        loose_durations = np.mean([p.duration for p in loose.ground_truth.phases])
+        assert loose_durations > tight_durations
+
+    def test_compute_variability_spreads_periods(self, small_generator):
+        steady = small_generator.generate(
+            SyntheticAppConfig(iterations=8, compute_mean=5.0, compute_std=0.0), seed=4
+        )
+        wobbly = small_generator.generate(
+            SyntheticAppConfig(iterations=8, compute_mean=5.0, compute_std=10.0), seed=4
+        )
+        def period_std(trace):
+            starts = np.array([p.start for p in trace.ground_truth.phases])
+            return float(np.std(np.diff(starts)))
+        assert period_std(wobbly) > period_std(steady)
+
+    def test_noise_adds_background_requests(self, small_generator):
+        clean = small_generator.generate(SyntheticAppConfig(iterations=3, compute_mean=5.0), seed=5)
+        noisy = small_generator.generate(
+            SyntheticAppConfig(iterations=3, compute_mean=5.0, noise=NoiseLevel.HIGH), seed=5
+        )
+        assert len(noisy) > len(clean)
+        assert noisy.ground_truth is not None  # ground truth survives noise overlay
+
+    def test_batch_generation(self, small_generator):
+        traces = small_generator.generate_batch(
+            SyntheticAppConfig(iterations=3, compute_mean=5.0), count=3, seed=6
+        )
+        assert len(traces) == 3
+        periods = {round(mean_period(t), 3) for t in traces}
+        assert len(periods) >= 2  # independent draws differ
+
+    def test_mean_period_requires_ground_truth(self, simple_trace):
+        with pytest.raises(WorkloadError):
+            mean_period(simple_trace)
+
+
+class TestNoise:
+    def test_noise_levels_have_expected_bandwidth(self):
+        low = noise_trace(level="low", periods=5, seed=1)
+        high = noise_trace(level="high", periods=5, seed=1)
+        low_bw = bandwidth_signal(low).max_bandwidth()
+        high_bw = bandwidth_signal(high).max_bandwidth()
+        assert high_bw > low_bw
+        assert low_bw == pytest.approx(500e6, rel=0.5)
+
+    def test_none_level_is_empty(self):
+        assert noise_trace(level=NoiseLevel.NONE).is_empty
+
+    def test_noise_periodicity(self):
+        trace = noise_trace(level="low", periods=10, period_length=2.2, seed=2)
+        assert trace.duration == pytest.approx(10 * 2.2, rel=0.3)
+
+    def test_add_noise_uses_new_rank(self, small_generator):
+        app = small_generator.generate(SyntheticAppConfig(iterations=3, compute_mean=5.0), seed=7)
+        noisy = add_noise(app, level="low", seed=8)
+        assert noisy.rank_count == app.rank_count + 1
+        assert noisy.volume > app.volume
+
+    def test_add_noise_none_is_identity(self, simple_trace):
+        assert add_noise(simple_trace, level=NoiseLevel.NONE) is simple_trace
+
+    def test_invalid_duty_cycle(self):
+        with pytest.raises(ValueError):
+            noise_trace(duty_cycle=0.0)
