@@ -1,0 +1,117 @@
+"""Perf-regression harness (ROADMAP "fast as the hardware allows").
+
+Times the hot paths of the detect→predict→sweep stack across signal sizes,
+asserts the optimized kernels actually beat the pre-optimization references,
+and writes ``BENCH_perf.json`` at the repository root so the speedups are
+recorded alongside the figure benchmarks.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_regression.py -s -q
+
+Guarded regressions:
+
+* FFT (Wiener–Khinchin) ACF at N = 100k must be >= 10x faster than the direct
+  ``np.correlate`` method;
+* vectorized spectral reconstruction with >= 64 bins must be >= 5x faster than
+  the per-bin Python loop;
+* offline ``Ftio.detect()`` must stay within an absolute wall-clock budget at
+  every signal size (it is dominated by the O(N log N) FFT, so a blow-up here
+  means a regression to a slower path).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import print_report
+from repro.analysis.benchmark import run_perf_suite, write_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Regression floors from the issue's acceptance criteria.
+MIN_ACF_SPEEDUP_AT_100K = 10.0
+MIN_RECONSTRUCT_SPEEDUP = 5.0
+#: Generous absolute budget for one offline detection (seconds); the measured
+#: time at 100k samples is ~10 ms, so a 100x margin still catches an O(N^2)
+#: regression (which lands at seconds).
+DETECT_BUDGET_SECONDS = {1_000: 0.5, 10_000: 0.5, 100_000: 2.0}
+
+
+@pytest.fixture(scope="module")
+def perf_report():
+    return run_perf_suite(sizes=(1_000, 10_000, 100_000), repeats=3, reconstruct_bins=64)
+
+
+def _format_table(report: dict) -> str:
+    lines = [
+        f"{'N':>8} {'ACF fft':>10} {'ACF direct':>11} {'speedup':>8} "
+        f"{'rec vec':>10} {'rec loop':>10} {'speedup':>8} {'detect':>10}"
+    ]
+    results = report["results"]
+    for n in report["signal_sizes"]:
+        acf = results["autocorrelation"][str(n)]
+        rec = results["reconstruct"][str(n)]
+        det = results["detect_offline"][str(n)]
+        lines.append(
+            f"{n:>8} {acf['fft_seconds']:>10.2e} {acf['direct_seconds']:>11.2e} "
+            f"{acf['speedup']:>7.1f}x {rec['vectorized_seconds']:>10.2e} "
+            f"{rec['loop_seconds']:>10.2e} {rec['speedup']:>7.1f}x "
+            f"{det['seconds']:>10.2e}"
+        )
+    replay = results["online_replay"]
+    sweep = results["sweep_point"]
+    lines.append(
+        f"online replay: {replay['n_steps']} steps over {replay['n_requests']} requests "
+        f"in {replay['seconds']:.3f} s; sweep point ({sweep['traces']} traces) "
+        f"in {sweep['seconds']:.3f} s"
+    )
+    return "\n".join(lines)
+
+
+class TestPerfRegression:
+    def test_acf_fft_speedup(self, perf_report):
+        acf = perf_report["results"]["autocorrelation"]
+        assert acf["100000"]["speedup"] >= MIN_ACF_SPEEDUP_AT_100K, (
+            f"FFT ACF speedup at 100k samples dropped to {acf['100000']['speedup']:.1f}x"
+        )
+
+    def test_reconstruct_speedup(self, perf_report):
+        rec = perf_report["results"]["reconstruct"]
+        for n, entry in rec.items():
+            assert entry["n_bins"] >= 64
+            assert entry["speedup"] >= MIN_RECONSTRUCT_SPEEDUP, (
+                f"vectorized reconstruct speedup at N={n} dropped to {entry['speedup']:.1f}x"
+            )
+
+    def test_offline_detect_within_budget(self, perf_report):
+        detect = perf_report["results"]["detect_offline"]
+        for n, budget in DETECT_BUDGET_SECONDS.items():
+            seconds = detect[str(n)]["seconds"]
+            assert seconds <= budget, (
+                f"offline detect at N={n} took {seconds:.3f} s (budget {budget} s)"
+            )
+
+    def test_online_replay_and_sweep_recorded(self, perf_report):
+        replay = perf_report["results"]["online_replay"]
+        assert replay["n_steps"] > 0 and replay["seconds"] > 0
+        sweep = perf_report["results"]["sweep_point"]
+        assert sweep["traces"] > 0 and sweep["seconds"] > 0
+
+    def test_report_written_and_valid_json(self, perf_report):
+        path = write_report(perf_report, REPO_ROOT / "BENCH_perf.json")
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded["schema_version"] == 1
+        assert loaded["signal_sizes"] == [1_000, 10_000, 100_000]
+        assert set(loaded["results"]) == {
+            "autocorrelation",
+            "reconstruct",
+            "dft",
+            "detect_offline",
+            "online_replay",
+            "sweep_point",
+        }
+        print_report("Perf regression (BENCH_perf.json)", _format_table(perf_report))

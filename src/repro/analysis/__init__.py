@@ -1,5 +1,11 @@
-"""Evaluation harness: detection error, parameter sweeps, text reports."""
+"""Evaluation harness: detection error, parameter sweeps, text reports, perf timing."""
 
+from repro.analysis.benchmark import (
+    TimingResult,
+    run_perf_suite,
+    time_callable,
+    write_report,
+)
 from repro.analysis.error import DetectionOutcome, detection_error, evaluate_trace
 from repro.analysis.report import (
     format_boxplot,
@@ -15,6 +21,10 @@ from repro.analysis.sweep import (
 )
 
 __all__ = [
+    "TimingResult",
+    "run_perf_suite",
+    "time_callable",
+    "write_report",
     "DetectionOutcome",
     "detection_error",
     "evaluate_trace",

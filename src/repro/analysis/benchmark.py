@@ -1,0 +1,289 @@
+"""Perf-regression timing harness (ROADMAP "fast as the hardware allows").
+
+The paper's core claim (Sections II-A and III-C) is that the FTIO analysis is
+cheap enough to run *online*, repeatedly, during application execution.  This
+module provides the small timing utilities the perf-regression benchmark
+(``benchmarks/test_perf_regression.py``) uses to keep the hot paths honest:
+
+* :func:`time_callable` — best/mean wall-clock timing of a callable;
+* reference implementations of the pre-optimization kernels
+  (:func:`direct_autocorrelation`, :func:`loop_reconstruct`) so the measured
+  speedups are against the real O(N²) / per-bin-loop baselines, not guesses;
+* :func:`run_perf_suite` — times ACF, DFT + reconstruction, offline detection,
+  online replay and one limitation-study sweep point across signal sizes and
+  returns a JSON-serializable report;
+* :func:`write_report` — persists the report (``BENCH_perf.json`` at the repo
+  root by convention).
+
+The report schema (version 1)::
+
+    {
+      "schema_version": 1,
+      "generated_at": <unix epoch seconds>,
+      "environment": {"python": "...", "numpy": "...", "platform": "..."},
+      "signal_sizes": [1000, 10000, 100000],
+      "results": {
+        "autocorrelation": {"<n>": {"fft_seconds", "direct_seconds", "speedup"}},
+        "reconstruct":     {"<n>": {"n_bins", "vectorized_seconds",
+                                     "loop_seconds", "speedup"}},
+        "dft":             {"<n>": {"seconds"}},
+        "detect_offline":  {"<n>": {"seconds"}},
+        "online_replay":   {"n_requests", "n_steps", "seconds"},
+        "sweep_point":     {"traces", "seconds"}
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from repro.analysis.sweep import LimitationStudy
+from repro.core.config import FtioConfig
+from repro.core.ftio import Ftio
+from repro.core.online import replay_online
+from repro.exceptions import InsufficientSamplesError
+from repro.freq.dft import DftResult, dft, reconstruct
+from repro.trace.sampling import DiscreteSignal
+from repro.workloads.hacc import hacc_flush_times, hacc_io_trace
+from repro.workloads.synthetic import PhaseLibrary
+
+#: Default signal sizes of the perf suite (issue: 1k / 10k / 100k samples).
+DEFAULT_SIGNAL_SIZES: tuple[int, ...] = (1_000, 10_000, 100_000)
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Wall-clock timing of one benchmarked callable.
+
+    ``best`` (the minimum over the repeats) is the regression-relevant number:
+    it is the least noisy estimate of the cost of the code itself.
+    """
+
+    name: str
+    best: float
+    mean: float
+    repeats: int
+    metadata: dict = field(default_factory=dict)
+
+
+def time_callable(
+    fn: Callable[[], object],
+    *,
+    name: str = "",
+    repeats: int = 3,
+    warmup: int = 1,
+    **metadata,
+) -> TimingResult:
+    """Time ``fn()`` with ``warmup`` discarded runs and ``repeats`` measured ones."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    durations = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        durations.append(time.perf_counter() - started)
+    return TimingResult(
+        name=name or getattr(fn, "__name__", "callable"),
+        best=float(min(durations)),
+        mean=float(sum(durations) / len(durations)),
+        repeats=repeats,
+        metadata=dict(metadata),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# reference (pre-optimization) kernels
+# ---------------------------------------------------------------------- #
+def direct_autocorrelation(samples: ArrayLike) -> NDArray[np.float64]:
+    """O(N²) ACF via ``np.correlate`` — the pre-optimization reference."""
+    x = np.asarray(samples, dtype=np.float64)
+    n = len(x)
+    if n < 2:
+        raise InsufficientSamplesError(f"autocorrelation needs at least 2 samples, got {n}")
+    centred = x - x.mean()
+    energy = float(np.dot(centred, centred))
+    acf = np.zeros(n)
+    acf[0] = 1.0
+    if energy == 0.0:
+        return acf
+    full = np.correlate(centred, centred, mode="full")
+    return full[n - 1 :] / energy
+
+
+def loop_reconstruct(
+    result: DftResult,
+    *,
+    bins: ArrayLike | None = None,
+    n_samples: int | None = None,
+) -> NDArray[np.float64]:
+    """Per-bin Python-loop reconstruction — the pre-optimization reference."""
+    n = int(n_samples if n_samples is not None else result.n_samples)
+    t_index = np.arange(n)
+    total = np.full(n, result.dc_offset, dtype=np.float64)
+    if bins is None:
+        selected = np.arange(1, result.n_bins)
+    else:
+        selected = np.unique(np.asarray(bins, dtype=np.int64))
+        selected = selected[selected >= 1]
+    amplitudes = result.amplitudes
+    phases = result.phases
+    n_orig = result.n_samples
+    for k in selected:
+        k = int(k)
+        factor = 1.0 if (n_orig % 2 == 0 and k == n_orig // 2) else 2.0
+        total += (
+            factor
+            * amplitudes[k]
+            / n_orig
+            * np.cos(2.0 * np.pi * k * t_index / n_orig + phases[k])
+        )
+    return total
+
+
+# ---------------------------------------------------------------------- #
+# the suite
+# ---------------------------------------------------------------------- #
+def periodic_signal(n: int, *, sampling_frequency: float = 10.0, seed: int = 0) -> DiscreteSignal:
+    """A noisy periodic bandwidth-like signal used by all kernel benchmarks."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(n) / sampling_frequency
+    period = max(n / sampling_frequency / 25.0, 2.0 / sampling_frequency)
+    samples = np.clip(
+        np.cos(2.0 * np.pi * t / period) + 0.1 * rng.standard_normal(n), 0.0, None
+    )
+    return DiscreteSignal(samples=samples, sampling_frequency=sampling_frequency, t_start=0.0)
+
+
+def run_perf_suite(
+    sizes: tuple[int, ...] = DEFAULT_SIGNAL_SIZES,
+    *,
+    repeats: int = 3,
+    reconstruct_bins: int = 64,
+    seed: int = 0,
+    include_direct: bool = True,
+) -> dict:
+    """Run the full perf suite and return the BENCH_perf report dict.
+
+    ``include_direct=False`` skips the O(N²) reference timings (useful for a
+    quick smoke run); the ``speedup`` entries are then omitted.
+    """
+    from repro.freq.autocorr import autocorrelation
+
+    results: dict = {
+        "autocorrelation": {},
+        "reconstruct": {},
+        "dft": {},
+        "detect_offline": {},
+    }
+
+    ftio = Ftio(FtioConfig(sampling_frequency=10.0, use_autocorrelation=False))
+    for n in sizes:
+        signal = periodic_signal(n, seed=seed)
+        samples = signal.samples
+
+        fft_timing = time_callable(
+            lambda: autocorrelation(samples), name=f"acf_fft_{n}", repeats=repeats
+        )
+        entry: dict = {"fft_seconds": fft_timing.best}
+        if include_direct:
+            # The direct method is quadratic; a single cold run is plenty at
+            # 100k (no warmup either — it would double the suite's cost).
+            large = n >= 50_000
+            direct_timing = time_callable(
+                lambda: direct_autocorrelation(samples),
+                name=f"acf_direct_{n}",
+                repeats=1 if large else repeats,
+                warmup=0 if large else 1,
+            )
+            entry["direct_seconds"] = direct_timing.best
+            entry["speedup"] = direct_timing.best / max(fft_timing.best, 1e-12)
+        results["autocorrelation"][str(n)] = entry
+
+        spectrum = dft(samples, signal.sampling_frequency)
+        dft_timing = time_callable(
+            lambda: dft(samples, signal.sampling_frequency), name=f"dft_{n}", repeats=repeats
+        )
+        results["dft"][str(n)] = {"seconds": dft_timing.best}
+
+        n_bins = min(reconstruct_bins, spectrum.n_bins - 1)
+        bins = np.arange(1, n_bins + 1)
+        vec_timing = time_callable(
+            lambda: reconstruct(spectrum, bins=bins), name=f"reconstruct_{n}", repeats=repeats
+        )
+        rec_entry: dict = {"n_bins": int(n_bins), "vectorized_seconds": vec_timing.best}
+        if include_direct:
+            loop_timing = time_callable(
+                lambda: loop_reconstruct(spectrum, bins=bins),
+                name=f"reconstruct_loop_{n}",
+                repeats=repeats,
+            )
+            rec_entry["loop_seconds"] = loop_timing.best
+            rec_entry["speedup"] = loop_timing.best / max(vec_timing.best, 1e-12)
+        results["reconstruct"][str(n)] = rec_entry
+
+        detect_timing = time_callable(
+            lambda: ftio.detect(signal), name=f"detect_{n}", repeats=repeats
+        )
+        results["detect_offline"][str(n)] = {"seconds": detect_timing.best}
+
+    # Online replay over a finished HACC-IO-style trace (the Figure 15 loop).
+    trace = hacc_io_trace(ranks=32, loops=12, period=8.0, first_phase_delay=6.0, seed=seed)
+    flush_times = hacc_flush_times(trace)
+    config = FtioConfig(
+        sampling_frequency=10.0, use_autocorrelation=False, compute_characterization=False
+    )
+    replay_timing = time_callable(
+        lambda: replay_online(trace, flush_times, config=config),
+        name="online_replay",
+        repeats=max(1, repeats - 1),
+    )
+    results["online_replay"] = {
+        "n_requests": int(len(trace)),
+        "n_steps": int(len(flush_times)),
+        "seconds": replay_timing.best,
+    }
+
+    # One limitation-study sweep point (Figure 8 unit of work).
+    study = LimitationStudy(
+        library=PhaseLibrary.generate(n_phases=10, seed=seed),
+        traces_per_point=3,
+        sampling_frequency=1.0,
+    )
+    point = study.variability_points(sigma_over_mu=(0.5,), iterations=10)[0]
+    sweep_timing = time_callable(
+        lambda: study.run_point(point, seed=seed), name="sweep_point", repeats=1, warmup=0
+    )
+    results["sweep_point"] = {
+        "traces": study.traces_per_point,
+        "seconds": sweep_timing.best,
+    }
+
+    return {
+        "schema_version": 1,
+        "generated_at": time.time(),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "signal_sizes": [int(n) for n in sizes],
+        "results": results,
+    }
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    """Write a perf report as indented JSON and return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

@@ -28,8 +28,8 @@ from repro.core.ftio import Ftio
 from repro.core.intervals import FrequencyInterval, merge_predictions
 from repro.core.result import FtioResult
 from repro.exceptions import AnalysisError, InsufficientSamplesError
-from repro.trace.jsonl import FlushRecord, flushes_to_trace, iter_flushes
-from repro.trace.trace import Trace
+from repro.trace.jsonl import FlushRecord, iter_flushes
+from repro.trace.trace import Trace, merge_traces
 
 
 @dataclass(frozen=True)
@@ -199,15 +199,14 @@ def replay_online(
     predictor = OnlinePredictor(config=config or FtioConfig(), adaptive_window=adaptive_window)
     steps: list[PredictionStep] = []
     for t in sorted(prediction_times):
-        visible = trace.window(trace.t_start, t) if not trace.is_empty else trace
-        # Only requests that completed by t have been flushed.
+        if trace.is_empty:
+            continue
+        visible = trace.window(trace.t_start, t)
         if visible.is_empty:
             continue
-        mask = visible.ends <= t
-        completed = Trace.from_requests(
-            [visible.request(i) for i in range(len(visible)) if mask[i]],
-            metadata=dict(trace.metadata),
-        )
+        # Only requests that completed by t have been flushed.  The columnar
+        # mask select keeps the trace arrays intact — no IORequest round-trip.
+        completed = visible._select(visible.ends <= t)
         if completed.is_empty:
             continue
         steps.append(predictor.step(completed, now=t))
@@ -220,16 +219,31 @@ def predict_from_flushes(
     config: FtioConfig | None = None,
     adaptive_window: bool = True,
 ) -> list[PredictionStep]:
-    """Run one online evaluation after every flush record (the paper's Figure 5 loop)."""
+    """Run one online evaluation after every flush record (the paper's Figure 5 loop).
+
+    The accumulated trace is grown *incrementally*: each flush's requests are
+    converted to a columnar trace exactly once and appended (stable
+    merge-sort) to the running trace.  Each step still touches the full
+    accumulated arrays — the asymptotics are unchanged — but the per-step work
+    is now a vectorized numpy merge instead of re-converting every previously
+    seen flush through Python ``IORequest`` objects, a large constant-factor
+    win that grows with the flush count.
+    """
     predictor = OnlinePredictor(config=config or FtioConfig(), adaptive_window=adaptive_window)
     steps: list[PredictionStep] = []
-    seen: list[FlushRecord] = []
+    accumulated = Trace.empty()
     for flush in sorted(flushes, key=lambda f: f.flush_index):
-        seen.append(flush)
-        trace = flushes_to_trace(seen)
-        if trace.is_empty:
+        if flush.requests:
+            metadata = dict(accumulated.metadata)
+            metadata.update(flush.metadata)
+            accumulated = merge_traces(
+                [accumulated, Trace.from_requests(flush.requests)], metadata=metadata
+            )
+        elif flush.metadata:
+            accumulated = accumulated.with_metadata(**flush.metadata)
+        if accumulated.is_empty:
             continue
-        steps.append(predictor.step(trace, now=flush.timestamp))
+        steps.append(predictor.step(accumulated, now=flush.timestamp))
     return steps
 
 

@@ -32,6 +32,12 @@ def autocorrelation(samples: ArrayLike) -> NDArray[np.float64]:
     The signal is mean-centred first; the ACF is normalized so the zero-lag
     value is exactly 1.  A constant signal returns an all-zero ACF (no
     correlation structure) except for the leading 1.
+
+    The lag products are evaluated with the Wiener–Khinchin theorem — the
+    inverse FFT of the power spectrum of the zero-padded signal — which is
+    O(N log N) instead of the O(N²) of a direct ``np.correlate``.  Zero-padding
+    to at least 2N − 1 points makes the circular correlation equal the linear
+    one, so the result matches the direct method to floating-point precision.
     """
     x = np.asarray(samples, dtype=np.float64)
     if x.ndim != 1:
@@ -45,8 +51,14 @@ def autocorrelation(samples: ArrayLike) -> NDArray[np.float64]:
     acf[0] = 1.0
     if energy == 0.0:
         return acf
-    full = np.correlate(centred, centred, mode="full")
-    acf = full[n - 1 :] / energy
+    # Power-of-two FFT length >= 2n - 1 avoids circular wrap-around and keeps
+    # the transform on the fast radix-2 path.
+    nfft = 1 << (2 * n - 1).bit_length()
+    spectrum = np.fft.rfft(centred, n=nfft)
+    lag_products = np.fft.irfft(spectrum * np.conj(spectrum), n=nfft)[:n]
+    acf = lag_products / energy
+    # Pin the zero lag: the FFT round-trip leaves it at 1 ± a few ulp only.
+    acf[0] = 1.0
     return acf
 
 

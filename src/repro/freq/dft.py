@@ -131,29 +131,44 @@ def reconstruct(
     n = int(n_samples if n_samples is not None else result.n_samples)
     if n <= 0:
         raise ValueError(f"n_samples must be positive, got {n}")
-    t_index = np.arange(n)
-    total = np.full(n, result.dc_offset * result.n_samples / result.n_samples, dtype=np.float64)
-    total[:] = result.dc_offset
+    n_orig = result.n_samples
 
     if bins is None:
         selected = np.arange(1, result.n_bins)
     else:
         selected = np.unique(np.asarray(bins, dtype=np.int64))
         selected = selected[selected >= 1]
+    if np.any(selected >= result.n_bins):
+        bad = int(selected[selected >= result.n_bins][0])
+        raise IndexError(f"bin index {bad} out of range [0, {result.n_bins - 1}]")
 
-    amplitudes = result.amplitudes
-    phases = result.phases
-    n_orig = result.n_samples
-    for k in selected:
-        k = int(k)
+    if n == n_orig:
+        # At the native length the sum of single-sided cosines is exactly the
+        # inverse FFT of the masked spectrum: one O(N log N) transform replaces
+        # the per-bin Python loop.
+        masked = np.zeros_like(result.coefficients)
+        masked[0] = result.coefficients[0]
+        masked[selected] = result.coefficients[selected]
+        return np.fft.irfft(masked, n=n_orig)
+
+    # Extension/truncation to a different length: evaluate the selected
+    # cosines in broadcast expressions over (bins, time) grids, chunked over
+    # bins so the temporaries stay bounded (~32 MB) instead of O(bins × n).
+    total = np.full(n, result.dc_offset, dtype=np.float64)
+    if selected.size:
+        t_index = np.arange(n, dtype=np.float64)
         # The Nyquist bin of an even-length signal is not doubled.
-        factor = 1.0 if (n_orig % 2 == 0 and k == n_orig // 2) else 2.0
-        total += (
-            factor
-            * amplitudes[k]
-            / n_orig
-            * np.cos(2.0 * np.pi * k * t_index / n_orig + phases[k])
-        )
+        factors = np.where((n_orig % 2 == 0) & (selected == n_orig // 2), 1.0, 2.0)
+        coefficients = factors * result.amplitudes[selected] / n_orig
+        phases = result.phases[selected]
+        chunk = max(1, 4_000_000 // n)
+        for i in range(0, selected.size, chunk):
+            rows = slice(i, i + chunk)
+            angles = (
+                (2.0 * np.pi / n_orig) * selected[rows, None] * t_index[None, :]
+                + phases[rows, None]
+            )
+            total += (coefficients[rows, None] * np.cos(angles)).sum(axis=0)
     return total
 
 

@@ -196,14 +196,15 @@ def phase_boundaries(signal: BandwidthSignal, *, threshold: float = 0.0) -> list
     if len(signal.values) == 0:
         return []
     above = signal.values > threshold
-    intervals: list[tuple[float, float]] = []
-    start: float | None = None
-    for i, flag in enumerate(above):
-        if flag and start is None:
-            start = float(signal.times[i])
-        elif not flag and start is not None:
-            intervals.append((start, float(signal.times[i])))
-            start = None
-    if start is not None:
-        intervals.append((start, float(signal.times[-1])))
-    return intervals
+    # A run of above-threshold segments starts right after a 0->1 flip and ends
+    # right after a 1->0 flip; the edges of the signal close half-open runs.
+    flips = np.diff(above.astype(np.int8))
+    rises = np.flatnonzero(flips == 1) + 1
+    falls = np.flatnonzero(flips == -1) + 1
+    if above[0]:
+        rises = np.concatenate([[0], rises])
+    starts = signal.times[rises]
+    ends = signal.times[falls]
+    if above[-1]:
+        ends = np.concatenate([ends, [signal.times[-1]]])
+    return [(float(t0), float(t1)) for t0, t1 in zip(starts, ends)]

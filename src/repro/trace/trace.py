@@ -72,13 +72,21 @@ class Trace:
         metadata: dict | None = None,
     ) -> "Trace":
         """Build a trace from an iterable of :class:`IORequest`, sorted by start time."""
-        reqs = sorted(requests, key=lambda r: (r.start, r.end, r.rank))
+        reqs = requests if isinstance(requests, (list, tuple)) else list(requests)
         if reqs:
+            # Columnar build first, then a single stable lexsort on the numeric
+            # keys (start, end, rank) — no per-request Python tuple churn.
             starts = np.array([r.start for r in reqs], dtype=np.float64)
             ends = np.array([r.end for r in reqs], dtype=np.float64)
             nbytes = np.array([r.nbytes for r in reqs], dtype=np.int64)
             ranks = np.array([r.rank for r in reqs], dtype=np.int64)
             kinds = np.array([r.kind.value for r in reqs], dtype=np.str_)
+            order = np.lexsort((ranks, ends, starts))
+            starts = starts[order]
+            ends = ends[order]
+            nbytes = nbytes[order]
+            ranks = ranks[order]
+            kinds = kinds[order]
         else:
             starts = np.zeros(0, dtype=np.float64)
             ends = np.zeros(0, dtype=np.float64)

@@ -1,0 +1,68 @@
+"""Tests for the parallel execution backend of the limitation study."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import LimitationStudy
+from repro.workloads.synthetic import PhaseLibrary
+
+
+@pytest.fixture(scope="module")
+def small_study():
+    return LimitationStudy(
+        library=PhaseLibrary.generate(n_phases=6, seed=11), traces_per_point=2
+    )
+
+
+@pytest.fixture(scope="module")
+def points(small_study):
+    return small_study.variability_points(sigma_over_mu=(0.0, 0.5, 1.0), iterations=6)
+
+
+def assert_results_identical(serial, parallel):
+    assert len(serial) == len(parallel)
+    for a, b in zip(serial, parallel):
+        assert a.point == b.point
+        assert np.array_equal(a.errors, b.errors)
+        assert np.array_equal(a.confidences, b.confidences)
+        for oa, ob in zip(a.outcomes, b.outcomes):
+            assert oa.true_period == ob.true_period
+            assert oa.detected_period == ob.detected_period
+            assert oa.sigma_vol == ob.sigma_vol
+            assert oa.sigma_time == ob.sigma_time
+
+
+class TestParallelSweep:
+    def test_parallel_matches_serial_bit_identical(self, small_study, points):
+        serial = small_study.run(points, seed=3)
+        parallel = small_study.run(points, seed=3, n_workers=4)
+        assert_results_identical(serial, parallel)
+
+    def test_instance_default_workers(self, points):
+        study = LimitationStudy(
+            library=PhaseLibrary.generate(n_phases=6, seed=11),
+            traces_per_point=2,
+            n_workers=2,
+        )
+        serial = study.run(points, seed=3, n_workers=1)
+        parallel = study.run(points, seed=3)
+        assert_results_identical(serial, parallel)
+
+    def test_invalid_worker_count_rejected(self, small_study, points):
+        with pytest.raises(ValueError):
+            small_study.run(points, seed=3, n_workers=0)
+
+    def test_single_point_stays_serial(self, small_study, points):
+        # One point never pays the process-pool overhead, whatever n_workers is.
+        [result] = small_study.run(points[:1], seed=3, n_workers=8)
+        assert len(result.outcomes) == small_study.traces_per_point
+
+    def test_study_roundtrips_through_pickle(self, small_study, points):
+        clone = pickle.loads(pickle.dumps(small_study))
+        a = small_study.run_point(points[0], seed=5)
+        b = clone.run_point(points[0], seed=5)
+        assert np.array_equal(a.errors, b.errors)

@@ -1,0 +1,146 @@
+"""Regression tests: the incremental online replay must reproduce the
+pre-optimization behaviour exactly.
+
+The reference implementations below are verbatim copies of the code before the
+incremental rewrite: ``replay_online`` materialized ``IORequest`` lists and
+rebuilt a trace per step, and ``predict_from_flushes`` rebuilt the full trace
+from every flush seen so far on each step.  The optimized versions must
+produce identical :class:`PredictionStep` sequences.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FtioConfig, OnlinePredictor
+from repro.core.online import PredictionStep, predict_from_flushes, replay_online
+from repro.trace.jsonl import FlushRecord, flushes_to_trace
+from repro.trace.trace import Trace
+from repro.workloads.hacc import hacc_flush_times, hacc_io_trace
+
+
+@pytest.fixture(scope="module")
+def hacc_trace():
+    return hacc_io_trace(ranks=16, loops=10, period=8.0, first_phase_delay=6.0, seed=21)
+
+
+@pytest.fixture(scope="module")
+def online_config():
+    return FtioConfig(
+        sampling_frequency=10.0, use_autocorrelation=False, compute_characterization=False
+    )
+
+
+def _reference_replay_online(trace, prediction_times, *, config, adaptive_window=True):
+    """Pre-optimization ``replay_online``: per-step IORequest materialization."""
+    predictor = OnlinePredictor(config=config, adaptive_window=adaptive_window)
+    steps = []
+    for t in sorted(prediction_times):
+        visible = trace.window(trace.t_start, t) if not trace.is_empty else trace
+        if visible.is_empty:
+            continue
+        mask = visible.ends <= t
+        completed = Trace.from_requests(
+            [visible.request(i) for i in range(len(visible)) if mask[i]],
+            metadata=dict(trace.metadata),
+        )
+        if completed.is_empty:
+            continue
+        steps.append(predictor.step(completed, now=t))
+    return steps
+
+
+def _reference_predict_from_flushes(flushes, *, config, adaptive_window=True):
+    """Pre-optimization ``predict_from_flushes``: full rebuild per flush."""
+    predictor = OnlinePredictor(config=config, adaptive_window=adaptive_window)
+    steps = []
+    seen = []
+    for flush in sorted(flushes, key=lambda f: f.flush_index):
+        seen.append(flush)
+        trace = flushes_to_trace(seen)
+        if trace.is_empty:
+            continue
+        steps.append(predictor.step(trace, now=flush.timestamp))
+    return steps
+
+
+def assert_steps_identical(actual: list[PredictionStep], expected: list[PredictionStep]):
+    assert len(actual) == len(expected)
+    for a, e in zip(actual, expected):
+        assert a.index == e.index
+        assert a.time == e.time
+        assert a.window == e.window
+        assert (a.result is None) == (e.result is None)
+        assert a.dominant_frequency == e.dominant_frequency
+        assert a.period == e.period
+        assert a.confidence == e.confidence
+
+
+def _trace_to_flushes(trace, flush_times):
+    """Cut a finished trace into append-only flush records at the given times."""
+    flushes = []
+    previous = trace.t_start - 1.0
+    for index, t in enumerate(sorted(flush_times)):
+        mask = (trace.ends > previous) & (trace.ends <= t)
+        requests = tuple(
+            trace.request(i) for i in range(len(trace)) if mask[i]
+        )
+        flushes.append(
+            FlushRecord(
+                flush_index=index,
+                timestamp=float(t),
+                requests=requests,
+                metadata={"app": "hacc-io", "flushes": index + 1},
+            )
+        )
+        previous = t
+    return flushes
+
+
+class TestReplayEquivalence:
+    @pytest.mark.parametrize("adaptive_window", [True, False])
+    def test_replay_online_matches_reference(self, hacc_trace, online_config, adaptive_window):
+        times = hacc_flush_times(hacc_trace)
+        new = replay_online(
+            hacc_trace, times, config=online_config, adaptive_window=adaptive_window
+        )
+        old = _reference_replay_online(
+            hacc_trace, times, config=online_config, adaptive_window=adaptive_window
+        )
+        assert len(new) > 3
+        assert_steps_identical(new, old)
+
+    def test_replay_online_empty_trace(self, online_config):
+        assert replay_online(Trace.empty(), [1.0, 2.0], config=online_config) == []
+
+    def test_predict_from_flushes_matches_reference(self, hacc_trace, online_config):
+        flushes = _trace_to_flushes(hacc_trace, hacc_flush_times(hacc_trace))
+        new = predict_from_flushes(flushes, config=online_config)
+        old = _reference_predict_from_flushes(flushes, config=online_config)
+        assert len(new) > 3
+        assert_steps_identical(new, old)
+
+    def test_predict_from_flushes_with_empty_flushes(self, hacc_trace, online_config):
+        flushes = list(_trace_to_flushes(hacc_trace, hacc_flush_times(hacc_trace)))
+        # Inject an empty metadata-only flush in the middle and at the start.
+        flushes.insert(0, FlushRecord(flush_index=-1, timestamp=0.0, requests=(), metadata={}))
+        flushes.insert(
+            4,
+            FlushRecord(
+                flush_index=flushes[3].flush_index,
+                timestamp=flushes[3].timestamp,
+                requests=(),
+                metadata={"ranks": 16},
+            ),
+        )
+        new = predict_from_flushes(flushes, config=online_config)
+        old = _reference_predict_from_flushes(flushes, config=online_config)
+        assert_steps_identical(new, old)
+
+    def test_metadata_accumulates_across_flushes(self, hacc_trace, online_config):
+        flushes = _trace_to_flushes(hacc_trace, hacc_flush_times(hacc_trace))
+        steps = predict_from_flushes(flushes, config=online_config)
+        final = steps[-1]
+        assert final.result is not None
+        # flushes_to_trace semantics: later flushes update earlier metadata.
+        assert final.result.metadata["trace_metadata"]["flushes"] == len(flushes)

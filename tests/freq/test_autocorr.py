@@ -100,3 +100,48 @@ class TestSimilarity:
     def test_invalid_frequency(self):
         with pytest.raises(Exception):
             similarity_to_candidates(0.0, [1.0])
+
+
+class TestFftEquivalence:
+    """The FFT (Wiener–Khinchin) ACF must match the direct O(N²) method."""
+
+    @staticmethod
+    def _direct_autocorrelation(samples):
+        """Reference implementation: the pre-optimization np.correlate path."""
+        x = np.asarray(samples, dtype=np.float64)
+        n = len(x)
+        centred = x - x.mean()
+        energy = float(np.dot(centred, centred))
+        acf = np.zeros(n)
+        acf[0] = 1.0
+        if energy == 0.0:
+            return acf
+        full = np.correlate(centred, centred, mode="full")
+        return full[n - 1 :] / energy
+
+    @pytest.mark.parametrize("n", [2, 3, 7, 64, 1000, 4097])
+    def test_matches_direct_on_random_signals(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n)
+        np.testing.assert_allclose(
+            autocorrelation(x), self._direct_autocorrelation(x), atol=1e-10
+        )
+
+    @pytest.mark.parametrize("value", [0.0, 1.0, -3.5])
+    def test_matches_direct_on_constant_signals(self, value):
+        x = np.full(128, value)
+        np.testing.assert_allclose(
+            autocorrelation(x), self._direct_autocorrelation(x), atol=1e-10
+        )
+
+    def test_matches_direct_on_periodic_signal(self):
+        signal = make_square_wave(period=10.0, duty=0.3, n_periods=12, fs=2.0)
+        np.testing.assert_allclose(
+            autocorrelation(signal), self._direct_autocorrelation(signal), atol=1e-10
+        )
+
+    def test_matches_direct_on_short_signals(self):
+        for x in ([1.0, 2.0], [0.0, 1.0, 0.0], [5.0, 5.0, 5.0, 4.0]):
+            np.testing.assert_allclose(
+                autocorrelation(x), self._direct_autocorrelation(x), atol=1e-10
+            )

@@ -91,3 +91,76 @@ class TestReconstruct:
         assert len(rebuilt) == 32
         with pytest.raises(ValueError):
             reconstruct(result, n_samples=0)
+
+
+def _loop_reconstruct(result, *, bins=None, n_samples=None):
+    """Reference implementation: the pre-optimization per-bin Python loop."""
+    n = int(n_samples if n_samples is not None else result.n_samples)
+    t_index = np.arange(n)
+    total = np.full(n, result.dc_offset, dtype=np.float64)
+    if bins is None:
+        selected = np.arange(1, result.n_bins)
+    else:
+        selected = np.unique(np.asarray(bins, dtype=np.int64))
+        selected = selected[selected >= 1]
+    n_orig = result.n_samples
+    for k in selected:
+        k = int(k)
+        factor = 1.0 if (n_orig % 2 == 0 and k == n_orig // 2) else 2.0
+        total += (
+            factor
+            * result.amplitudes[k]
+            / n_orig
+            * np.cos(2.0 * np.pi * k * t_index / n_orig + result.phases[k])
+        )
+    return total
+
+
+class TestReconstructEquivalence:
+    """The vectorized reconstruction must match the per-bin reference loop."""
+
+    @pytest.fixture(scope="class")
+    def noisy_result(self):
+        rng = np.random.default_rng(42)
+        fs, n = 10.0, 1024
+        signal = cosine_signal(0.5, fs, n) + 0.3 * rng.standard_normal(n)
+        return dft(signal, fs)
+
+    @pytest.mark.parametrize(
+        "bins",
+        [None, [1], [1, 5, 9], list(range(1, 65)), [512], [3, 3, 3, 7]],
+    )
+    def test_matches_loop_even_length(self, noisy_result, bins):
+        np.testing.assert_allclose(
+            reconstruct(noisy_result, bins=bins),
+            _loop_reconstruct(noisy_result, bins=bins),
+            atol=1e-10,
+        )
+
+    def test_matches_loop_odd_length(self):
+        rng = np.random.default_rng(7)
+        result = dft(rng.random(333), 2.0)
+        for bins in (None, [1, 2, 3], [result.n_bins - 1]):
+            np.testing.assert_allclose(
+                reconstruct(result, bins=bins),
+                _loop_reconstruct(result, bins=bins),
+                atol=1e-10,
+            )
+
+    def test_matches_loop_on_extension(self, noisy_result):
+        np.testing.assert_allclose(
+            reconstruct(noisy_result, bins=[1, 4], n_samples=2500),
+            _loop_reconstruct(noisy_result, bins=[1, 4], n_samples=2500),
+            atol=1e-10,
+        )
+
+    def test_matches_loop_on_truncation(self, noisy_result):
+        np.testing.assert_allclose(
+            reconstruct(noisy_result, bins=[2, 8], n_samples=100),
+            _loop_reconstruct(noisy_result, bins=[2, 8], n_samples=100),
+            atol=1e-10,
+        )
+
+    def test_out_of_range_bin_raises(self, noisy_result):
+        with pytest.raises(IndexError):
+            reconstruct(noisy_result, bins=[noisy_result.n_bins])
