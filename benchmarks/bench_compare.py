@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Compare two ``BENCH_perf.json`` reports and warn on regressions.
+
+CI runs this against the previous commit's artifact (the ROADMAP's BENCH
+trend line): every numeric leaf metric of the current report is compared to
+the same metric in the previous report, and a non-blocking warning is
+emitted when it regressed by more than the threshold (default 20 %).
+
+Direction is inferred from the metric name:
+
+* ``*seconds*`` (timings, latencies) — higher is worse;
+* ``*speedup*`` / ``*per_second*`` — lower is worse;
+* anything else (counts, sizes, versions) is informational and not compared.
+
+Exit code is always 0 — the trend line warns, the absolute floors in
+``test_perf_regression.py`` gate.  Warnings use the GitHub ``::warning::``
+annotation syntax so they surface on the workflow summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Metrics where a higher current value is a regression.
+_HIGHER_IS_WORSE = ("seconds",)
+#: Metrics where a lower current value is a regression.
+_LOWER_IS_WORSE = ("speedup", "per_second")
+#: Changes smaller than this many absolute seconds are noise, never warned
+#: about (sub-millisecond kernels fluctuate wildly on shared runners).
+MIN_ABS_SECONDS = 1e-3
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that moved in the bad direction past the threshold."""
+
+    metric: str
+    previous: float
+    current: float
+
+    @property
+    def change(self) -> float:
+        """Relative change of the current value vs the previous one."""
+        if self.previous == 0:
+            return float("inf")
+        return self.current / self.previous - 1.0
+
+
+def flatten(report: dict, prefix: str = "") -> dict[str, float]:
+    """Flatten the nested report into ``results.service.jobs_per_second``-style keys."""
+    flat: dict[str, float] = {}
+    for key, value in report.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            flat.update(flatten(value, path))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            flat[path] = float(value)
+    return flat
+
+
+def _direction(metric: str) -> int:
+    """+1 when higher is worse, -1 when lower is worse, 0 when not compared."""
+    leaf = metric.rsplit(".", 1)[-1]
+    if any(token in leaf for token in _LOWER_IS_WORSE):
+        return -1
+    if any(token in leaf for token in _HIGHER_IS_WORSE):
+        return 1
+    return 0
+
+
+def compare_reports(previous: dict, current: dict, *, threshold: float = 0.2) -> list[Regression]:
+    """Return the metrics that regressed by more than ``threshold`` (relative)."""
+    prev_flat = flatten(previous)
+    cur_flat = flatten(current)
+    regressions: list[Regression] = []
+    for metric, cur_value in sorted(cur_flat.items()):
+        direction = _direction(metric)
+        if direction == 0 or metric not in prev_flat:
+            continue
+        prev_value = prev_flat[metric]
+        if prev_value <= 0:
+            continue
+        change = (cur_value - prev_value) / prev_value * direction
+        if change <= threshold:
+            continue
+        if direction > 0 and abs(cur_value - prev_value) < MIN_ABS_SECONDS:
+            continue
+        regressions.append(Regression(metric=metric, previous=prev_value, current=cur_value))
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("previous", type=Path, help="BENCH_perf.json of the previous commit")
+    parser.add_argument("current", type=Path, help="BENCH_perf.json of this commit")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="relative regression beyond which a warning is emitted (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+
+    previous = json.loads(args.previous.read_text(encoding="utf-8"))
+    current = json.loads(args.current.read_text(encoding="utf-8"))
+    regressions = compare_reports(previous, current, threshold=args.threshold)
+
+    if not regressions:
+        print(
+            f"BENCH trend: no metric regressed by more than {args.threshold:.0%} "
+            f"vs {args.previous}"
+        )
+        return 0
+    print(f"BENCH trend: {len(regressions)} metric(s) regressed more than {args.threshold:.0%}:")
+    for regression in regressions:
+        message = (
+            f"{regression.metric}: {regression.previous:.4g} -> {regression.current:.4g} "
+            f"({regression.change:+.0%})"
+        )
+        print(f"::warning title=BENCH perf trend::{message}")
+        print(f"  {message}")
+    # Non-blocking by design: the trend line warns, the floors gate.
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

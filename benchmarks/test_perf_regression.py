@@ -17,7 +17,9 @@ Guarded regressions:
   the per-bin Python loop;
 * offline ``Ftio.detect()`` must stay within an absolute wall-clock budget at
   every signal size (it is dominated by the O(N log N) FFT, so a blow-up here
-  means a regression to a slower path).
+  means a regression to a slower path);
+* the streaming prediction service must sustain a jobs/sec floor and keep its
+  p99 detection latency under an absolute ceiling at 100+ concurrent jobs.
 """
 
 from __future__ import annotations
@@ -35,6 +37,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: Regression floors from the issue's acceptance criteria.
 MIN_ACF_SPEEDUP_AT_100K = 10.0
 MIN_RECONSTRUCT_SPEEDUP = 5.0
+#: Streaming-service floors: the measured numbers are ~500 jobs/s and a p99
+#: detection latency of ~20 ms at 100 concurrent jobs; the floors keep two
+#: orders of magnitude of headroom for noisy shared runners while still
+#: catching a service hot path falling off a cliff.
+MIN_SERVICE_JOBS_PER_SECOND = 10.0
+MAX_SERVICE_P99_LATENCY_SECONDS = 1.0
 #: Generous absolute budget for one offline detection (seconds); the measured
 #: time at 100k samples is ~10 ms, so a 100x margin still catches an O(N^2)
 #: regression (which lands at seconds).
@@ -69,6 +77,13 @@ def _format_table(report: dict) -> str:
         f"in {replay['seconds']:.3f} s; sweep point ({sweep['traces']} traces) "
         f"in {sweep['seconds']:.3f} s"
     )
+    service = results["service"]
+    lines.append(
+        f"service: {service['n_jobs']} jobs x {service['n_flushes'] // service['n_jobs']} "
+        f"flushes -> {service['n_detections']} detections in "
+        f"{service['elapsed_seconds']:.3f} s ({service['jobs_per_second']:.0f} jobs/s, "
+        f"p99 detection latency {service['p99_detection_latency_seconds'] * 1e3:.1f} ms)"
+    )
     return "\n".join(lines)
 
 
@@ -101,10 +116,22 @@ class TestPerfRegression:
         sweep = perf_report["results"]["sweep_point"]
         assert sweep["traces"] > 0 and sweep["seconds"] > 0
 
+    def test_service_throughput_floor(self, perf_report):
+        service = perf_report["results"]["service"]
+        assert service["n_jobs"] >= 100, "the service benchmark must run 100+ concurrent jobs"
+        assert service["n_detections"] > 0
+        assert service["jobs_per_second"] >= MIN_SERVICE_JOBS_PER_SECOND, (
+            f"service throughput dropped to {service['jobs_per_second']:.1f} jobs/s"
+        )
+        assert service["p99_detection_latency_seconds"] <= MAX_SERVICE_P99_LATENCY_SECONDS, (
+            f"service p99 detection latency rose to "
+            f"{service['p99_detection_latency_seconds']:.3f} s"
+        )
+
     def test_report_written_and_valid_json(self, perf_report):
         path = write_report(perf_report, REPO_ROOT / "BENCH_perf.json")
         loaded = json.loads(path.read_text(encoding="utf-8"))
-        assert loaded["schema_version"] == 1
+        assert loaded["schema_version"] == 2
         assert loaded["signal_sizes"] == [1_000, 10_000, 100_000]
         assert set(loaded["results"]) == {
             "autocorrelation",
@@ -113,5 +140,6 @@ class TestPerfRegression:
             "detect_offline",
             "online_replay",
             "sweep_point",
+            "service",
         }
         print_report("Perf regression (BENCH_perf.json)", _format_table(perf_report))

@@ -11,6 +11,9 @@ The package is organized in layers:
   and semi-synthetic trace generators;
 * :mod:`repro.cluster` / :mod:`repro.scheduling` — the shared-file-system
   simulator and the Set-10 I/O scheduling use case;
+* :mod:`repro.service` — the streaming prediction service: framed multi-job
+  flush ingestion, bounded-memory online sessions, live FTIO-driven
+  scheduling;
 * :mod:`repro.analysis` — detection-error sweeps and report rendering.
 
 Quick start::
@@ -22,7 +25,7 @@ Quick start::
     print(result.summary())
 """
 
-from repro import analysis, cluster, core, freq, scheduling, trace, tracer, workloads
+from repro import analysis, cluster, core, freq, scheduling, service, trace, tracer, workloads
 from repro.core import (
     Ftio,
     FtioConfig,
@@ -41,6 +44,7 @@ __all__ = [
     "core",
     "freq",
     "scheduling",
+    "service",
     "trace",
     "tracer",
     "workloads",

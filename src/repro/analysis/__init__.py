@@ -3,6 +3,8 @@
 from repro.analysis.benchmark import (
     TimingResult,
     run_perf_suite,
+    run_service_benchmark,
+    synthetic_flush_streams,
     time_callable,
     write_report,
 )
@@ -23,6 +25,8 @@ from repro.analysis.sweep import (
 __all__ = [
     "TimingResult",
     "run_perf_suite",
+    "run_service_benchmark",
+    "synthetic_flush_streams",
     "time_callable",
     "write_report",
     "DetectionOutcome",

@@ -10,15 +10,17 @@ module provides the small timing utilities the perf-regression benchmark
   (:func:`direct_autocorrelation`, :func:`loop_reconstruct`) so the measured
   speedups are against the real O(N²) / per-bin-loop baselines, not guesses;
 * :func:`run_perf_suite` — times ACF, DFT + reconstruction, offline detection,
-  online replay and one limitation-study sweep point across signal sizes and
-  returns a JSON-serializable report;
+  online replay, one limitation-study sweep point and the streaming service
+  across signal sizes and returns a JSON-serializable report;
+* :func:`run_service_benchmark` — throughput and detection latency of the
+  streaming prediction service under 100+ concurrent jobs;
 * :func:`write_report` — persists the report (``BENCH_perf.json`` at the repo
   root by convention).
 
-The report schema (version 1)::
+The report schema (version 2; version 1 lacked the ``service`` section)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "generated_at": <unix epoch seconds>,
       "environment": {"python": "...", "numpy": "...", "platform": "..."},
       "signal_sizes": [1000, 10000, 100000],
@@ -29,7 +31,12 @@ The report schema (version 1)::
         "dft":             {"<n>": {"seconds"}},
         "detect_offline":  {"<n>": {"seconds"}},
         "online_replay":   {"n_requests", "n_steps", "seconds"},
-        "sweep_point":     {"traces", "seconds"}
+        "sweep_point":     {"traces", "seconds"},
+        "service":         {"n_jobs", "n_flushes", "n_requests", "n_detections",
+                            "elapsed_seconds", "jobs_per_second",
+                            "flushes_per_second",
+                            "p50_detection_latency_seconds",
+                            "p99_detection_latency_seconds"}
       }
     }
 """
@@ -165,6 +172,116 @@ def periodic_signal(n: int, *, sampling_frequency: float = 10.0, seed: int = 0) 
     return DiscreteSignal(samples=samples, sampling_frequency=sampling_frequency, t_start=0.0)
 
 
+def synthetic_flush_streams(
+    n_jobs: int,
+    *,
+    flushes_per_job: int = 8,
+    requests_per_flush: int = 16,
+    base_period: float = 8.0,
+    seed: int = 0,
+) -> dict[str, list]:
+    """Per-job flush streams of periodic synthetic writes (service workload).
+
+    Each job writes one burst of ``requests_per_flush`` requests per period
+    and flushes at the end of the burst; jobs get slightly different periods
+    and phase offsets so the service sees genuinely heterogeneous tenants.
+    Returns a mapping job id -> list of :class:`FlushRecord`.
+    """
+    from repro.trace.jsonl import FlushRecord
+    from repro.trace.record import IORequest
+
+    rng = np.random.default_rng(seed)
+    streams: dict[str, list] = {}
+    for j in range(n_jobs):
+        period = base_period * float(rng.uniform(0.8, 1.25))
+        offset = float(rng.uniform(0.0, period))
+        burst = period / 16.0
+        flushes = []
+        for i in range(flushes_per_job):
+            phase_start = offset + i * period
+            starts = phase_start + np.arange(requests_per_flush) * (burst / requests_per_flush)
+            requests = tuple(
+                IORequest(
+                    rank=int(r % 4),
+                    start=float(starts[r]),
+                    end=float(starts[r] + burst / requests_per_flush),
+                    nbytes=1 << 20,
+                )
+                for r in range(requests_per_flush)
+            )
+            flushes.append(
+                FlushRecord(
+                    flush_index=i,
+                    timestamp=float(starts[-1] + burst / requests_per_flush),
+                    requests=requests,
+                    metadata={"application": "synthetic", "job": j} if i == 0 else {},
+                )
+            )
+        streams[f"job-{j:03d}"] = flushes
+    return streams
+
+
+def run_service_benchmark(
+    *,
+    n_jobs: int = 100,
+    flushes_per_job: int = 8,
+    requests_per_flush: int = 16,
+    max_workers: int = 4,
+    sampling_frequency: float = 10.0,
+    seed: int = 0,
+) -> dict:
+    """Drive ``n_jobs`` concurrent flush streams through the prediction service.
+
+    The streams are interleaved round-robin (every job has a flush in flight
+    at every round, the worst case for the broker) and the dispatcher pumps
+    after each round.  Reports ingest-to-publish throughput and the detection
+    latency distribution — the ``service`` section of ``BENCH_perf.json``.
+    """
+    from repro.core.config import FtioConfig
+    from repro.service import PredictionService, ServiceConfig, SessionConfig
+
+    streams = synthetic_flush_streams(
+        n_jobs,
+        flushes_per_job=flushes_per_job,
+        requests_per_flush=requests_per_flush,
+        seed=seed,
+    )
+    config = ServiceConfig(
+        session=SessionConfig(
+            config=FtioConfig(
+                sampling_frequency=sampling_frequency,
+                use_autocorrelation=False,
+                compute_characterization=False,
+            )
+        ),
+        max_workers=max_workers,
+    )
+    service = PredictionService(config)
+    started = time.perf_counter()
+    for round_index in range(flushes_per_job):
+        for job, flushes in streams.items():
+            service.ingest_flush(job, flushes[round_index])
+        service.pump()
+    service.drain()
+    elapsed = time.perf_counter() - started
+    service.close()
+
+    stats = service.stats()
+    n_flushes = n_jobs * flushes_per_job
+    return {
+        "n_jobs": int(n_jobs),
+        "n_flushes": int(n_flushes),
+        "n_requests": int(stats["requests"]),
+        "n_detections": int(stats["detections"]),
+        "max_workers": int(max_workers),
+        "elapsed_seconds": float(elapsed),
+        "jobs_per_second": float(n_jobs / elapsed) if elapsed > 0 else 0.0,
+        "flushes_per_second": float(n_flushes / elapsed) if elapsed > 0 else 0.0,
+        "p50_detection_latency_seconds": service.dispatcher.latency_percentile(50.0),
+        "p99_detection_latency_seconds": service.dispatcher.latency_percentile(99.0),
+    }
+
+
 def run_perf_suite(
     sizes: tuple[int, ...] = DEFAULT_SIGNAL_SIZES,
     *,
@@ -269,8 +386,11 @@ def run_perf_suite(
         "seconds": sweep_timing.best,
     }
 
+    # Streaming service under 100+ concurrent jobs (jobs/sec, p99 latency).
+    results["service"] = run_service_benchmark(seed=seed)
+
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "generated_at": time.time(),
         "environment": {
             "python": platform.python_version(),

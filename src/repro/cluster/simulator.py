@@ -27,6 +27,9 @@ from repro.exceptions import SchedulingError
 #: Observer callback signature: (job, completed phase record, time).
 PhaseObserver = Callable[[JobState, PhaseRecord, float], None]
 
+#: Observer callback signature for job completion: (job, time).
+FinishObserver = Callable[[JobState, float], None]
+
 _EPS = 1e-9
 
 
@@ -94,6 +97,7 @@ class ClusterSimulator:
         jobs: list[JobSpec],
         *,
         phase_observers: list[PhaseObserver] | None = None,
+        finish_observers: list[FinishObserver] | None = None,
     ):
         if not jobs:
             raise SchedulingError("the simulation needs at least one job")
@@ -104,11 +108,20 @@ class ClusterSimulator:
         self._scheduler = scheduler
         self._specs = list(jobs)
         self._observers = list(phase_observers or [])
+        self._finish_observers = list(finish_observers or [])
 
     # ------------------------------------------------------------------ #
     def add_phase_observer(self, observer: PhaseObserver) -> None:
         """Register a callback fired after every completed I/O phase."""
         self._observers.append(observer)
+
+    def add_finish_observer(self, observer: FinishObserver) -> None:
+        """Register a callback fired when a job finishes its last iteration.
+
+        The streaming-service flush bridge uses this to close the job's
+        prediction session once no further phases can arrive.
+        """
+        self._finish_observers.append(observer)
 
     def run(self, *, max_time: float = 1e9) -> SimulationResult:
         """Run the simulation until every job finished (or ``max_time`` is hit)."""
@@ -213,6 +226,8 @@ class ClusterSimulator:
                         observer(state, record, time)
                     if state.phase is JobPhase.FINISHED:
                         self._scheduler.on_job_finished(state, time)
+                        for observer in self._finish_observers:
+                            observer(state, time)
 
 
 def run_isolated(spec: JobSpec, filesystem: SharedFileSystem) -> JobResult:

@@ -21,6 +21,7 @@ from repro.core.intervals import (
 from repro.core.online import (
     OnlinePredictor,
     PredictionStep,
+    RestoredResult,
     predict_from_file,
     predict_from_flushes,
     replay_online,
@@ -48,6 +49,7 @@ __all__ = [
     "resolution_eps",
     "OnlinePredictor",
     "PredictionStep",
+    "RestoredResult",
     "predict_from_file",
     "predict_from_flushes",
     "replay_online",

@@ -27,7 +27,7 @@ from repro.core.config import FtioConfig
 from repro.core.ftio import Ftio
 from repro.core.intervals import FrequencyInterval, merge_predictions
 from repro.core.result import FtioResult
-from repro.exceptions import AnalysisError, InsufficientSamplesError
+from repro.exceptions import AnalysisError, EmptyTraceError, InsufficientSamplesError
 from repro.trace.jsonl import FlushRecord, iter_flushes
 from repro.trace.trace import Trace, merge_traces
 
@@ -45,14 +45,15 @@ class PredictionStep:
     window:
         (t0, t1) analysis window that was used.
     result:
-        Full FTIO result of the evaluation, or ``None`` when the window held
-        too little data to analyse.
+        Full FTIO result of the evaluation (a compact :class:`RestoredResult`
+        after a snapshot restore), or ``None`` when the window held too little
+        data to analyse.
     """
 
     index: int
     time: float
     window: tuple[float, float]
-    result: FtioResult | None
+    result: FtioResult | RestoredResult | None
 
     @property
     def dominant_frequency(self) -> float | None:
@@ -81,6 +82,23 @@ class PredictionStep:
         return self.window[1] - self.window[0]
 
 
+@dataclass(frozen=True)
+class RestoredResult:
+    """Stand-in for an :class:`FtioResult` rebuilt from a snapshot.
+
+    A full result holds the spectrum, the discretized signal and the outlier
+    masks — far more than a crash-recovery snapshot needs to carry.  This
+    shim preserves exactly the fields the online consumers read
+    (:attr:`PredictionStep.dominant_frequency` / ``period`` / ``confidence``),
+    so a restored predictor keeps answering ``latest_period()`` and
+    ``merged_intervals()`` correctly.
+    """
+
+    dominant_frequency: float | None
+    period: float | None
+    best_confidence: float
+
+
 @dataclass
 class OnlinePredictor:
     """Stateful online predictor: call :meth:`step` after every flush.
@@ -91,10 +109,18 @@ class OnlinePredictor:
         Analysis configuration (shared with the offline pipeline).
     adaptive_window:
         Enable the time-window adaptation (enhancement 1 above).
+    compact_history:
+        Keep only a compact :class:`RestoredResult` per past evaluation
+        instead of the full :class:`FtioResult` (which holds the spectrum and
+        the discretized signal).  :meth:`step` still *returns* the full
+        result; long-running callers that evaluate repeatedly (the streaming
+        service sessions) enable this so predictor memory stays O(1) per
+        evaluation instead of O(window).
     """
 
     config: FtioConfig = field(default_factory=FtioConfig)
     adaptive_window: bool = True
+    compact_history: bool = False
     _ftio: Ftio = field(init=False, repr=False)
     _history: list[PredictionStep] = field(init=False, default_factory=list, repr=False)
     _consecutive_hits: int = field(init=False, default=0, repr=False)
@@ -152,13 +178,95 @@ class OnlinePredictor:
         result: FtioResult | None
         try:
             result = self._ftio.detect(trace, window=window)
-        except (InsufficientSamplesError, AnalysisError):
+        except (InsufficientSamplesError, AnalysisError, EmptyTraceError):
+            # An analysis window that holds no analysable requests (e.g. only
+            # reads under io_kind="write") is "no result", not a crash.
             result = None
 
         step = PredictionStep(index=len(self._history), time=t_end, window=window, result=result)
         self._history.append(step)
         self._update_adaptive_state(step)
+        if self.compact_history and result is not None:
+            self._history[-1] = PredictionStep(
+                index=step.index,
+                time=step.time,
+                window=step.window,
+                result=RestoredResult(
+                    dominant_frequency=result.dominant_frequency,
+                    period=result.period,
+                    best_confidence=result.best_confidence,
+                ),
+            )
         return step
+
+    # ------------------------------------------------------------------ #
+    # incremental-ingestion hooks (used by the streaming service sessions)
+    # ------------------------------------------------------------------ #
+    def evictable_before(self) -> float | None:
+        """Timestamp before which no future evaluation will look, or ``None``.
+
+        Once the adaptive window has shrunk, every subsequent :meth:`step`
+        restricts its analysis to ``[window_start, now]``; a caller that owns
+        the accumulated trace (e.g. a bounded-memory service session) may
+        therefore drop requests that completed before this timestamp without
+        changing any future prediction.
+        """
+        return self._window_start
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the predictor state (crash recovery).
+
+        The snapshot keeps the adaptive-window state and a compact record of
+        every evaluation (enough for :meth:`latest_period` and
+        :meth:`merged_intervals`); the heavyweight per-step spectra are not
+        retained.  Restore with :meth:`load_state_dict`.
+        """
+        return {
+            "consecutive_hits": self._consecutive_hits,
+            "last_period": self._last_period,
+            "window_start": self._window_start,
+            "adaptive_window": self.adaptive_window,
+            "steps": [
+                {
+                    "index": s.index,
+                    "time": s.time,
+                    "window": [s.window[0], s.window[1]],
+                    "frequency": s.dominant_frequency,
+                    "period": s.period,
+                    "confidence": s.confidence,
+                }
+                for s in self._history
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the predictor from a :meth:`state_dict` snapshot.
+
+        The snapshot's ``adaptive_window`` flag overrides the constructor's:
+        the restored predictor must shrink (or not shrink) its windows exactly
+        as the snapshotted one would have.
+        """
+        self.adaptive_window = bool(state.get("adaptive_window", self.adaptive_window))
+        self._consecutive_hits = int(state["consecutive_hits"])
+        self._last_period = state["last_period"]
+        self._window_start = state["window_start"]
+        self._history.clear()
+        for entry in state["steps"]:
+            result: RestoredResult | None = None
+            if entry["frequency"] is not None or entry["period"] is not None:
+                result = RestoredResult(
+                    dominant_frequency=entry["frequency"],
+                    period=entry["period"],
+                    best_confidence=float(entry["confidence"]),
+                )
+            self._history.append(
+                PredictionStep(
+                    index=int(entry["index"]),
+                    time=float(entry["time"]),
+                    window=(float(entry["window"][0]), float(entry["window"][1])),
+                    result=result,
+                )
+            )
 
     def merged_intervals(self) -> list[FrequencyInterval]:
         """Merge all predictions so far into frequency intervals with probabilities."""
@@ -204,9 +312,8 @@ def replay_online(
         visible = trace.window(trace.t_start, t)
         if visible.is_empty:
             continue
-        # Only requests that completed by t have been flushed.  The columnar
-        # mask select keeps the trace arrays intact — no IORequest round-trip.
-        completed = visible._select(visible.ends <= t)
+        # Only requests that completed by t have been flushed.
+        completed = visible.completed_before(t)
         if completed.is_empty:
             continue
         steps.append(predictor.step(completed, now=t))
@@ -234,8 +341,13 @@ def predict_from_flushes(
     accumulated = Trace.empty()
     for flush in sorted(flushes, key=lambda f: f.flush_index):
         if flush.requests:
-            metadata = dict(accumulated.metadata)
-            metadata.update(flush.metadata)
+            # Merge metadata only when the flush actually carries some; most
+            # flushes repeat the same dict, so the running metadata can be
+            # passed through unchanged instead of being rebuilt every step.
+            if flush.metadata:
+                metadata = {**accumulated.metadata, **flush.metadata}
+            else:
+                metadata = accumulated.metadata
             accumulated = merge_traces(
                 [accumulated, Trace.from_requests(flush.requests)], metadata=metadata
             )

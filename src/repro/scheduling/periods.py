@@ -13,6 +13,13 @@ four sources of that knowledge:
 All providers implement the tiny :class:`PeriodProvider` protocol consumed by
 :class:`~repro.scheduling.set10.Set10Scheduler`, and providers that learn at
 runtime also act as simulator phase observers.
+
+A fifth provider, :class:`~repro.service.provider.ServicePeriodProvider`,
+serves periods published by the streaming prediction service — the fully
+online variant of the FTIO configuration, where the estimates come from live
+flush ingestion instead of an in-process pipeline.  It is re-exported here
+lazily (``from repro.scheduling.periods import ServicePeriodProvider``) so
+this module stays import-light for users who never start the service.
 """
 
 from __future__ import annotations
@@ -30,6 +37,16 @@ from repro.trace.record import IORequest
 from repro.trace.trace import Trace
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive
+
+
+def __getattr__(name: str):
+    # Lazy re-export: the service depends on this module (for PeriodProvider),
+    # so importing it eagerly here would be circular.
+    if name == "ServicePeriodProvider":
+        from repro.service.provider import ServicePeriodProvider
+
+        return ServicePeriodProvider
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class PeriodProvider(abc.ABC):

@@ -1,0 +1,44 @@
+"""Streaming prediction service: live multi-job FTIO predictions.
+
+The service turns the offline replay pipeline into an online subsystem: many
+concurrent jobs flush measurements as length-prefixed frames (spool files or
+sockets), a broker demultiplexes them into bounded-memory per-job sessions, a
+dispatcher batches due evaluations onto a worker pool with backpressure and
+per-job rate limiting, and a publisher exposes the live predictions — both to
+subscribers and, through :class:`ServicePeriodProvider`, to the Set-10
+scheduler, closing the paper's Figure 17 loop end to end.
+"""
+
+from repro.service.bridge import PhaseFlushBridge
+from repro.service.broker import BrokerStats, FlushBroker
+from repro.service.dispatcher import DetectionDispatcher, DispatcherStats
+from repro.service.provider import ServicePeriodProvider
+from repro.service.publisher import PredictionPublisher, PredictionUpdate
+from repro.service.service import PredictionService, ServiceConfig
+from repro.service.session import JobSession, RingColumnStore, SessionConfig
+from repro.service.snapshot import (
+    load_snapshot,
+    restore_state,
+    save_snapshot,
+    snapshot_state,
+)
+
+__all__ = [
+    "PhaseFlushBridge",
+    "BrokerStats",
+    "FlushBroker",
+    "DetectionDispatcher",
+    "DispatcherStats",
+    "ServicePeriodProvider",
+    "PredictionPublisher",
+    "PredictionUpdate",
+    "PredictionService",
+    "ServiceConfig",
+    "JobSession",
+    "RingColumnStore",
+    "SessionConfig",
+    "load_snapshot",
+    "restore_state",
+    "save_snapshot",
+    "snapshot_state",
+]

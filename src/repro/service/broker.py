@@ -1,0 +1,157 @@
+"""Flush broker: demultiplexes framed flush streams into per-job sessions.
+
+The broker is the ingestion front end of the prediction service.  Any number
+of producers — a tailed spool file, socket pairs, the cluster simulator's
+phase bridge, or direct :meth:`ingest` calls — hand it flush records tagged
+with a job identity, and the broker routes each one to that job's
+:class:`~repro.service.session.JobSession`, creating sessions on demand.
+Classification happens on the frame header alone; payloads are only decoded
+once (by the frame decoder), never per-consumer.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.trace.framing import FlushFrame, FrameDecoder, FrameReader
+from repro.trace.jsonl import FlushRecord
+
+from repro.service.session import JobSession, SessionConfig
+
+#: Callable building the session for a newly seen job.
+SessionFactory = Callable[[str], JobSession]
+
+
+@dataclass(frozen=True)
+class BrokerStats:
+    """Ingestion counters of a broker."""
+
+    jobs: int
+    frames: int
+    flushes: int
+    requests: int
+
+
+class FlushBroker:
+    """Routes flush frames from N concurrent jobs into per-job sessions.
+
+    Parameters
+    ----------
+    session_config:
+        Configuration applied to sessions created on demand.
+    session_factory:
+        Alternative constructor for per-job sessions (overrides
+        ``session_config``); receives the job id.
+    """
+
+    def __init__(
+        self,
+        *,
+        session_config: SessionConfig | None = None,
+        session_factory: SessionFactory | None = None,
+    ) -> None:
+        self._session_config = session_config or SessionConfig()
+        self._factory = session_factory
+        self._sessions: dict[str, JobSession] = {}
+        self._lock = threading.Lock()
+        self._decoder = FrameDecoder()
+        self._frames = 0
+        self._flushes = 0
+        self._requests = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def jobs(self) -> tuple[str, ...]:
+        """Identifiers of every job seen so far (ingestion order)."""
+        with self._lock:
+            return tuple(self._sessions)
+
+    @property
+    def stats(self) -> BrokerStats:
+        """Current ingestion counters."""
+        with self._lock:
+            return BrokerStats(
+                jobs=len(self._sessions),
+                frames=self._frames,
+                flushes=self._flushes,
+                requests=self._requests,
+            )
+
+    def session(self, job: str) -> JobSession:
+        """Return (creating if necessary) the session of ``job``."""
+        with self._lock:
+            return self._session_locked(job)
+
+    def _session_locked(self, job: str) -> JobSession:
+        session = self._sessions.get(job)
+        if session is None:
+            if self._factory is not None:
+                session = self._factory(job)
+            else:
+                session = JobSession(job, self._session_config)
+            self._sessions[job] = session
+        return session
+
+    def sessions(self) -> tuple[JobSession, ...]:
+        """All sessions (ingestion order)."""
+        with self._lock:
+            return tuple(self._sessions.values())
+
+    def remove(self, job: str) -> JobSession | None:
+        """Detach and return the session of ``job`` (``None`` when unknown).
+
+        A flush arriving for the job afterwards transparently creates a fresh
+        session, so removal is safe even if a straggler frame shows up.
+        """
+        with self._lock:
+            return self._sessions.pop(job, None)
+
+    def due_sessions(self) -> tuple[JobSession, ...]:
+        """The sessions with unevaluated data, respecting per-job rate limits."""
+        return tuple(s for s in self.sessions() if s.due())
+
+    # ------------------------------------------------------------------ #
+    def ingest(self, job: str, flush: FlushRecord) -> JobSession:
+        """Ingest one flush for ``job`` directly (no framing involved)."""
+        with self._lock:
+            session = self._session_locked(job)
+            self._flushes += 1
+            self._requests += len(flush.requests)
+        session.ingest(flush)
+        return session
+
+    def ingest_frame(self, frame: FlushFrame) -> JobSession:
+        """Route one decoded frame to its job's session."""
+        with self._lock:
+            self._frames += 1
+        return self.ingest(frame.job, frame.flush)
+
+    def ingest_frames(self, frames: Iterable[FlushFrame]) -> int:
+        """Route an iterable of frames; returns how many were ingested."""
+        count = 0
+        for frame in frames:
+            self.ingest_frame(frame)
+            count += 1
+        return count
+
+    def feed_bytes(self, data: bytes) -> int:
+        """Feed raw framed bytes (socket reads); returns completed frames routed."""
+        with self._lock:
+            self._decoder.feed(data)
+            frames = list(self._decoder.frames())
+        return self.ingest_frames(frames)
+
+    def tail(self, path: str | Path, *, offset: int = 0) -> FrameReader:
+        """Return a :class:`FrameReader` whose polls feed this broker.
+
+        The reader's sink is this broker, so newly completed frames are
+        ingested automatically::
+
+            reader = broker.tail(spool_path)
+            ...
+            reader.poll()   # routes any new frames into the sessions
+        """
+        return FrameReader(path, offset=offset, sink=self.ingest_frames)

@@ -1,0 +1,173 @@
+"""Detection dispatcher: batches due evaluations onto a worker pool.
+
+On every :meth:`pump`, the dispatcher collects the sessions that have new,
+rate-limit-eligible data (``JobSession.due``) and submits one evaluation per
+job to a thread pool.  Two mechanisms keep an overloaded service stable
+rather than ever-slower:
+
+* **backpressure** — at most ``max_pending`` evaluations are in flight; when
+  the pool is saturated, due sessions are deferred, their flushes keep
+  accumulating, and the *next* evaluation covers all of them at once
+  (detections coalesce, ingestion never blocks);
+* **per-job rate limiting** — ``SessionConfig.min_detection_interval`` spaces
+  evaluations of a chatty job in trace time, independent of other jobs.
+
+With ``max_workers=0`` evaluations run inline in the pumping thread, which is
+deterministic and what the equivalence tests use.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.online import PredictionStep
+
+from repro.service.broker import FlushBroker
+from repro.service.session import JobSession
+
+#: Completion callback signature: (session, step or None, latency seconds).
+DetectionSink = Callable[[JobSession, PredictionStep | None, float], None]
+
+
+@dataclass(frozen=True)
+class DispatcherStats:
+    """Counters and latency aggregates of a dispatcher."""
+
+    submitted: int
+    completed: int
+    deferred: int
+    failures: int
+    pending: int
+
+    @property
+    def in_flight(self) -> int:
+        """Evaluations currently queued or running."""
+        return self.pending
+
+
+class DetectionDispatcher:
+    """Schedules due per-job detections with backpressure and rate limiting."""
+
+    def __init__(
+        self,
+        broker: FlushBroker,
+        *,
+        sink: DetectionSink | None = None,
+        max_workers: int = 0,
+        max_pending: int = 64,
+        latency_window: int = 4096,
+    ) -> None:
+        if max_workers < 0:
+            raise ValueError(f"max_workers must be >= 0, got {max_workers}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if latency_window < 1:
+            raise ValueError(f"latency_window must be >= 1, got {latency_window}")
+        self._broker = broker
+        self._sink = sink
+        self._pool = ThreadPoolExecutor(max_workers=max_workers) if max_workers else None
+        self._max_pending = max_pending
+        self._futures: set[Future] = set()
+        self._lock = threading.Lock()
+        # Bounded: a long-running service must not accumulate one float per
+        # evaluation forever; percentiles are over the most recent window.
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._submitted = 0
+        self._completed = 0
+        self._deferred = 0
+        self._failures = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> DispatcherStats:
+        """Current dispatch counters."""
+        with self._lock:
+            return DispatcherStats(
+                submitted=self._submitted,
+                completed=self._completed,
+                deferred=self._deferred,
+                failures=self._failures,
+                pending=len(self._futures),
+            )
+
+    def latencies(self) -> tuple[float, ...]:
+        """Durations of the most recent completed evaluations (seconds)."""
+        with self._lock:
+            return tuple(self._latencies)
+
+    def latency_percentile(self, q: float) -> float | None:
+        """Recent-window latency percentile in seconds, or ``None`` if empty."""
+        with self._lock:
+            if not self._latencies:
+                return None
+            return float(np.percentile(np.asarray(self._latencies), q))
+
+    # ------------------------------------------------------------------ #
+    def pump(self, *, wait_for_batch: bool = False) -> int:
+        """Schedule every due session onto the pool; returns the submit count.
+
+        With ``wait_for_batch=True`` (or inline workers) the call returns only
+        after the scheduled evaluations finished.
+        """
+        submitted: list[Future] = []
+        count = 0
+        for session in self._broker.due_sessions():
+            with self._lock:
+                if len(self._futures) >= self._max_pending:
+                    self._deferred += 1
+                    continue
+                self._submitted += 1
+            count += 1
+            if self._pool is None:
+                self._run_one(session)
+            else:
+                future = self._pool.submit(self._run_one, session)
+                with self._lock:
+                    self._futures.add(future)
+                future.add_done_callback(self._discard_future)
+                submitted.append(future)
+        if wait_for_batch and submitted:
+            wait(submitted)
+        return count
+
+    def join(self) -> None:
+        """Block until every in-flight evaluation has completed."""
+        while True:
+            with self._lock:
+                futures = list(self._futures)
+            if not futures:
+                return
+            wait(futures)
+
+    def close(self) -> None:
+        """Wait for in-flight work and shut the pool down."""
+        self.join()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------ #
+    def _discard_future(self, future: Future) -> None:
+        with self._lock:
+            self._futures.discard(future)
+
+    def _run_one(self, session: JobSession) -> None:
+        started = time.perf_counter()
+        try:
+            step = session.detect()
+        except Exception:
+            with self._lock:
+                self._failures += 1
+            raise
+        latency = time.perf_counter() - started
+        with self._lock:
+            self._completed += 1
+            self._latencies.append(latency)
+        if self._sink is not None:
+            self._sink(session, step, latency)

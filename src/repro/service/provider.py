@@ -1,0 +1,55 @@
+"""Live FTIO-driven period knowledge for the Set-10 scheduler.
+
+:class:`ServicePeriodProvider` closes the paper's Figure 17 loop end to end:
+the cluster simulator's completed I/O phases are streamed into the prediction
+service (see :mod:`repro.service.bridge`), the service publishes per-job
+period predictions, and this provider hands them to
+:class:`~repro.scheduling.set10.Set10Scheduler` — the scheduler is driven by
+*live* FTIO output instead of pre-baked periods.
+
+Before the service has produced a first prediction for a job, the provider
+falls back to the mean gap between the job's observed phase starts (the same
+bootstrap the in-process :class:`~repro.scheduling.periods.FtioPeriods`
+provider uses), so freshly started jobs are scheduled sensibly instead of
+being starved in the unknown set.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.job import JobState, PhaseRecord
+from repro.scheduling.periods import PeriodProvider
+
+
+class ServicePeriodProvider(PeriodProvider):
+    """Period estimates served by a running :class:`PredictionService`.
+
+    Parameters
+    ----------
+    service:
+        The prediction service publishing per-job predictions.
+    bootstrap:
+        Use the mean phase-start gap while no prediction exists yet.
+    """
+
+    def __init__(self, service, *, bootstrap: bool = True) -> None:
+        self._service = service
+        self._bootstrap = bootstrap
+        self._phase_starts: dict[str, list[float]] = {}
+
+    def period_of(self, job_name: str) -> float | None:
+        period = self._service.publisher.latest_period(job_name)
+        if period is not None:
+            return period
+        if not self._bootstrap:
+            return None
+        starts = self._phase_starts.get(job_name)
+        if starts is None or len(starts) < 2:
+            return None
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
+        return sum(gaps) / len(gaps)
+
+    def observe_phase(self, job: JobState, record: PhaseRecord, time: float) -> None:
+        # The scheduler forwards every completed phase; the provider only
+        # keeps the start times for the bootstrap estimate — the actual
+        # prediction data flows through the service's flush bridge.
+        self._phase_starts.setdefault(job.name, []).append(record.start)

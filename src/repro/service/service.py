@@ -1,0 +1,182 @@
+"""The streaming prediction service facade.
+
+:class:`PredictionService` wires the subsystem together: the
+:class:`~repro.service.broker.FlushBroker` demultiplexes incoming flushes
+into bounded-memory per-job sessions, the
+:class:`~repro.service.dispatcher.DetectionDispatcher` batches due
+evaluations onto a worker pool, and every completed evaluation is pushed to
+the :class:`~repro.service.publisher.PredictionPublisher`, where schedulers
+and subscribers consume it.  One service instance serves any number of
+concurrent jobs::
+
+    service = PredictionService(ServiceConfig(session=SessionConfig(...)))
+    service.feed_bytes(framed_bytes)          # or ingest_flush / tail_file
+    service.pump(wait_for_batch=True)         # evaluate whatever is due
+    service.publisher.latest_period("job-7")  # -> predicted period [s]
+
+Snapshot/restore for crash recovery lives in :mod:`repro.service.snapshot`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.trace.framing import FlushFrame, FrameReader
+from repro.trace.jsonl import FlushRecord
+
+from repro.service.broker import FlushBroker
+from repro.service.dispatcher import DetectionDispatcher, DispatcherStats
+from repro.service.provider import ServicePeriodProvider
+from repro.service.publisher import PredictionPublisher
+from repro.service.session import JobSession, SessionConfig
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of a :class:`PredictionService`.
+
+    Attributes
+    ----------
+    session:
+        Per-job session configuration (analysis config, memory cap, rate
+        limit).
+    max_workers:
+        Size of the detection worker pool; 0 evaluates inline during
+        :meth:`PredictionService.pump` (deterministic, single-threaded).
+    max_pending:
+        Backpressure bound: maximum evaluations in flight at once.
+    latency_window:
+        Number of recent detection latencies retained for the percentile
+        statistics (bounded, so stats cost O(1) memory on long runs).
+    """
+
+    session: SessionConfig = field(default_factory=SessionConfig)
+    max_workers: int = 0
+    max_pending: int = 64
+    latency_window: int = 4096
+
+
+class PredictionService:
+    """Multi-job streaming prediction service (broker + dispatcher + publisher)."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.publisher = PredictionPublisher()
+        self.broker = FlushBroker(session_config=self.config.session)
+        self.dispatcher = DetectionDispatcher(
+            self.broker,
+            sink=self._on_detection,
+            max_workers=self.config.max_workers,
+            max_pending=self.config.max_pending,
+            latency_window=self.config.latency_window,
+        )
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def ingest_flush(self, job: str, flush: FlushRecord) -> JobSession:
+        """Ingest one flush record for ``job``."""
+        return self.broker.ingest(job, flush)
+
+    def ingest_frame(self, frame: FlushFrame) -> JobSession:
+        """Ingest one decoded flush frame."""
+        return self.broker.ingest_frame(frame)
+
+    def feed_bytes(self, data: bytes) -> int:
+        """Feed raw framed bytes (e.g. socket reads); returns frames routed."""
+        return self.broker.feed_bytes(data)
+
+    def tail_file(self, path: str | Path, *, offset: int = 0) -> FrameReader:
+        """Tail a framed spool file; each ``poll()`` ingests the new frames."""
+        return self.broker.tail(path, offset=offset)
+
+    def finish_job(self, job: str) -> None:
+        """Mark a job finished: pending data is still evaluated, then idle.
+
+        The session itself stays resident (so late subscribers can still read
+        its state) until :meth:`reap_finished` releases it.
+        """
+        self.broker.session(job).mark_finished()
+
+    def reap_finished(self, *, forget_predictions: bool = False) -> tuple[str, ...]:
+        """Release the sessions of finished, fully evaluated jobs.
+
+        Call after :meth:`drain` (or between pumps) on long-running services:
+        without reaping, memory grows with the total number of jobs ever
+        seen, not with the live ones.  With ``forget_predictions=True`` the
+        publisher's last prediction of each reaped job is dropped as well;
+        by default it is kept so consumers can still query recently finished
+        jobs.  Returns the reaped job identifiers.
+        """
+        reaped: list[str] = []
+        for session in self.broker.sessions():
+            if session.finished and not session.due():
+                if self.broker.remove(session.job) is not None:
+                    reaped.append(session.job)
+                    if forget_predictions:
+                        self.publisher.forget(session.job)
+        return tuple(reaped)
+
+    # ------------------------------------------------------------------ #
+    # evaluation and results
+    # ------------------------------------------------------------------ #
+    def pump(self, *, wait_for_batch: bool = False) -> int:
+        """Evaluate every due session (see the dispatcher); returns submissions."""
+        return self.dispatcher.pump(wait_for_batch=wait_for_batch)
+
+    def drain(self) -> None:
+        """Pump until nothing is due and nothing is in flight."""
+        while True:
+            submitted = self.pump(wait_for_batch=True)
+            self.dispatcher.join()
+            if submitted == 0 and not self.broker.due_sessions():
+                return
+
+    def close(self) -> None:
+        """Finish in-flight evaluations and release the worker pool."""
+        self.dispatcher.close()
+
+    def period_provider(self, *, bootstrap: bool = True) -> ServicePeriodProvider:
+        """A Set-10 :class:`PeriodProvider` backed by this service's publisher."""
+        return ServicePeriodProvider(self, bootstrap=bootstrap)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def jobs(self) -> tuple[str, ...]:
+        """Identifiers of every job seen so far."""
+        return self.broker.jobs
+
+    def session(self, job: str) -> JobSession:
+        """The session of ``job`` (created on demand)."""
+        return self.broker.session(job)
+
+    @property
+    def dispatcher_stats(self) -> DispatcherStats:
+        """Dispatch counters (submitted / completed / deferred / failures)."""
+        return self.dispatcher.stats
+
+    def stats(self) -> dict:
+        """One JSON-friendly dict of service-wide counters."""
+        broker = self.broker.stats
+        dispatch = self.dispatcher.stats
+        sessions = self.broker.sessions()
+        return {
+            "jobs": broker.jobs,
+            "frames": broker.frames,
+            "flushes": broker.flushes,
+            "requests": broker.requests,
+            "resident_samples": sum(s.resident_samples for s in sessions),
+            "evicted_samples": sum(s.evicted_samples for s in sessions),
+            "detections": dispatch.completed,
+            "deferred": dispatch.deferred,
+            "failures": dispatch.failures,
+            "published": self.publisher.published,
+        }
+
+    # ------------------------------------------------------------------ #
+    def _on_detection(self, session: JobSession, step, latency: float) -> None:
+        if step is not None:
+            self.publisher.publish_step(session.job, step, latency=latency)

@@ -1,0 +1,405 @@
+"""Per-job prediction sessions with bounded memory.
+
+A session owns everything the service knows about one job: a ring-buffered
+columnar copy of the requests still relevant to the next prediction, the
+job's :class:`~repro.core.online.OnlinePredictor`, merged metadata, and the
+bookkeeping the dispatcher uses for rate limiting.  The buffer is the key to
+multi-tenant scale — memory per job is O(analysis window), not O(runtime):
+
+* after every evaluation the predictor exposes the timestamp before which no
+  future evaluation will look (:meth:`OnlinePredictor.evictable_before`), and
+  the session drops every request that completed before it (minus a safety
+  margin of a few periods, so a temporarily larger period estimate can still
+  widen the window);
+* a hard ``max_samples`` cap bounds the buffer even while the adaptive window
+  has not converged yet (the oldest requests are dropped first).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.core.config import FtioConfig
+from repro.core.online import OnlinePredictor, PredictionStep
+from repro.trace.jsonl import FlushRecord
+from repro.trace.trace import Trace
+from repro.utils.validation import check_non_negative, check_positive_int
+
+#: Fixed dtype of the kind column ("write"/"read" fit comfortably).
+_KIND_DTYPE = "<U8"
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Tuning knobs of one job session (shared service-wide by default).
+
+    Attributes
+    ----------
+    config:
+        FTIO analysis configuration used by the session's predictor.
+    adaptive_window:
+        Enable the online adaptive time window (Section II-D).
+    max_samples:
+        Hard cap on the number of resident requests per job.
+    eviction_margin_periods:
+        Extra periods of history retained behind the predictor's evictable
+        cutoff, so a growing period estimate can re-widen the window without
+        the data having been dropped.
+    min_detection_interval:
+        Minimum trace-time seconds between two evaluations of the same job
+        (per-job rate limiting; 0 evaluates after every flush).
+    min_requests:
+        Evaluations are skipped while fewer requests are resident.
+    """
+
+    config: FtioConfig = field(default_factory=FtioConfig)
+    adaptive_window: bool = True
+    max_samples: int = 65_536
+    eviction_margin_periods: float = 2.0
+    min_detection_interval: float = 0.0
+    min_requests: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.max_samples, "max_samples")
+        check_non_negative(self.eviction_margin_periods, "eviction_margin_periods")
+        check_non_negative(self.min_detection_interval, "min_detection_interval")
+        check_positive_int(self.min_requests, "min_requests")
+
+
+class RingColumnStore:
+    """Columnar request buffer with amortized append and front eviction.
+
+    Requests live in preallocated numpy columns sorted by start time; the
+    buffer grows geometrically at the tail and evicts at the head, so a
+    steady-state session settles at a fixed allocation sized by the analysis
+    window.  Appends of already-later chunks (the common streaming case) are
+    pure copies; out-of-order chunks fall back to a stable merge.
+    """
+
+    def __init__(self, *, initial_capacity: int = 256) -> None:
+        check_positive_int(initial_capacity, "initial_capacity")
+        self._capacity = int(initial_capacity)
+        self._starts = np.empty(self._capacity, dtype=np.float64)
+        self._ends = np.empty(self._capacity, dtype=np.float64)
+        self._nbytes = np.empty(self._capacity, dtype=np.int64)
+        self._ranks = np.empty(self._capacity, dtype=np.int64)
+        self._kinds = np.empty(self._capacity, dtype=_KIND_DTYPE)
+        self._head = 0
+        self._size = 0
+        self._evicted = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def capacity(self) -> int:
+        """Current allocation size (in requests)."""
+        return self._capacity
+
+    @property
+    def evicted(self) -> int:
+        """Total number of requests dropped since the session started."""
+        return self._evicted
+
+    def _live(self, column: NDArray) -> NDArray:
+        return column[self._head : self._head + self._size]
+
+    # ------------------------------------------------------------------ #
+    def append(self, chunk: Trace) -> None:
+        """Append the (sorted) requests of ``chunk`` keeping global order."""
+        n = len(chunk)
+        if n == 0:
+            return
+        self._reserve(n)
+        tail = self._head + self._size
+        self._starts[tail : tail + n] = chunk.starts
+        self._ends[tail : tail + n] = chunk.ends
+        self._nbytes[tail : tail + n] = chunk.nbytes
+        self._ranks[tail : tail + n] = chunk.ranks
+        self._kinds[tail : tail + n] = chunk.kinds
+        out_of_order = self._size > 0 and chunk.starts[0] < self._starts[tail - 1]
+        self._size += n
+        if out_of_order:
+            live = self._live(self._starts)
+            order = np.argsort(live, kind="stable")
+            for column in (self._starts, self._ends, self._nbytes, self._ranks, self._kinds):
+                self._live(column)[:] = self._live(column)[order]
+
+    def _reserve(self, n: int) -> None:
+        needed = self._size + n
+        if self._head + needed <= self._capacity:
+            return
+        capacity = self._capacity
+        while capacity < needed:
+            capacity *= 2
+        if capacity == self._capacity:
+            # Enough total room: compacting the live region to the front of
+            # the existing allocation is all that is needed.
+            self._compact(self._starts, self._ends, self._nbytes, self._ranks, self._kinds)
+            return
+        self._grow(capacity)
+
+    def _grow(self, capacity: int) -> None:
+        new_columns = (
+            np.empty(capacity, dtype=np.float64),
+            np.empty(capacity, dtype=np.float64),
+            np.empty(capacity, dtype=np.int64),
+            np.empty(capacity, dtype=np.int64),
+            np.empty(capacity, dtype=_KIND_DTYPE),
+        )
+        self._compact(*new_columns)
+        self._starts, self._ends, self._nbytes, self._ranks, self._kinds = new_columns
+        self._capacity = capacity
+
+    def _compact(self, starts, ends, nbytes, ranks, kinds) -> None:
+        n = self._size
+        starts[:n] = self._live(self._starts)
+        ends[:n] = self._live(self._ends)
+        nbytes[:n] = self._live(self._nbytes)
+        ranks[:n] = self._live(self._ranks)
+        kinds[:n] = self._live(self._kinds)
+        self._head = 0
+
+    # ------------------------------------------------------------------ #
+    def evict_completed_before(self, cutoff: float) -> int:
+        """Drop every request that ended at or before ``cutoff``; returns the count."""
+        if self._size == 0:
+            return 0
+        keep = self._live(self._ends) > cutoff
+        dropped = int(self._size - keep.sum())
+        if dropped == 0:
+            return 0
+        # Fast path: with starts sorted, evictable requests are usually a
+        # contiguous prefix — then eviction is just a head advance.
+        first_keep = int(np.argmax(keep))
+        if keep[first_keep:].all():
+            self._head += first_keep
+            self._size -= first_keep
+        else:
+            for column in (self._starts, self._ends, self._nbytes, self._ranks, self._kinds):
+                live = self._live(column)
+                column[self._head : self._head + self._size - dropped] = live[keep]
+            self._size -= dropped
+        self._evicted += dropped
+        return dropped
+
+    def evict_to_cap(self, max_samples: int) -> int:
+        """Drop the oldest requests so at most ``max_samples`` stay resident."""
+        overflow = self._size - int(max_samples)
+        if overflow <= 0:
+            return 0
+        self._head += overflow
+        self._size -= overflow
+        self._evicted += overflow
+        return overflow
+
+    # ------------------------------------------------------------------ #
+    def trace(self, *, metadata: dict | None = None) -> Trace:
+        """Materialize the resident requests as an immutable :class:`Trace`.
+
+        The columns are copied: the returned trace stays valid while the
+        buffer keeps mutating under subsequent flushes.
+        """
+        return Trace(
+            starts=self._live(self._starts).copy(),
+            ends=self._live(self._ends).copy(),
+            nbytes=self._live(self._nbytes).copy(),
+            ranks=self._live(self._ranks).copy(),
+            kinds=self._live(self._kinds).copy(),
+            metadata=dict(metadata or {}),
+        )
+
+
+class JobSession:
+    """All service state of one job: buffer, predictor, rate-limit bookkeeping.
+
+    Thread safety: ``ingest`` (broker thread) and ``detect`` (worker threads)
+    both take the session lock, so one job is always evaluated sequentially
+    while different jobs run in parallel.
+    """
+
+    def __init__(self, job: str, config: SessionConfig | None = None) -> None:
+        self.job = job
+        self.config = config or SessionConfig()
+        self.predictor = OnlinePredictor(
+            config=self.config.config,
+            adaptive_window=self.config.adaptive_window,
+            # Keep only compact per-evaluation records: full FtioResults hold
+            # the spectrum and the signal, which would grow session memory by
+            # O(window) per detection.
+            compact_history=True,
+        )
+        self._store = RingColumnStore()
+        self._metadata: dict = {}
+        self._lock = threading.Lock()
+        self._pending_time: float | None = None
+        self._last_detection_time: float | None = None
+        self._ingested_flushes = 0
+        self._ingested_requests = 0
+        self._detections = 0
+        self._skipped_detections = 0
+        self._finished = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def resident_samples(self) -> int:
+        """Number of requests currently held in memory for this job."""
+        return len(self._store)
+
+    @property
+    def evicted_samples(self) -> int:
+        """Number of requests evicted so far."""
+        return self._store.evicted
+
+    @property
+    def ingested_flushes(self) -> int:
+        """Number of flushes ingested so far."""
+        return self._ingested_flushes
+
+    @property
+    def ingested_requests(self) -> int:
+        """Number of requests ingested so far."""
+        return self._ingested_requests
+
+    @property
+    def detections(self) -> int:
+        """Number of evaluations performed so far."""
+        return self._detections
+
+    @property
+    def metadata(self) -> dict:
+        """Merged metadata of every flush seen so far."""
+        return dict(self._metadata)
+
+    @property
+    def finished(self) -> bool:
+        """True once the job was marked finished (no further evaluations)."""
+        return self._finished
+
+    def mark_finished(self) -> None:
+        """Mark the job as finished: pending data is still evaluated, then idle."""
+        self._finished = True
+
+    def latest_period(self) -> float | None:
+        """Most recent predicted period, or ``None``."""
+        return self.predictor.latest_period()
+
+    # ------------------------------------------------------------------ #
+    def ingest(self, flush: FlushRecord) -> None:
+        """Ingest one flush: append its requests and merge its metadata."""
+        with self._lock:
+            if flush.metadata:
+                self._metadata.update(flush.metadata)
+            if flush.requests:
+                self._store.append(Trace.from_requests(flush.requests))
+                self._store.evict_to_cap(self.config.max_samples)
+                self._ingested_requests += len(flush.requests)
+            self._ingested_flushes += 1
+            pending = self._pending_time
+            self._pending_time = (
+                float(flush.timestamp) if pending is None else max(pending, float(flush.timestamp))
+            )
+
+    def due(self) -> bool:
+        """Whether an evaluation should be scheduled for this session."""
+        with self._lock:
+            if self._pending_time is None:
+                return False
+            if self._last_detection_time is None:
+                return True
+            # A finished job bypasses the rate limit: no further flush will
+            # ever arrive to carry its last data past the interval.
+            if self._finished:
+                return True
+            return (
+                self._pending_time - self._last_detection_time
+                >= self.config.min_detection_interval
+            )
+
+    def detect(self, *, now: float | None = None) -> PredictionStep | None:
+        """Run one evaluation over the resident data (or skip when too little).
+
+        ``now`` defaults to the newest ingested flush timestamp.  After the
+        evaluation, history older than the predictor's evictable cutoff
+        (minus the configured margin) is dropped.
+        """
+        with self._lock:
+            if now is None:
+                now = self._pending_time
+            if now is None:
+                return None
+            self._pending_time = None
+            self._last_detection_time = float(now)
+            if len(self._store) < self.config.min_requests:
+                self._skipped_detections += 1
+                return None
+            trace = self._store.trace(metadata=self._metadata)
+            step = self.predictor.step(trace, now=float(now))
+            self._detections += 1
+            self._evict_stale()
+            return step
+
+    def _evict_stale(self) -> None:
+        cutoff = self.predictor.evictable_before()
+        if cutoff is None:
+            return
+        last_period = self.predictor.latest_period() or 0.0
+        margin = self.config.eviction_margin_periods * last_period
+        self._store.evict_completed_before(cutoff - margin)
+
+    # ------------------------------------------------------------------ #
+    # snapshot / restore
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the session (see :mod:`repro.service.snapshot`)."""
+        with self._lock:
+            trace = self._store.trace()
+            return {
+                "job": self.job,
+                "metadata": dict(self._metadata),
+                "pending_time": self._pending_time,
+                "last_detection_time": self._last_detection_time,
+                "ingested_flushes": self._ingested_flushes,
+                "ingested_requests": self._ingested_requests,
+                "detections": self._detections,
+                "evicted": self._store.evicted,
+                "finished": self._finished,
+                "buffer": {
+                    "n": len(trace),
+                    "starts": trace.starts.tobytes(),
+                    "ends": trace.ends.tobytes(),
+                    "nbytes": trace.nbytes.tobytes(),
+                    "ranks": trace.ranks.tobytes(),
+                    "kinds": list(trace.kinds),
+                },
+                "predictor": self.predictor.state_dict(),
+            }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the session from a :meth:`state_dict` snapshot."""
+        with self._lock:
+            buffer = state["buffer"]
+            n = int(buffer["n"])
+            restored = Trace(
+                starts=np.frombuffer(buffer["starts"], dtype=np.float64, count=n).copy(),
+                ends=np.frombuffer(buffer["ends"], dtype=np.float64, count=n).copy(),
+                nbytes=np.frombuffer(buffer["nbytes"], dtype=np.int64, count=n).copy(),
+                ranks=np.frombuffer(buffer["ranks"], dtype=np.int64, count=n).copy(),
+                kinds=np.asarray(list(buffer["kinds"]), dtype=_KIND_DTYPE),
+            )
+            self._store = RingColumnStore()
+            self._store.append(restored)
+            self._store._evicted = int(state["evicted"])
+            self._metadata = dict(state["metadata"])
+            self._pending_time = state["pending_time"]
+            self._last_detection_time = state["last_detection_time"]
+            self._ingested_flushes = int(state["ingested_flushes"])
+            self._ingested_requests = int(state["ingested_requests"])
+            self._detections = int(state["detections"])
+            self._finished = bool(state["finished"])
+            self.predictor.load_state_dict(state["predictor"])

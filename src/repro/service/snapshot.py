@@ -1,0 +1,73 @@
+"""Snapshot/restore of service state for crash recovery.
+
+A snapshot captures, per job, the resident window of the columnar buffer,
+the predictor's adaptive-window state and compact evaluation history, the
+merged metadata and counters, plus the publisher's latest predictions — in
+short, everything needed so that a service restarted from the snapshot
+continues producing the same predictions as one that never crashed (the
+property the snapshot round-trip test asserts).
+
+Snapshots are encoded with the library's own MessagePack implementation
+(binary columns stay binary), so a snapshot file is compact and readable by
+any compliant MessagePack decoder.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.exceptions import TraceFormatError
+from repro.trace.msgpack import packb, unpackb
+
+from repro.service.service import PredictionService, ServiceConfig
+
+#: Bumped whenever the snapshot layout changes incompatibly.
+SNAPSHOT_VERSION = 1
+
+
+def snapshot_state(service: PredictionService) -> dict:
+    """Capture the full service state as a MessagePack-serializable dict."""
+    return {
+        "snapshot_version": SNAPSHOT_VERSION,
+        "sessions": [session.state_dict() for session in service.broker.sessions()],
+        "publisher": service.publisher.state_dict(),
+    }
+
+
+def restore_state(
+    state: dict,
+    *,
+    config: ServiceConfig | None = None,
+) -> PredictionService:
+    """Rebuild a service from a :func:`snapshot_state` dict.
+
+    The analysis/memory configuration is *not* part of the snapshot — pass
+    the same :class:`ServiceConfig` the crashed service ran with (or an
+    updated one, e.g. to change the worker count on the replacement host).
+    """
+    version = state.get("snapshot_version")
+    if version != SNAPSHOT_VERSION:
+        raise TraceFormatError(
+            f"unsupported service snapshot version {version!r} (expected {SNAPSHOT_VERSION})"
+        )
+    service = PredictionService(config)
+    for session_state in state["sessions"]:
+        session = service.broker.session(str(session_state["job"]))
+        session.load_state_dict(session_state)
+    service.publisher.load_state_dict(state["publisher"])
+    return service
+
+
+def save_snapshot(service: PredictionService, path: str | Path) -> Path:
+    """Write a snapshot file; returns its path."""
+    path = Path(path)
+    path.write_bytes(packb(snapshot_state(service)))
+    return path
+
+
+def load_snapshot(path: str | Path, *, config: ServiceConfig | None = None) -> PredictionService:
+    """Restore a service from a snapshot file written by :func:`save_snapshot`."""
+    state = unpackb(Path(path).read_bytes())
+    if not isinstance(state, dict):
+        raise TraceFormatError(f"{path}: snapshot must decode to a map")
+    return restore_state(state, config=config)

@@ -8,10 +8,19 @@ from repro.trace.darshan import (
     read_heatmap,
     write_heatmap,
 )
+from repro.trace.framing import (
+    FlushFrame,
+    FrameDecoder,
+    FrameReader,
+    FrameWriter,
+    encode_frame,
+    iter_frames,
+)
 from repro.trace.jsonl import (
     FlushRecord,
     JsonLinesTraceWriter,
     flushes_to_trace,
+    trace_to_flushes,
 )
 from repro.trace.jsonl import iter_flushes as iter_jsonl_flushes
 from repro.trace.jsonl import read_trace as read_jsonl_trace
@@ -39,9 +48,16 @@ __all__ = [
     "heatmap_to_signal",
     "read_heatmap",
     "write_heatmap",
+    "FlushFrame",
+    "FrameDecoder",
+    "FrameReader",
+    "FrameWriter",
+    "encode_frame",
+    "iter_frames",
     "FlushRecord",
     "JsonLinesTraceWriter",
     "flushes_to_trace",
+    "trace_to_flushes",
     "iter_jsonl_flushes",
     "read_jsonl_trace",
     "write_jsonl_trace",

@@ -1,0 +1,279 @@
+"""Length-prefixed flush frames: the wire format of the streaming service.
+
+The JSONL and MessagePack trace files are *per application*: one file, one
+job, and the reader discovers record boundaries by parsing the payload
+itself.  A multi-tenant prediction service instead receives flushes from many
+concurrent jobs over a shared byte stream (an append-only spool file that is
+tailed, or a socket pair), so each flush is wrapped in a small self-delimiting
+frame that carries the job identity and the payload length up front — the
+broker can demultiplex a frame to the right session without decoding the
+payload, the way a network processor classifies a packet from its header.
+
+Frame layout (all integers big-endian)::
+
+    offset  size  field
+    0       4     magic  b"FTS1"
+    4       1     payload format (1 = JSON, 2 = MessagePack)
+    5       1     flags (reserved, must be 0)
+    6       2     job-id length J
+    8       4     payload length P
+    12      J     job id (UTF-8)
+    12+J    P     payload (one flush record in the chosen format)
+
+The payload is the :meth:`FlushRecord.to_dict` schema encoded with the
+existing JSONL or MessagePack encoders, so a framed stream is a thin layer
+over the formats the tracer already writes.  Frames are self-contained and
+append-only: a reader positioned at a frame boundary never needs to rewind,
+and a partially written final frame (crash, in-flight flush) simply stays
+buffered until the missing bytes arrive.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Callable, Iterator
+
+from repro.exceptions import TraceFormatError
+from repro.trace.jsonl import FlushRecord
+from repro.trace.msgpack import packb, unpackb
+
+#: First bytes of every frame; guards against tailing a non-framed file.
+FRAME_MAGIC = b"FTS1"
+#: Payload format codes.
+PAYLOAD_JSON = 1
+PAYLOAD_MSGPACK = 2
+
+_FORMAT_NAMES = {PAYLOAD_JSON: "json", PAYLOAD_MSGPACK: "msgpack"}
+_FORMAT_CODES = {name: code for code, name in _FORMAT_NAMES.items()}
+_HEADER = struct.Struct(">4sBBHI")
+#: Upper bound on one frame's payload; a corrupt length field would otherwise
+#: make a tailing reader wait forever for petabytes that never arrive.
+MAX_PAYLOAD_BYTES = 256 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class FlushFrame:
+    """One decoded frame: a flush record plus its routing header."""
+
+    job: str
+    flush: FlushRecord
+    payload_format: str
+
+
+def encode_frame(
+    flush: FlushRecord,
+    *,
+    job: str,
+    payload_format: str = "msgpack",
+) -> bytes:
+    """Encode one flush record as a length-prefixed frame."""
+    try:
+        code = _FORMAT_CODES[payload_format]
+    except KeyError:
+        known = ", ".join(sorted(_FORMAT_CODES))
+        raise TraceFormatError(
+            f"unknown frame payload format {payload_format!r}; known formats: {known}"
+        ) from None
+    job_bytes = job.encode("utf-8")
+    if len(job_bytes) > 0xFFFF:
+        raise TraceFormatError(f"job id is {len(job_bytes)} bytes; the frame header allows 65535")
+    record = flush.to_dict()
+    if code == PAYLOAD_JSON:
+        payload = json.dumps(record).encode("utf-8")
+    else:
+        payload = packb(record)
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise TraceFormatError(f"flush payload of {len(payload)} bytes exceeds the frame limit")
+    header = _HEADER.pack(FRAME_MAGIC, code, 0, len(job_bytes), len(payload))
+    return header + job_bytes + payload
+
+
+def _decode_payload(code: int, payload: bytes) -> FlushRecord:
+    if code == PAYLOAD_JSON:
+        try:
+            data = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TraceFormatError(f"invalid JSON frame payload: {exc}") from exc
+    elif code == PAYLOAD_MSGPACK:
+        data = unpackb(payload)
+    else:  # pragma: no cover - rejected by the header check already
+        raise TraceFormatError(f"unknown frame payload format code {code}")
+    if not isinstance(data, dict):
+        raise TraceFormatError(f"frame payload must be a flush map, got {type(data).__name__}")
+    return FlushRecord.from_dict(data)
+
+
+class FrameDecoder:
+    """Incremental frame decoder: ``feed()`` bytes in, iterate frames out.
+
+    The decoder buffers arbitrary byte chunks — socket reads, tail reads of a
+    growing file — and yields every complete frame.  Bytes belonging to an
+    incomplete trailing frame stay buffered until more data arrives, which is
+    what makes the stream append/tail-able.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Number of bytes waiting for the rest of their frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> None:
+        """Append raw bytes received from the stream."""
+        self._buffer.extend(data)
+
+    def frames(self) -> Iterator[FlushFrame]:
+        """Yield (and consume) every complete frame currently buffered."""
+        while True:
+            frame = self._try_decode_one()
+            if frame is None:
+                return
+            yield frame
+
+    def _try_decode_one(self) -> FlushFrame | None:
+        buffer = self._buffer
+        if len(buffer) < _HEADER.size:
+            return None
+        magic, code, flags, job_len, payload_len = _HEADER.unpack_from(buffer)
+        if magic != FRAME_MAGIC:
+            raise TraceFormatError(
+                f"bad frame magic {bytes(magic)!r}; the stream is not FTS1-framed or is corrupt"
+            )
+        if flags != 0:
+            raise TraceFormatError(f"unsupported frame flags 0x{flags:02x}")
+        if code not in _FORMAT_NAMES:
+            raise TraceFormatError(f"unknown frame payload format code {code}")
+        if payload_len > MAX_PAYLOAD_BYTES:
+            raise TraceFormatError(f"frame payload length {payload_len} exceeds the limit")
+        total = _HEADER.size + job_len + payload_len
+        if len(buffer) < total:
+            return None
+        job = bytes(buffer[_HEADER.size : _HEADER.size + job_len]).decode("utf-8")
+        payload = bytes(buffer[_HEADER.size + job_len : total])
+        del buffer[:total]
+        return FlushFrame(
+            job=job, flush=_decode_payload(code, payload), payload_format=_FORMAT_NAMES[code]
+        )
+
+
+class FrameWriter:
+    """Append frames to a spool file or a binary stream (e.g. a socket file).
+
+    Multiple jobs can share one writer — the per-frame ``job`` argument
+    overrides the default given at construction — which is exactly the
+    multi-tenant spool the broker tails.
+    """
+
+    def __init__(
+        self,
+        target: str | Path | BinaryIO,
+        *,
+        job: str | None = None,
+        payload_format: str = "msgpack",
+    ) -> None:
+        self._path: Path | None = None
+        self._stream: BinaryIO | None = None
+        if isinstance(target, (str, Path)):
+            self._path = Path(target)
+        else:
+            self._stream = target
+        self._job = job
+        self._payload_format = payload_format
+        self._frames_written = 0
+        self._bytes_written = 0
+
+    @property
+    def frames_written(self) -> int:
+        """Number of frames appended so far."""
+        return self._frames_written
+
+    @property
+    def bytes_written(self) -> int:
+        """Number of bytes appended so far."""
+        return self._bytes_written
+
+    def write(self, flush: FlushRecord, *, job: str | None = None) -> int:
+        """Append one flush frame; returns the encoded frame size in bytes."""
+        job = job if job is not None else self._job
+        if job is None:
+            raise TraceFormatError("no job id: pass job= to write() or to the writer")
+        frame = encode_frame(flush, job=job, payload_format=self._payload_format)
+        if self._path is not None:
+            with self._path.open("ab") as handle:
+                handle.write(frame)
+        else:
+            assert self._stream is not None
+            self._stream.write(frame)
+            self._stream.flush()
+        self._frames_written += 1
+        self._bytes_written += len(frame)
+        return len(frame)
+
+
+class FrameReader:
+    """Tail a growing framed spool file.
+
+    Every :meth:`poll` reads the bytes appended since the previous poll and
+    returns the newly completed frames; a frame still being written is left
+    buffered for the next poll.  The reader therefore never re-reads the file
+    from the beginning — ingestion cost is proportional to the new data, not
+    to the file size.
+
+    Parameters
+    ----------
+    path:
+        The spool file to tail (it may not exist yet).
+    offset:
+        Byte offset to start from (e.g. resumed from a snapshot).
+    sink:
+        Optional callback invoked with each poll's newly completed frames
+        (the broker uses this to ingest them automatically).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        offset: int = 0,
+        sink: Callable[[list[FlushFrame]], object] | None = None,
+    ) -> None:
+        self._path = Path(path)
+        self._offset = int(offset)
+        self._decoder = FrameDecoder()
+        self._sink = sink
+
+    @property
+    def offset(self) -> int:
+        """File offset up to which bytes have been consumed."""
+        return self._offset
+
+    def poll(self) -> list[FlushFrame]:
+        """Read newly appended bytes and return the completed frames."""
+        if not self._path.exists():
+            return []
+        with self._path.open("rb") as handle:
+            handle.seek(self._offset)
+            data = handle.read()
+        if data:
+            self._offset += len(data)
+            self._decoder.feed(data)
+        frames = list(self._decoder.frames())
+        if frames and self._sink is not None:
+            self._sink(frames)
+        return frames
+
+
+def iter_frames(path: str | Path) -> Iterator[FlushFrame]:
+    """Yield every complete frame stored in a framed spool file."""
+    decoder = FrameDecoder()
+    decoder.feed(Path(path).read_bytes())
+    yield from decoder.frames()
+    if decoder.buffered_bytes:
+        raise TraceFormatError(
+            f"{path}: {decoder.buffered_bytes} trailing bytes form an incomplete frame"
+        )

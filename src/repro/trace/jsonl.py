@@ -135,6 +135,39 @@ def flushes_to_trace(flushes: Iterable[FlushRecord]) -> Trace:
     return merged
 
 
+def trace_to_flushes(
+    trace: Trace,
+    flush_times: Iterable[float],
+    *,
+    metadata: dict | None = None,
+) -> list[FlushRecord]:
+    """Split a finished trace into the flush records a live tracer would emit.
+
+    At every time in ``flush_times`` the flush contains exactly the requests
+    that *completed* since the previous flush — the same visibility rule as
+    :func:`repro.core.online.replay_online` — so streaming the returned
+    records through the prediction service reproduces the offline replay.
+    Requests completing after the last flush time are not emitted.
+    """
+    records: list[FlushRecord] = []
+    previous = float("-inf")
+    flush_metadata = dict(metadata if metadata is not None else trace.metadata)
+    for index, t in enumerate(sorted(flush_times)):
+        completed = trace.completed_before(t)
+        if previous != float("-inf"):
+            completed = completed._select(completed.ends > previous)
+        records.append(
+            FlushRecord(
+                flush_index=index,
+                timestamp=float(t),
+                requests=tuple(completed.requests()),
+                metadata=flush_metadata if index == 0 else {},
+            )
+        )
+        previous = float(t)
+    return records
+
+
 def write_trace(trace: Trace, path: str | Path, *, requests_per_flush: int | None = None) -> int:
     """Write a whole trace as a JSON Lines file, optionally split into flushes.
 

@@ -202,6 +202,18 @@ class Trace:
             return self
         return self._select(np.isin(self.ranks, np.asarray(list(ranks), dtype=np.int64)))
 
+    def completed_before(self, t: float) -> "Trace":
+        """Return the sub-trace of requests that have *ended* by time ``t``.
+
+        This is the "flushed so far" view of a trace: in the online mode only
+        requests that completed by the flush time have reached the trace file,
+        so both the offline replay (:func:`repro.core.online.replay_online`)
+        and the streaming service sessions reveal a trace through this method.
+        """
+        if self.is_empty:
+            return self
+        return self._select(self.ends <= t)
+
     def window(self, t0: float, t1: float) -> "Trace":
         """Return the sub-trace of requests that overlap the window [t0, t1).
 

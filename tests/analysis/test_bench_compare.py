@@ -1,0 +1,93 @@
+"""Unit tests for the BENCH trend-line comparison used by CI."""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.bench_compare import compare_reports, flatten, main
+
+
+def report(**overrides) -> dict:
+    base = {
+        "schema_version": 2,
+        "results": {
+            "autocorrelation": {"100000": {"fft_seconds": 0.010, "speedup": 200.0}},
+            "detect_offline": {"100000": {"seconds": 0.002}},
+            "service": {
+                "n_jobs": 100,
+                "jobs_per_second": 500.0,
+                "p99_detection_latency_seconds": 0.02,
+            },
+        },
+    }
+    flat = flatten(base)
+    flat.update(overrides)
+    # Rebuild the nested dict from the flattened overrides.
+    rebuilt: dict = {}
+    for path, value in flat.items():
+        node = rebuilt
+        parts = path.split(".")
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+        node[parts[-1]] = value
+    return rebuilt
+
+
+class TestCompareReports:
+    def test_no_change_no_regressions(self):
+        assert compare_reports(report(), report()) == []
+
+    def test_slower_seconds_flagged(self):
+        current = report(**{"results.detect_offline.100000.seconds": 0.2})
+        regressions = compare_reports(report(), current, threshold=0.2)
+        assert [r.metric for r in regressions] == ["results.detect_offline.100000.seconds"]
+        assert regressions[0].change > 0.2
+
+    def test_faster_seconds_not_flagged(self):
+        current = report(**{"results.detect_offline.100000.seconds": 0.0001})
+        assert compare_reports(report(), current) == []
+
+    def test_dropped_throughput_flagged(self):
+        current = report(**{"results.service.jobs_per_second": 100.0})
+        regressions = compare_reports(report(), current)
+        assert [r.metric for r in regressions] == ["results.service.jobs_per_second"]
+
+    def test_dropped_speedup_flagged(self):
+        current = report(**{"results.autocorrelation.100000.speedup": 50.0})
+        regressions = compare_reports(report(), current)
+        assert [r.metric for r in regressions] == ["results.autocorrelation.100000.speedup"]
+
+    def test_counts_are_informational(self):
+        current = report(**{"results.service.n_jobs": 9000})
+        assert compare_reports(report(), current) == []
+
+    def test_sub_millisecond_noise_ignored(self):
+        previous = report(**{"results.detect_offline.100000.seconds": 0.0002})
+        current = report(**{"results.detect_offline.100000.seconds": 0.0008})
+        # 4x slower but far below the absolute noise floor: not flagged.
+        assert compare_reports(previous, current) == []
+
+    def test_new_metrics_without_history_are_skipped(self):
+        previous = report()
+        del previous["results"]["service"]
+        assert compare_reports(previous, report()) == []
+
+
+class TestMain:
+    def test_main_is_non_blocking_and_warns(self, tmp_path, capsys):
+        prev = tmp_path / "prev.json"
+        cur = tmp_path / "cur.json"
+        prev.write_text(json.dumps(report()))
+        cur.write_text(json.dumps(report(**{"results.detect_offline.100000.seconds": 0.5})))
+        assert main([str(prev), str(cur)]) == 0
+        out = capsys.readouterr().out
+        assert "::warning" in out
+        assert "results.detect_offline.100000.seconds" in out
+
+    def test_main_quiet_when_clean(self, tmp_path, capsys):
+        prev = tmp_path / "prev.json"
+        cur = tmp_path / "cur.json"
+        prev.write_text(json.dumps(report()))
+        cur.write_text(json.dumps(report()))
+        assert main([str(prev), str(cur)]) == 0
+        assert "::warning" not in capsys.readouterr().out

@@ -91,6 +91,89 @@ class TestOnlinePredictor:
         assert predictor.latest_period() is not None
 
 
+class TestIncrementalHooks:
+    def test_evictable_before_tracks_adaptive_window(self, hacc_trace, online_config):
+        predictor = OnlinePredictor(config=online_config)
+        assert predictor.evictable_before() is None
+        for t in hacc_flush_times(hacc_trace):
+            predictor.step(hacc_trace.completed_before(t), now=t)
+        cutoff = predictor.evictable_before()
+        assert cutoff is not None
+        # The cutoff is exactly the adaptive window start of the next step.
+        last = predictor.latest()
+        hits = online_config.online_window_hits
+        assert cutoff == pytest.approx(last.time - hits * last.period)
+
+    def test_evictable_before_stays_none_without_adaptation(self, hacc_trace, online_config):
+        predictor = OnlinePredictor(config=online_config, adaptive_window=False)
+        for t in hacc_flush_times(hacc_trace):
+            predictor.step(hacc_trace.completed_before(t), now=t)
+        assert predictor.evictable_before() is None
+
+    def test_state_dict_round_trip(self, hacc_trace, online_config):
+        predictor = OnlinePredictor(config=online_config)
+        for t in hacc_flush_times(hacc_trace):
+            predictor.step(hacc_trace.completed_before(t), now=t)
+
+        restored = OnlinePredictor(config=online_config)
+        restored.load_state_dict(predictor.state_dict())
+
+        assert restored.latest_period() == predictor.latest_period()
+        assert restored.evictable_before() == predictor.evictable_before()
+        assert [s.period for s in restored.history] == [s.period for s in predictor.history]
+        assert [s.window for s in restored.history] == [s.window for s in predictor.history]
+        assert [(i.low, i.high, i.probability) for i in restored.merged_intervals()] == [
+            (i.low, i.high, i.probability) for i in predictor.merged_intervals()
+        ]
+
+    def test_compact_history_preserves_predictions(self, hacc_trace, online_config):
+        from repro.core.online import RestoredResult
+
+        full = OnlinePredictor(config=online_config)
+        compact = OnlinePredictor(config=online_config, compact_history=True)
+        for t in hacc_flush_times(hacc_trace):
+            trace = hacc_trace.completed_before(t)
+            full_step = full.step(trace, now=t)
+            compact_step = compact.step(trace, now=t)
+            # step() still returns the full result to the caller...
+            assert compact_step.period == full_step.period
+            assert type(compact_step.result) is type(full_step.result)
+        # ... but the retained history holds only the compact shim.
+        assert all(
+            s.result is None or isinstance(s.result, RestoredResult) for s in compact.history
+        )
+        assert [s.period for s in compact.history] == [s.period for s in full.history]
+        assert compact.latest_period() == full.latest_period()
+        assert [(i.low, i.high) for i in compact.merged_intervals()] == [
+            (i.low, i.high) for i in full.merged_intervals()
+        ]
+
+    def test_load_state_dict_restores_adaptive_flag(self, hacc_trace, online_config):
+        source = OnlinePredictor(config=online_config, adaptive_window=False)
+        for t in hacc_flush_times(hacc_trace)[:4]:
+            source.step(hacc_trace.completed_before(t), now=t)
+        restored = OnlinePredictor(config=online_config, adaptive_window=True)
+        restored.load_state_dict(source.state_dict())
+        assert restored.adaptive_window is False
+        assert restored.evictable_before() is None
+
+    def test_restored_predictor_continues_identically(self, hacc_trace, online_config):
+        times = hacc_flush_times(hacc_trace)
+        full = OnlinePredictor(config=online_config)
+        for t in times:
+            full.step(hacc_trace.completed_before(t), now=t)
+
+        half = OnlinePredictor(config=online_config)
+        for t in times[: len(times) // 2]:
+            half.step(hacc_trace.completed_before(t), now=t)
+        resumed = OnlinePredictor(config=online_config)
+        resumed.load_state_dict(half.state_dict())
+        for t in times[len(times) // 2 :]:
+            resumed.step(hacc_trace.completed_before(t), now=t)
+
+        assert [s.period for s in resumed.history] == [s.period for s in full.history]
+
+
 class TestReplayHelpers:
     def test_predict_from_flushes(self, hacc_trace, online_config, tmp_path):
         path = tmp_path / "hacc.jsonl"
@@ -98,6 +181,26 @@ class TestReplayHelpers:
         flushes = list(jsonl.iter_flushes(path))
         steps = predict_from_flushes(flushes, config=online_config)
         assert len(steps) >= 5
+        assert any(s.period is not None for s in steps)
+
+    def test_predict_from_flushes_merges_metadata_once_per_carrying_flush(
+        self, hacc_trace, online_config
+    ):
+        from repro.trace.jsonl import FlushRecord, trace_to_flushes
+
+        flushes = trace_to_flushes(hacc_trace, hacc_flush_times(hacc_trace))
+        # Only the first flush carries metadata; a later metadata-only flush
+        # updates a counter without carrying requests.
+        flushes.append(
+            FlushRecord(
+                flush_index=len(flushes),
+                timestamp=flushes[-1].timestamp + 1.0,
+                requests=(),
+                metadata={"ranks": 999},
+            )
+        )
+        steps = predict_from_flushes(flushes, config=online_config)
+        assert steps
         assert any(s.period is not None for s in steps)
 
     def test_predict_from_file(self, hacc_trace, online_config, tmp_path):

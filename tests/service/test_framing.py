@@ -1,0 +1,164 @@
+"""Unit tests for the length-prefixed flush-frame codec."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.exceptions import TraceFormatError
+from repro.trace.framing import (
+    FrameDecoder,
+    FrameReader,
+    FrameWriter,
+    encode_frame,
+    iter_frames,
+)
+from repro.trace.jsonl import FlushRecord
+from repro.trace.record import IORequest
+
+
+def make_flush(index: int = 0, *, n_requests: int = 3, metadata: dict | None = None) -> FlushRecord:
+    requests = tuple(
+        IORequest(rank=r, start=index * 10.0 + r, end=index * 10.0 + r + 0.5, nbytes=1024)
+        for r in range(n_requests)
+    )
+    return FlushRecord(
+        flush_index=index,
+        timestamp=index * 10.0 + n_requests,
+        requests=requests,
+        metadata=dict(metadata or {}),
+    )
+
+
+class TestFrameCodec:
+    @pytest.mark.parametrize("payload_format", ["json", "msgpack"])
+    def test_round_trip(self, payload_format):
+        flush = make_flush(metadata={"app": "x", "ranks": 8})
+        data = encode_frame(flush, job="job-a", payload_format=payload_format)
+        decoder = FrameDecoder()
+        decoder.feed(data)
+        frames = list(decoder.frames())
+        assert len(frames) == 1
+        assert frames[0].job == "job-a"
+        assert frames[0].payload_format == payload_format
+        assert frames[0].flush == flush
+        assert decoder.buffered_bytes == 0
+
+    def test_multiple_jobs_interleaved(self):
+        decoder = FrameDecoder()
+        for i in range(6):
+            decoder.feed(encode_frame(make_flush(i), job=f"job-{i % 3}"))
+        frames = list(decoder.frames())
+        assert [f.job for f in frames] == [f"job-{i % 3}" for i in range(6)]
+        assert [f.flush.flush_index for f in frames] == list(range(6))
+
+    def test_byte_by_byte_feed(self):
+        flush = make_flush()
+        data = encode_frame(flush, job="drip")
+        decoder = FrameDecoder()
+        seen = []
+        for i in range(len(data)):
+            decoder.feed(data[i : i + 1])
+            seen.extend(decoder.frames())
+            if i < len(data) - 1:
+                assert not seen, "no frame may complete before its last byte"
+        assert len(seen) == 1
+        assert seen[0].flush == flush
+
+    def test_partial_trailing_frame_stays_buffered(self):
+        first = encode_frame(make_flush(0), job="a")
+        second = encode_frame(make_flush(1), job="a")
+        decoder = FrameDecoder()
+        decoder.feed(first + second[: len(second) // 2])
+        assert len(list(decoder.frames())) == 1
+        assert decoder.buffered_bytes > 0
+        decoder.feed(second[len(second) // 2 :])
+        assert len(list(decoder.frames())) == 1
+        assert decoder.buffered_bytes == 0
+
+    def test_bad_magic_rejected(self):
+        decoder = FrameDecoder()
+        decoder.feed(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(TraceFormatError):
+            list(decoder.frames())
+
+    def test_unknown_payload_format_rejected(self):
+        with pytest.raises(TraceFormatError):
+            encode_frame(make_flush(), job="a", payload_format="xml")
+
+    def test_corrupt_format_code_rejected(self):
+        data = bytearray(encode_frame(make_flush(), job="a"))
+        data[4] = 0x7F  # payload-format byte
+        decoder = FrameDecoder()
+        decoder.feed(bytes(data))
+        with pytest.raises(TraceFormatError):
+            list(decoder.frames())
+
+
+class TestSpoolFile:
+    def test_writer_appends_and_iter_frames_reads_all(self, tmp_path):
+        path = tmp_path / "spool.fts"
+        writer = FrameWriter(path, payload_format="msgpack")
+        for i in range(4):
+            writer.write(make_flush(i), job=f"job-{i % 2}")
+        assert writer.frames_written == 4
+        frames = list(iter_frames(path))
+        assert [f.job for f in frames] == ["job-0", "job-1", "job-0", "job-1"]
+
+    def test_tail_growing_file(self, tmp_path):
+        path = tmp_path / "spool.fts"
+        writer = FrameWriter(path, job="only")
+        reader = FrameReader(path)
+        assert reader.poll() == []
+        writer.write(make_flush(0))
+        assert [f.flush.flush_index for f in reader.poll()] == [0]
+        # Nothing new: the poll is cheap and empty.
+        assert reader.poll() == []
+        writer.write(make_flush(1))
+        writer.write(make_flush(2))
+        assert [f.flush.flush_index for f in reader.poll()] == [1, 2]
+
+    def test_tail_survives_partial_frame(self, tmp_path):
+        path = tmp_path / "spool.fts"
+        frame = encode_frame(make_flush(0), job="torn")
+        path.write_bytes(frame[: len(frame) - 5])
+        reader = FrameReader(path)
+        assert reader.poll() == []
+        with path.open("ab") as handle:
+            handle.write(frame[len(frame) - 5 :])
+        assert len(reader.poll()) == 1
+
+    def test_iter_frames_rejects_trailing_garbage(self, tmp_path):
+        path = tmp_path / "spool.fts"
+        path.write_bytes(encode_frame(make_flush(0), job="a") + b"FTS1\x01\x00")
+        with pytest.raises(TraceFormatError):
+            list(iter_frames(path))
+
+    def test_writer_requires_job(self, tmp_path):
+        writer = FrameWriter(tmp_path / "spool.fts")
+        with pytest.raises(TraceFormatError):
+            writer.write(make_flush(0))
+
+
+class TestSocketPair:
+    def test_frames_cross_a_socket(self):
+        left, right = socket.socketpair()
+        try:
+            sender = FrameWriter(left.makefile("wb"), job="sock-job")
+            flushes = [make_flush(i) for i in range(3)]
+            for flush in flushes:
+                sender.write(flush)
+            left.shutdown(socket.SHUT_WR)
+            decoder = FrameDecoder()
+            while True:
+                chunk = right.recv(64)
+                if not chunk:
+                    break
+                decoder.feed(chunk)
+            received = list(decoder.frames())
+            assert [f.flush for f in received] == flushes
+            assert all(f.job == "sock-job" for f in received)
+        finally:
+            left.close()
+            right.close()

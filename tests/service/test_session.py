@@ -1,0 +1,216 @@
+"""Unit tests for bounded-memory job sessions and the ring column store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FtioConfig
+from repro.service import JobSession, RingColumnStore, SessionConfig
+from repro.trace.jsonl import FlushRecord, trace_to_flushes
+from repro.trace.record import IORequest
+from repro.trace.trace import Trace
+from repro.workloads.hacc import hacc_flush_times, hacc_io_trace
+
+
+@pytest.fixture(scope="module")
+def online_config():
+    return FtioConfig(
+        sampling_frequency=10.0, use_autocorrelation=False, compute_characterization=False
+    )
+
+
+def chunk(start: float, n: int = 4, *, gap: float = 1.0) -> Trace:
+    return Trace.from_requests(
+        [
+            IORequest(rank=0, start=start + i * gap, end=start + i * gap + 0.5, nbytes=100)
+            for i in range(n)
+        ]
+    )
+
+
+class TestRingColumnStore:
+    def test_append_and_trace_round_trip(self):
+        store = RingColumnStore(initial_capacity=2)
+        store.append(chunk(0.0))
+        store.append(chunk(10.0))
+        assert len(store) == 8
+        trace = store.trace(metadata={"a": 1})
+        assert list(trace.starts) == sorted(trace.starts)
+        assert trace.metadata == {"a": 1}
+        assert trace.volume == 800
+
+    def test_growth_is_geometric(self):
+        store = RingColumnStore(initial_capacity=4)
+        for i in range(64):
+            store.append(chunk(float(i * 10), 4))
+        assert len(store) == 256
+        assert store.capacity >= 256
+        # Power-of-two growth from the initial capacity.
+        assert store.capacity & (store.capacity - 1) == 0
+
+    def test_out_of_order_chunk_is_merged_sorted(self):
+        store = RingColumnStore()
+        store.append(chunk(10.0))
+        store.append(chunk(0.0))
+        trace = store.trace()
+        assert list(trace.starts) == sorted(trace.starts)
+        assert len(trace) == 8
+
+    def test_evict_completed_before(self):
+        store = RingColumnStore()
+        store.append(chunk(0.0, 10))
+        dropped = store.evict_completed_before(4.0)
+        assert dropped == 4
+        assert len(store) == 6
+        assert store.evicted == 4
+        assert float(store.trace().starts.min()) == 4.0
+
+    def test_evict_to_cap_drops_oldest(self):
+        store = RingColumnStore()
+        store.append(chunk(0.0, 10))
+        assert store.evict_to_cap(3) == 7
+        trace = store.trace()
+        assert len(trace) == 3
+        assert float(trace.starts.min()) == 7.0
+
+    def test_trace_is_a_stable_copy(self):
+        store = RingColumnStore()
+        store.append(chunk(0.0))
+        before = store.trace()
+        store.evict_to_cap(1)
+        store.append(chunk(100.0, 8))
+        assert len(before) == 4
+        assert float(before.starts.min()) == 0.0
+
+
+class TestJobSession:
+    def test_memory_plateaus_at_cap(self, online_config):
+        """Acceptance criterion: resident size plateaus at the window cap."""
+        cap = 400
+        session = JobSession(
+            "long-runner",
+            SessionConfig(config=online_config, max_samples=cap),
+        )
+        resident_after_each_flush = []
+        for i in range(60):
+            requests = tuple(
+                IORequest(rank=r, start=i * 8.0 + r * 0.01, end=i * 8.0 + 0.5, nbytes=1024)
+                for r in range(50)
+            )
+            session.ingest(
+                FlushRecord(flush_index=i, timestamp=i * 8.0 + 1.0, requests=requests)
+            )
+            resident_after_each_flush.append(session.resident_samples)
+            session.detect()
+        assert session.ingested_requests == 3000
+        assert max(resident_after_each_flush) <= cap
+        # The tail of the run sits exactly at the plateau, not below-and-oscillating.
+        assert all(r <= cap for r in resident_after_each_flush[-10:])
+        assert session.evicted_samples >= session.ingested_requests - cap
+        # The predictor history is compact too: no full FtioResult (spectrum,
+        # signal) is retained per evaluation, only the restored-result shim.
+        from repro.core.online import RestoredResult
+
+        assert all(
+            s.result is None or isinstance(s.result, RestoredResult)
+            for s in session.predictor.history
+        )
+
+    def test_adaptive_window_eviction_reduces_memory(self, online_config):
+        trace = hacc_io_trace(ranks=8, loops=10, period=8.0, first_phase_delay=6.0, seed=5)
+        flushes = trace_to_flushes(trace, hacc_flush_times(trace))
+        session = JobSession("hacc", SessionConfig(config=online_config))
+        for flush in flushes:
+            session.ingest(flush)
+            session.detect()
+        # The adaptive window shrank to ~3 periods, so about half of the
+        # 10-loop history must have been evicted without any cap pressure.
+        assert session.evicted_samples > 0
+        assert session.resident_samples <= session.ingested_requests * 0.6
+
+    def test_min_requests_skips_early_detections(self, online_config):
+        session = JobSession("tiny", SessionConfig(config=online_config, min_requests=10))
+        session.ingest(
+            FlushRecord(
+                flush_index=0,
+                timestamp=1.0,
+                requests=(IORequest(rank=0, start=0.0, end=0.5, nbytes=10),),
+            )
+        )
+        assert session.due()
+        assert session.detect() is None
+        assert session.detections == 0
+        assert not session.due()
+
+    def test_rate_limit_in_trace_time(self, online_config):
+        session = JobSession(
+            "chatty",
+            SessionConfig(config=online_config, min_detection_interval=5.0),
+        )
+        req = IORequest(rank=0, start=0.0, end=0.5, nbytes=10)
+        session.ingest(FlushRecord(flush_index=0, timestamp=1.0, requests=(req,)))
+        assert session.due()
+        session.detect()
+        # 2 seconds later: rate-limited.
+        session.ingest(FlushRecord(flush_index=1, timestamp=3.0, requests=(req,)))
+        assert not session.due()
+        # 6 seconds after the first evaluation: due again, and the evaluation
+        # covers both pending flushes at once (coalescing).
+        session.ingest(FlushRecord(flush_index=2, timestamp=7.0, requests=(req,)))
+        assert session.due()
+        step = session.detect()
+        assert step is not None and step.time == 7.0
+
+    def test_finished_session_bypasses_rate_limit(self, online_config):
+        session = JobSession(
+            "ending",
+            SessionConfig(config=online_config, min_detection_interval=100.0),
+        )
+        req = IORequest(rank=0, start=0.0, end=0.5, nbytes=10)
+        session.ingest(FlushRecord(flush_index=0, timestamp=1.0, requests=(req,)))
+        session.detect()
+        # The final flush lands inside the rate-limit interval...
+        session.ingest(FlushRecord(flush_index=1, timestamp=2.0, requests=(req,)))
+        assert not session.due()
+        # ... but once the job is finished no later flush will carry it past
+        # the interval, so it must become due immediately.
+        session.mark_finished()
+        assert session.due()
+        step = session.detect()
+        assert step is not None and step.time == 2.0
+        assert not session.due()
+
+    def test_metadata_merged_across_flushes(self, online_config):
+        session = JobSession("meta", SessionConfig(config=online_config))
+        req = IORequest(rank=0, start=0.0, end=0.5, nbytes=10)
+        session.ingest(
+            FlushRecord(flush_index=0, timestamp=1.0, requests=(req,), metadata={"app": "x"})
+        )
+        session.ingest(
+            FlushRecord(flush_index=1, timestamp=2.0, requests=(), metadata={"ranks": 4})
+        )
+        assert session.metadata == {"app": "x", "ranks": 4}
+
+    def test_session_matches_unbounded_replay(self, online_config):
+        """Eviction must not change the prediction sequence (margin at work)."""
+        from repro.core.online import replay_online
+
+        trace = hacc_io_trace(ranks=8, loops=12, period=8.0, first_phase_delay=6.0, seed=9)
+        times = hacc_flush_times(trace)
+        reference = replay_online(trace, times, config=online_config)
+
+        session = JobSession(
+            "hacc", SessionConfig(config=online_config, max_samples=500_000)
+        )
+        steps = []
+        for flush in trace_to_flushes(trace, times):
+            session.ingest(flush)
+            step = session.detect()
+            if step is not None:
+                steps.append(step)
+        assert [s.period for s in steps] == [s.period for s in reference]
+        assert [s.window for s in steps] == [s.window for s in reference]
+        assert np.isclose(
+            session.latest_period(), reference[-1].period, rtol=0, atol=0
+        )

@@ -1,0 +1,118 @@
+"""Snapshot/restore tests: a restored service continues as if it never crashed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FtioConfig
+from repro.exceptions import TraceFormatError
+from repro.service import (
+    PredictionService,
+    ServiceConfig,
+    SessionConfig,
+    load_snapshot,
+    restore_state,
+    save_snapshot,
+    snapshot_state,
+)
+from repro.trace.jsonl import trace_to_flushes
+from repro.trace.msgpack import packb, unpackb
+from repro.workloads.hacc import hacc_flush_times, hacc_io_trace
+
+
+@pytest.fixture(scope="module")
+def online_config():
+    return FtioConfig(
+        sampling_frequency=10.0, use_autocorrelation=False, compute_characterization=False
+    )
+
+
+@pytest.fixture(scope="module")
+def service_config(online_config):
+    return ServiceConfig(session=SessionConfig(config=online_config))
+
+
+@pytest.fixture(scope="module")
+def streams():
+    jobs = {}
+    for j in range(3):
+        trace = hacc_io_trace(
+            ranks=4, loops=8, period=7.0 + j, first_phase_delay=4.0, seed=40 + j
+        )
+        jobs[f"job-{j}"] = trace_to_flushes(trace, hacc_flush_times(trace))
+    return jobs
+
+
+def stream_through(service, streams, *, start=0, stop=None):
+    for job, flushes in streams.items():
+        for flush in flushes[start:stop]:
+            service.ingest_flush(job, flush)
+            service.pump(wait_for_batch=True)
+    return service
+
+
+class TestSnapshotRestore:
+    def test_restored_service_continues_identically(self, service_config, streams, tmp_path):
+        uninterrupted = stream_through(PredictionService(service_config), streams)
+
+        crashed = stream_through(PredictionService(service_config), streams, stop=4)
+        path = save_snapshot(crashed, tmp_path / "service.snapshot")
+        assert path.exists() and path.stat().st_size > 0
+
+        restored = load_snapshot(path, config=service_config)
+        stream_through(restored, streams, start=4)
+
+        for job in streams:
+            a = uninterrupted.session(job)
+            b = restored.session(job)
+            assert [s.period for s in a.predictor.history] == [
+                s.period for s in b.predictor.history
+            ], job
+            assert [s.window for s in a.predictor.history] == [
+                s.window for s in b.predictor.history
+            ], job
+            assert uninterrupted.publisher.latest_period(
+                job
+            ) == restored.publisher.latest_period(job), job
+            assert a.ingested_flushes == b.ingested_flushes
+            assert a.detections == b.detections
+
+    def test_snapshot_preserves_published_predictions(self, service_config, streams):
+        service = stream_through(PredictionService(service_config), streams)
+        restored = restore_state(snapshot_state(service), config=service_config)
+        for job in streams:
+            before = service.publisher.latest(job)
+            after = restored.publisher.latest(job)
+            assert before is not None and after is not None
+            assert (before.index, before.time, before.period) == (
+                after.index,
+                after.time,
+                after.period,
+            )
+
+    def test_snapshot_preserves_merged_intervals(self, service_config, streams):
+        service = stream_through(PredictionService(service_config), streams)
+        restored = restore_state(snapshot_state(service), config=service_config)
+        for job in streams:
+            original = service.session(job).predictor.merged_intervals()
+            recovered = restored.session(job).predictor.merged_intervals()
+            assert [(i.low, i.high, i.probability) for i in original] == [
+                (i.low, i.high, i.probability) for i in recovered
+            ]
+
+    def test_snapshot_is_plain_msgpack(self, service_config, streams, tmp_path):
+        service = stream_through(PredictionService(service_config), streams, stop=2)
+        path = save_snapshot(service, tmp_path / "service.snapshot")
+        decoded = unpackb(path.read_bytes())
+        assert decoded["snapshot_version"] == 1
+        assert {s["job"] for s in decoded["sessions"]} == set(streams)
+
+    def test_unknown_snapshot_version_rejected(self, service_config):
+        with pytest.raises(TraceFormatError):
+            restore_state({"snapshot_version": 999, "sessions": [], "publisher": {}})
+
+    def test_corrupt_snapshot_file_rejected(self, tmp_path, service_config):
+        path = tmp_path / "bad.snapshot"
+        path.write_bytes(packb([1, 2, 3]))
+        with pytest.raises(TraceFormatError):
+            load_snapshot(path, config=service_config)

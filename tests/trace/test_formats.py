@@ -130,6 +130,66 @@ class TestMsgpack:
         assert len(list(msgpack.iter_flushes(path))) == 2
 
 
+class TestMsgpackBoundaries:
+    """Boundary values of the wire format, through packb/unpackb and the framed codec."""
+
+    BOUNDARY_VALUES = [
+        ("uint64_max", 2**64 - 1),
+        ("uint32_max_plus_one", 2**32),
+        ("int64_min", -(2**63)),
+        ("int32_min_minus_one", -(2**31) - 1),
+        ("fixint_edges", [127, 128, -32, -33]),
+        ("bin8_max", b"\xff" * 255),
+        ("bin8_boundary", b"\x00" * 256),  # first size needing bin16
+        ("bin16_max", b"\xab" * 0xFFFF),
+        ("str8_at_255", "s" * 255),
+        ("fixstr_max", "f" * 31),
+        ("str16_boundary", "t" * 256),
+    ]
+
+    @pytest.mark.parametrize("name,value", BOUNDARY_VALUES, ids=[n for n, _ in BOUNDARY_VALUES])
+    def test_packb_round_trip(self, name, value):
+        assert msgpack.unpackb(msgpack.packb(value)) == value
+
+    def test_uint64_overflow_rejected(self):
+        with pytest.raises(OverflowError):
+            msgpack.packb(2**64)
+        with pytest.raises(OverflowError):
+            msgpack.packb(-(2**63) - 1)
+
+    def test_wire_format_sizes(self):
+        # uint64: 1 type byte + 8 payload bytes.
+        assert len(msgpack.packb(2**64 - 1)) == 9
+        # int64 min: 1 type byte + 8 payload bytes.
+        assert len(msgpack.packb(-(2**63))) == 9
+        # bin8 at 255 bytes: 2 header bytes; bin16 at 256: 3 header bytes.
+        assert len(msgpack.packb(b"x" * 255)) == 257
+        assert len(msgpack.packb(b"x" * 256)) == 259
+        # str8 at 255 bytes: 2 header bytes (0xd9 + length).
+        packed = msgpack.packb("s" * 255)
+        assert packed[0] == 0xD9 and len(packed) == 257
+
+    def test_boundary_values_survive_framed_codec(self):
+        """The same boundary values round-trip inside a framed flush's metadata."""
+        from repro.trace.framing import FrameDecoder, encode_frame
+
+        metadata = {name: value for name, value in self.BOUNDARY_VALUES}
+        flush = jsonl.FlushRecord(
+            flush_index=2**31,
+            timestamp=1.5,
+            requests=(IORequest(rank=0, start=0.0, end=1.0, nbytes=2**62),),
+            metadata=metadata,
+        )
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(flush, job="boundary", payload_format="msgpack"))
+        (frame,) = list(decoder.frames())
+        assert frame.flush.flush_index == 2**31
+        assert frame.flush.requests[0].nbytes == 2**62
+        restored = frame.flush.metadata
+        for name, value in self.BOUNDARY_VALUES:
+            assert restored[name] == value, name
+
+
 class TestDarshanHeatmap:
     def make_heatmap(self) -> DarshanHeatmap:
         return DarshanHeatmap(

@@ -82,6 +82,25 @@ class TestTransformations:
         with pytest.raises(TraceError):
             simple_trace.window(2.0, 1.0)
 
+    def test_completed_before_keeps_only_finished_requests(self, simple_trace):
+        # Requests end at 1.0, 1.5, 4.0 and 3.5 respectively.
+        completed = simple_trace.completed_before(1.5)
+        assert len(completed) == 2
+        assert completed.ends.max() <= 1.5
+        assert simple_trace.completed_before(0.5).is_empty
+        assert len(simple_trace.completed_before(4.0)) == len(simple_trace)
+
+    def test_completed_before_boundary_is_inclusive(self, simple_trace):
+        # A request ending exactly at t has been flushed at t.
+        assert len(simple_trace.completed_before(1.0)) == 1
+
+    def test_completed_before_on_empty_trace(self):
+        empty = Trace.empty()
+        assert empty.completed_before(10.0) is empty
+
+    def test_completed_before_preserves_metadata(self, simple_trace):
+        assert simple_trace.completed_before(1.5).metadata == simple_trace.metadata
+
     def test_shifted(self, simple_trace):
         moved = simple_trace.shifted(100.0)
         assert moved.t_start == pytest.approx(simple_trace.t_start + 100.0)
