@@ -43,6 +43,11 @@ MIN_RECONSTRUCT_SPEEDUP = 5.0
 #: catching a service hot path falling off a cliff.
 MIN_SERVICE_JOBS_PER_SECOND = 10.0
 MAX_SERVICE_P99_LATENCY_SECONDS = 1.0
+#: Sharded-mode floor: each shard count must still clear this (the measured
+#: numbers are hundreds of jobs/s; subprocess routing adds overhead that the
+#: cheap synthetic detections do not amortize, so the floor stays loose).
+MIN_SHARDED_JOBS_PER_SECOND = 5.0
+SHARD_COUNTS = ("1", "2", "4")
 #: Generous absolute budget for one offline detection (seconds); the measured
 #: time at 100k samples is ~10 ms, so a 100x margin still catches an O(N^2)
 #: regression (which lands at seconds).
@@ -83,6 +88,14 @@ def _format_table(report: dict) -> str:
         f"flushes -> {service['n_detections']} detections in "
         f"{service['elapsed_seconds']:.3f} s ({service['jobs_per_second']:.0f} jobs/s, "
         f"p99 detection latency {service['p99_detection_latency_seconds'] * 1e3:.1f} ms)"
+    )
+    sharded = service["sharded"]
+    scaling = ", ".join(
+        f"shards={count}: {sharded[count]['jobs_per_second']:.0f} jobs/s"
+        for count in sorted(sharded, key=int)
+    )
+    lines.append(
+        f"sharded ({sharded['1']['n_jobs']} jobs, {sharded['1']['cpu_count']} cpu): {scaling}"
     )
     return "\n".join(lines)
 
@@ -128,11 +141,24 @@ class TestPerfRegression:
             f"{service['p99_detection_latency_seconds']:.3f} s"
         )
 
+    def test_sharded_scaling_floor(self, perf_report):
+        sharded = perf_report["results"]["service"]["sharded"]
+        assert set(sharded) == set(SHARD_COUNTS)
+        for count in SHARD_COUNTS:
+            entry = sharded[count]
+            assert entry["shards"] == int(count)
+            assert entry["n_detections"] > 0
+            assert entry["jobs_per_second"] >= MIN_SHARDED_JOBS_PER_SECOND, (
+                f"sharded service throughput at shards={count} dropped to "
+                f"{entry['jobs_per_second']:.1f} jobs/s"
+            )
+
     def test_report_written_and_valid_json(self, perf_report):
         path = write_report(perf_report, REPO_ROOT / "BENCH_perf.json")
         loaded = json.loads(path.read_text(encoding="utf-8"))
-        assert loaded["schema_version"] == 2
+        assert loaded["schema_version"] == 3
         assert loaded["signal_sizes"] == [1_000, 10_000, 100_000]
+        assert set(loaded["results"]["service"]["sharded"]) == set(SHARD_COUNTS)
         assert set(loaded["results"]) == {
             "autocorrelation",
             "reconstruct",

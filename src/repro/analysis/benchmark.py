@@ -17,10 +17,11 @@ module provides the small timing utilities the perf-regression benchmark
 * :func:`write_report` — persists the report (``BENCH_perf.json`` at the repo
   root by convention).
 
-The report schema (version 2; version 1 lacked the ``service`` section)::
+The report schema (version 3; version 1 lacked the ``service`` section,
+version 2 lacked ``service.sharded``)::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "generated_at": <unix epoch seconds>,
       "environment": {"python": "...", "numpy": "...", "platform": "..."},
       "signal_sizes": [1000, 10000, 100000],
@@ -36,7 +37,8 @@ The report schema (version 2; version 1 lacked the ``service`` section)::
                             "elapsed_seconds", "jobs_per_second",
                             "flushes_per_second",
                             "p50_detection_latency_seconds",
-                            "p99_detection_latency_seconds"}
+                            "p99_detection_latency_seconds",
+                            "sharded": {"<shards>": <same fields + "shards">}}
       }
     }
 """
@@ -44,6 +46,7 @@ The report schema (version 2; version 1 lacked the ``service`` section)::
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass, field
@@ -228,6 +231,7 @@ def run_service_benchmark(
     requests_per_flush: int = 16,
     max_workers: int = 4,
     sampling_frequency: float = 10.0,
+    shards: int = 0,
     seed: int = 0,
 ) -> dict:
     """Drive ``n_jobs`` concurrent flush streams through the prediction service.
@@ -236,9 +240,19 @@ def run_service_benchmark(
     at every round, the worst case for the broker) and the dispatcher pumps
     after each round.  Reports ingest-to-publish throughput and the detection
     latency distribution — the ``service`` section of ``BENCH_perf.json``.
+
+    With ``shards > 0`` the same workload is routed through a
+    :class:`~repro.service.sharding.ShardedService` of that many worker
+    subprocesses — the ``service.sharded`` block of the report shows how
+    jobs/sec scales with the shard count.
     """
     from repro.core.config import FtioConfig
-    from repro.service import PredictionService, ServiceConfig, SessionConfig
+    from repro.service import (
+        PredictionService,
+        ServiceConfig,
+        SessionConfig,
+        ShardedService,
+    )
 
     streams = synthetic_flush_streams(
         n_jobs,
@@ -256,7 +270,10 @@ def run_service_benchmark(
         ),
         max_workers=max_workers,
     )
-    service = PredictionService(config)
+    if shards > 0:
+        service = ShardedService(shards, config)
+    else:
+        service = PredictionService(config)
     started = time.perf_counter()
     for round_index in range(flushes_per_job):
         for job, flushes in streams.items():
@@ -264,9 +281,16 @@ def run_service_benchmark(
         service.pump()
     service.drain()
     elapsed = time.perf_counter() - started
+    stats = service.stats()
+    if shards > 0:
+        # The sharded stats() call already merged the latency windows.
+        p50 = stats["p50_detection_latency_seconds"]
+        p99 = stats["p99_detection_latency_seconds"]
+    else:
+        p50 = service.dispatcher.latency_percentile(50.0)
+        p99 = service.dispatcher.latency_percentile(99.0)
     service.close()
 
-    stats = service.stats()
     n_flushes = n_jobs * flushes_per_job
     return {
         "n_jobs": int(n_jobs),
@@ -274,11 +298,41 @@ def run_service_benchmark(
         "n_requests": int(stats["requests"]),
         "n_detections": int(stats["detections"]),
         "max_workers": int(max_workers),
+        "shards": int(shards),
+        # Sharding cannot beat the hardware: with fewer cores than shards the
+        # curve is flat-to-negative (routing overhead, no parallelism gained).
+        "cpu_count": int(os.cpu_count() or 1),
         "elapsed_seconds": float(elapsed),
         "jobs_per_second": float(n_jobs / elapsed) if elapsed > 0 else 0.0,
         "flushes_per_second": float(n_flushes / elapsed) if elapsed > 0 else 0.0,
-        "p50_detection_latency_seconds": service.dispatcher.latency_percentile(50.0),
-        "p99_detection_latency_seconds": service.dispatcher.latency_percentile(99.0),
+        "p50_detection_latency_seconds": p50,
+        "p99_detection_latency_seconds": p99,
+    }
+
+
+def run_sharded_scaling_benchmark(
+    *,
+    shard_counts: tuple[int, ...] = (1, 2, 4),
+    n_jobs: int = 64,
+    flushes_per_job: int = 6,
+    max_workers: int = 2,
+    seed: int = 0,
+) -> dict:
+    """Jobs/sec of the sharded service at several shard counts.
+
+    Returns the ``service.sharded`` block of ``BENCH_perf.json`` (schema v3):
+    one :func:`run_service_benchmark` entry per shard count, keyed by the
+    stringified count.
+    """
+    return {
+        str(shards): run_service_benchmark(
+            n_jobs=n_jobs,
+            flushes_per_job=flushes_per_job,
+            max_workers=max_workers,
+            shards=shards,
+            seed=seed,
+        )
+        for shards in shard_counts
     }
 
 
@@ -386,11 +440,13 @@ def run_perf_suite(
         "seconds": sweep_timing.best,
     }
 
-    # Streaming service under 100+ concurrent jobs (jobs/sec, p99 latency).
+    # Streaming service under 100+ concurrent jobs (jobs/sec, p99 latency),
+    # plus the multi-process scaling curve at shards = 1 / 2 / 4.
     results["service"] = run_service_benchmark(seed=seed)
+    results["service"]["sharded"] = run_sharded_scaling_benchmark(seed=seed)
 
     return {
-        "schema_version": 2,
+        "schema_version": 3,
         "generated_at": time.time(),
         "environment": {
             "python": platform.python_version(),

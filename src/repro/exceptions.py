@@ -41,5 +41,24 @@ class SchedulingError(ReproError):
     """The cluster simulator or scheduler was driven into an invalid state."""
 
 
+class ServiceError(ReproError):
+    """The streaming prediction service was driven into an invalid state."""
+
+
+class ShardCrashedError(ServiceError):
+    """A worker shard of the sharded service died (or its channel broke).
+
+    Carries the shard index so the supervisor can restore exactly the lost
+    sessions from the last snapshot and replay the spool tail.
+    """
+
+    def __init__(self, shard: int, message: str | None = None) -> None:
+        self.shard = shard
+        #: Replies collected from surviving shards before the crash was
+        #: raised (set by the router so partial results are not lost).
+        self.partial_responses: list = []
+        super().__init__(message or f"shard {shard} crashed")
+
+
 class WorkloadError(ReproError):
     """A workload generator received inconsistent parameters."""

@@ -7,38 +7,75 @@ dispatcher batches due evaluations onto a worker pool with backpressure and
 per-job rate limiting, and a publisher exposes the live predictions — both to
 subscribers and, through :class:`ServicePeriodProvider`, to the Set-10
 scheduler, closing the paper's Figure 17 loop end to end.
+
+Past one process, :class:`ShardedService` consistent-hashes jobs onto N
+worker shards — each a full service in its own subprocess fed over a
+socketpair of FTS1 frames — with a header-only router, aggregated stats,
+merged snapshot/restore, and crash recovery (see
+:mod:`repro.service.sharding`).  Where an evaluation runs is pluggable:
+:class:`ThreadBackend` (default) or :class:`ProcessPoolBackend` for
+CPU-bound tenants (see :mod:`repro.service.backend`).
 """
 
+from repro.service.backend import (
+    DetectionBackend,
+    ProcessPoolBackend,
+    ThreadBackend,
+    make_backend,
+)
 from repro.service.bridge import PhaseFlushBridge
 from repro.service.broker import BrokerStats, FlushBroker
 from repro.service.dispatcher import DetectionDispatcher, DispatcherStats
 from repro.service.provider import ServicePeriodProvider
 from repro.service.publisher import PredictionPublisher, PredictionUpdate
 from repro.service.service import PredictionService, ServiceConfig
-from repro.service.session import JobSession, RingColumnStore, SessionConfig
+from repro.service.session import (
+    DetectionOutcome,
+    DetectionTask,
+    JobSession,
+    RingColumnStore,
+    SessionConfig,
+    run_detection_task,
+)
+from repro.service.sharding import HashRing, ShardedService
 from repro.service.snapshot import (
+    apply_state,
     load_snapshot,
+    merge_states,
     restore_state,
     save_snapshot,
     snapshot_state,
+    split_state,
 )
 
 __all__ = [
     "PhaseFlushBridge",
     "BrokerStats",
     "FlushBroker",
+    "DetectionBackend",
     "DetectionDispatcher",
+    "DetectionOutcome",
+    "DetectionTask",
     "DispatcherStats",
+    "HashRing",
+    "ProcessPoolBackend",
     "ServicePeriodProvider",
     "PredictionPublisher",
     "PredictionUpdate",
     "PredictionService",
     "ServiceConfig",
+    "ShardedService",
     "JobSession",
     "RingColumnStore",
     "SessionConfig",
+    "ThreadBackend",
+    "apply_state",
     "load_snapshot",
+    "make_backend",
+    "merge_states",
     "restore_state",
+    "run_detection_task",
     "save_snapshot",
     "snapshot_state",
+    "split_state",
 ]

@@ -1,0 +1,101 @@
+"""Pluggable detection backends: where a session's evaluation actually runs.
+
+The dispatcher decides *when* a session is evaluated (backpressure, rate
+limits); the backend decides *where*:
+
+* :class:`ThreadBackend` — the evaluation runs in the calling thread (the
+  dispatcher's worker pool, or the pumping thread with inline workers).  The
+  right default: numpy releases the GIL in the FFT kernels, so I/O-light
+  tenants scale fine on threads with zero serialization cost.
+* :class:`ProcessPoolBackend` — the evaluation is packed into a
+  :class:`~repro.service.session.DetectionTask` and shipped to a
+  ``ProcessPoolExecutor`` worker.  For CPU-bound tenants (large windows,
+  autocorrelation + characterization enabled) this buys true parallelism at
+  the cost of pickling the resident window; predictions are bit-identical to
+  the thread backend because the worker replays the exact same predictor
+  state transition (see :func:`repro.service.session.run_detection_task`).
+
+Backends are deliberately tiny objects so the sharded service can hand one
+to every shard subprocess via configuration (a name + worker count), not by
+pickling live executors.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.online import PredictionStep
+
+from repro.service.session import JobSession, run_detection_task
+
+#: Names accepted by :func:`make_backend` (and ``ServiceConfig.backend``).
+BACKEND_NAMES = ("thread", "process")
+
+
+class DetectionBackend:
+    """Interface of a detection backend."""
+
+    #: Configuration name of the backend (one of :data:`BACKEND_NAMES`).
+    name: str = ""
+
+    def detect(self, session: JobSession, *, now: float | None = None) -> PredictionStep | None:
+        """Evaluate ``session`` once; returns the prediction step (or ``None``)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources held by the backend."""
+
+    def __enter__(self) -> "DetectionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ThreadBackend(DetectionBackend):
+    """Run evaluations in the calling thread (the dispatcher's pool)."""
+
+    name = "thread"
+
+    def detect(self, session: JobSession, *, now: float | None = None) -> PredictionStep | None:
+        return session.detect(now=now)
+
+
+class ProcessPoolBackend(DetectionBackend):
+    """Fan evaluations onto a ``ProcessPoolExecutor`` for CPU-bound tenants.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count (``None`` uses the executor's CPU-count default).
+    mp_context:
+        Optional ``multiprocessing`` context; the platform default otherwise.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None, *, mp_context=None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self._pool = ProcessPoolExecutor(max_workers=max_workers, mp_context=mp_context)
+
+    def detect(self, session: JobSession, *, now: float | None = None) -> PredictionStep | None:
+        return session.detect(now=now, engine=self._run_remote)
+
+    def _run_remote(self, task):
+        # The session holds its lock while this waits, so a single job stays
+        # sequential; distinct jobs occupy distinct pool workers.
+        return self._pool.submit(run_detection_task, task).result()
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def make_backend(name: str, *, workers: int | None = None) -> DetectionBackend:
+    """Build a backend from its configuration name (see :data:`BACKEND_NAMES`)."""
+    if name == "thread":
+        return ThreadBackend()
+    if name == "process":
+        return ProcessPoolBackend(max_workers=workers)
+    known = ", ".join(BACKEND_NAMES)
+    raise ValueError(f"unknown detection backend {name!r}; known backends: {known}")

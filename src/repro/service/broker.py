@@ -34,6 +34,21 @@ class BrokerStats:
     flushes: int
     requests: int
 
+    @classmethod
+    def merge(cls, stats: Iterable["BrokerStats"]) -> "BrokerStats":
+        """Aggregate the counters of several brokers (the sharded view).
+
+        Jobs are summed — shards partition the job space, so no job is ever
+        counted by two brokers.
+        """
+        stats = list(stats)
+        return cls(
+            jobs=sum(s.jobs for s in stats),
+            frames=sum(s.frames for s in stats),
+            flushes=sum(s.flushes for s in stats),
+            requests=sum(s.requests for s in stats),
+        )
+
 
 class FlushBroker:
     """Routes flush frames from N concurrent jobs into per-job sessions.

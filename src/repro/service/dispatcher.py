@@ -27,8 +27,11 @@ from typing import Callable
 
 import numpy as np
 
+from typing import Iterable
+
 from repro.core.online import PredictionStep
 
+from repro.service.backend import DetectionBackend, ThreadBackend
 from repro.service.broker import FlushBroker
 from repro.service.session import JobSession
 
@@ -51,6 +54,18 @@ class DispatcherStats:
         """Evaluations currently queued or running."""
         return self.pending
 
+    @classmethod
+    def merge(cls, stats: Iterable["DispatcherStats"]) -> "DispatcherStats":
+        """Aggregate the counters of several dispatchers (the sharded view)."""
+        stats = list(stats)
+        return cls(
+            submitted=sum(s.submitted for s in stats),
+            completed=sum(s.completed for s in stats),
+            deferred=sum(s.deferred for s in stats),
+            failures=sum(s.failures for s in stats),
+            pending=sum(s.pending for s in stats),
+        )
+
 
 class DetectionDispatcher:
     """Schedules due per-job detections with backpressure and rate limiting."""
@@ -63,6 +78,7 @@ class DetectionDispatcher:
         max_workers: int = 0,
         max_pending: int = 64,
         latency_window: int = 4096,
+        backend: DetectionBackend | None = None,
     ) -> None:
         if max_workers < 0:
             raise ValueError(f"max_workers must be >= 0, got {max_workers}")
@@ -72,8 +88,10 @@ class DetectionDispatcher:
             raise ValueError(f"latency_window must be >= 1, got {latency_window}")
         self._broker = broker
         self._sink = sink
+        self._backend = backend if backend is not None else ThreadBackend()
         self._pool = ThreadPoolExecutor(max_workers=max_workers) if max_workers else None
         self._max_pending = max_pending
+        self._closed = False
         self._futures: set[Future] = set()
         self._lock = threading.Lock()
         # Bounded: a long-running service must not accumulate one float per
@@ -85,6 +103,16 @@ class DetectionDispatcher:
         self._failures = 0
 
     # ------------------------------------------------------------------ #
+    @property
+    def backend(self) -> DetectionBackend:
+        """The detection backend evaluations run on."""
+        return self._backend
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran; a closed dispatcher rejects pumps."""
+        return self._closed
+
     @property
     def stats(self) -> DispatcherStats:
         """Current dispatch counters."""
@@ -116,6 +144,8 @@ class DetectionDispatcher:
         With ``wait_for_batch=True`` (or inline workers) the call returns only
         after the scheduled evaluations finished.
         """
+        if self._closed:
+            raise RuntimeError("cannot pump a closed dispatcher")
         submitted: list[Future] = []
         count = 0
         for session in self._broker.due_sessions():
@@ -147,10 +177,17 @@ class DetectionDispatcher:
             wait(futures)
 
     def close(self) -> None:
-        """Wait for in-flight work and shut the pool down."""
+        """Wait for in-flight work, shut the pool down and close the backend.
+
+        Idempotent; after the first call :meth:`pump` raises ``RuntimeError``.
+        """
+        if self._closed:
+            return
         self.join()
+        self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=True)
+        self._backend.close()
 
     # ------------------------------------------------------------------ #
     def _discard_future(self, future: Future) -> None:
@@ -160,7 +197,7 @@ class DetectionDispatcher:
     def _run_one(self, session: JobSession) -> None:
         started = time.perf_counter()
         try:
-            step = session.detect()
+            step = self._backend.detect(session)
         except Exception:
             with self._lock:
                 self._failures += 1

@@ -48,6 +48,31 @@ class PredictionUpdate:
     confidence: float
     latency: float | None = None
 
+    def to_dict(self) -> dict:
+        """Serialize for a control channel (the shard→router update stream)."""
+        return {
+            "job": self.job,
+            "index": self.index,
+            "time": self.time,
+            "frequency": self.frequency,
+            "period": self.period,
+            "confidence": self.confidence,
+            "latency": self.latency,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PredictionUpdate":
+        """Reconstruct an update from :meth:`to_dict` output."""
+        return cls(
+            job=str(data["job"]),
+            index=int(data["index"]),
+            time=float(data["time"]),
+            frequency=data["frequency"],
+            period=data["period"],
+            confidence=float(data["confidence"]),
+            latency=data.get("latency"),
+        )
+
 
 class PredictionPublisher:
     """Stores the latest prediction per job and fans updates out to subscribers."""
@@ -164,17 +189,34 @@ class PredictionPublisher:
     def load_state_dict(self, state: dict) -> None:
         """Restore published predictions from a :meth:`state_dict` snapshot."""
         with self._lock:
-            self._latest = {
-                job: PredictionUpdate(
-                    job=job,
-                    index=int(entry["index"]),
-                    time=float(entry["time"]),
-                    frequency=entry["frequency"],
-                    period=entry["period"],
-                    confidence=float(entry["confidence"]),
-                )
-                for job, entry in state["latest"].items()
-            }
+            self._latest = self._decode_latest(state)
             self._latest_period = {
                 job: float(period) for job, period in state["latest_period"].items()
             }
+
+    def merge_state_dict(self, state: dict) -> None:
+        """Merge a snapshot into the current state without dropping other jobs.
+
+        The sharded router uses this when a single revived shard is restored:
+        only that shard's jobs roll back to the snapshot, every other job's
+        live prediction stays.
+        """
+        with self._lock:
+            self._latest.update(self._decode_latest(state))
+            self._latest_period.update(
+                {job: float(period) for job, period in state["latest_period"].items()}
+            )
+
+    @staticmethod
+    def _decode_latest(state: dict) -> dict[str, PredictionUpdate]:
+        return {
+            job: PredictionUpdate(
+                job=job,
+                index=int(entry["index"]),
+                time=float(entry["time"]),
+                frequency=entry["frequency"],
+                period=entry["period"],
+                confidence=float(entry["confidence"]),
+            )
+            for job, entry in state["latest"].items()
+        }

@@ -25,6 +25,7 @@ from pathlib import Path
 from repro.trace.framing import FlushFrame, FrameReader
 from repro.trace.jsonl import FlushRecord
 
+from repro.service.backend import DetectionBackend, make_backend
 from repro.service.broker import FlushBroker
 from repro.service.dispatcher import DetectionDispatcher, DispatcherStats
 from repro.service.provider import ServicePeriodProvider
@@ -49,19 +50,35 @@ class ServiceConfig:
     latency_window:
         Number of recent detection latencies retained for the percentile
         statistics (bounded, so stats cost O(1) memory on long runs).
+    backend:
+        Detection backend name: ``"thread"`` evaluates in the dispatcher's
+        threads, ``"process"`` fans CPU-bound evaluations onto a
+        ``ProcessPoolExecutor`` (see :mod:`repro.service.backend`).
+    backend_workers:
+        Worker count of a process backend (``None`` = CPU-count default).
     """
 
     session: SessionConfig = field(default_factory=SessionConfig)
     max_workers: int = 0
     max_pending: int = 64
     latency_window: int = 4096
+    backend: str = "thread"
+    backend_workers: int | None = None
 
 
 class PredictionService:
-    """Multi-job streaming prediction service (broker + dispatcher + publisher)."""
+    """Multi-job streaming prediction service (broker + dispatcher + publisher).
 
-    def __init__(self, config: ServiceConfig | None = None) -> None:
+    ``backend`` overrides the config-built detection backend with a live
+    instance (the dispatcher takes ownership and closes it).
+    """
+
+    def __init__(
+        self, config: ServiceConfig | None = None, *, backend: DetectionBackend | None = None
+    ) -> None:
         self.config = config or ServiceConfig()
+        if backend is None:
+            backend = make_backend(self.config.backend, workers=self.config.backend_workers)
         self.publisher = PredictionPublisher()
         self.broker = FlushBroker(session_config=self.config.session)
         self.dispatcher = DetectionDispatcher(
@@ -70,6 +87,7 @@ class PredictionService:
             max_workers=self.config.max_workers,
             max_pending=self.config.max_pending,
             latency_window=self.config.latency_window,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------ #

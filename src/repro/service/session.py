@@ -23,14 +23,77 @@ from dataclasses import dataclass, field
 import numpy as np
 from numpy.typing import NDArray
 
+from typing import Callable
+
 from repro.core.config import FtioConfig
-from repro.core.online import OnlinePredictor, PredictionStep
+from repro.core.online import OnlinePredictor, PredictionStep, RestoredResult
 from repro.trace.jsonl import FlushRecord
 from repro.trace.trace import Trace
 from repro.utils.validation import check_non_negative, check_positive_int
 
 #: Fixed dtype of the kind column ("write"/"read" fit comfortably).
 _KIND_DTYPE = "<U8"
+
+
+@dataclass(frozen=True)
+class DetectionTask:
+    """Everything a detection engine needs to evaluate one session remotely.
+
+    The task is a pure value (picklable: config, predictor state dict, a
+    columnar trace, the trigger time), so an engine may run it in another
+    process — the process-pool backend does exactly that.
+    """
+
+    job: str
+    config: FtioConfig
+    adaptive_window: bool
+    predictor_state: dict
+    trace: Trace
+    now: float
+
+
+@dataclass(frozen=True)
+class DetectionOutcome:
+    """Result of running a :class:`DetectionTask`: new predictor state + step.
+
+    ``step`` carries the compact fields of the evaluation
+    (index/time/window/frequency/period/confidence) — the same shape the
+    predictor's own compact history keeps.
+    """
+
+    predictor_state: dict
+    step: dict
+
+
+#: A detection engine evaluates one task and returns the outcome; the default
+#: engine runs inline, the process-pool backend ships the task to a worker.
+DetectionEngine = Callable[[DetectionTask], DetectionOutcome]
+
+
+def run_detection_task(task: DetectionTask) -> DetectionOutcome:
+    """Evaluate one :class:`DetectionTask` (pure function, process-safe).
+
+    Rebuilds the predictor from the task's state dict, runs one step exactly
+    as the in-session predictor would, and returns the updated state — so a
+    session whose state is round-tripped through this function transitions
+    bit-identically to one that evaluated inline.
+    """
+    predictor = OnlinePredictor(
+        config=task.config, adaptive_window=task.adaptive_window, compact_history=True
+    )
+    predictor.load_state_dict(task.predictor_state)
+    step = predictor.step(task.trace, now=task.now)
+    return DetectionOutcome(
+        predictor_state=predictor.state_dict(),
+        step={
+            "index": step.index,
+            "time": step.time,
+            "window": [step.window[0], step.window[1]],
+            "frequency": step.dominant_frequency,
+            "period": step.period,
+            "confidence": step.confidence,
+        },
+    )
 
 
 @dataclass(frozen=True)
@@ -321,12 +384,20 @@ class JobSession:
                 >= self.config.min_detection_interval
             )
 
-    def detect(self, *, now: float | None = None) -> PredictionStep | None:
+    def detect(
+        self, *, now: float | None = None, engine: DetectionEngine | None = None
+    ) -> PredictionStep | None:
         """Run one evaluation over the resident data (or skip when too little).
 
         ``now`` defaults to the newest ingested flush timestamp.  After the
         evaluation, history older than the predictor's evictable cutoff
         (minus the configured margin) is dropped.
+
+        With ``engine`` set, the evaluation is delegated: the session packs a
+        :class:`DetectionTask`, the engine runs it (possibly in another
+        process), and the returned predictor state is applied back.  The
+        session lock is held throughout, so one job is always evaluated
+        sequentially no matter which engine runs it.
         """
         with self._lock:
             if now is None:
@@ -339,7 +410,34 @@ class JobSession:
                 self._skipped_detections += 1
                 return None
             trace = self._store.trace(metadata=self._metadata)
-            step = self.predictor.step(trace, now=float(now))
+            if engine is None:
+                step = self.predictor.step(trace, now=float(now))
+            else:
+                outcome = engine(
+                    DetectionTask(
+                        job=self.job,
+                        config=self.config.config,
+                        adaptive_window=self.config.adaptive_window,
+                        predictor_state=self.predictor.state_dict(),
+                        trace=trace,
+                        now=float(now),
+                    )
+                )
+                self.predictor.load_state_dict(outcome.predictor_state)
+                entry = outcome.step
+                result: RestoredResult | None = None
+                if entry["frequency"] is not None or entry["period"] is not None:
+                    result = RestoredResult(
+                        dominant_frequency=entry["frequency"],
+                        period=entry["period"],
+                        best_confidence=float(entry["confidence"]),
+                    )
+                step = PredictionStep(
+                    index=int(entry["index"]),
+                    time=float(entry["time"]),
+                    window=(float(entry["window"][0]), float(entry["window"][1])),
+                    result=result,
+                )
             self._detections += 1
             self._evict_stale()
             return step

@@ -1,0 +1,638 @@
+"""Sharded multi-process prediction service.
+
+One :class:`~repro.service.service.PredictionService` scales to hundreds of
+jobs in a single process, but its detections all share one GIL and one crash
+domain.  :class:`ShardedService` scales the service *out*: job ids are
+consistent-hashed onto N worker shards, each shard runs a full service
+(broker + dispatcher + publisher) in its own subprocess, and the parent acts
+as a thin router:
+
+* **data plane** — every shard is fed over a ``socketpair`` carrying ordinary
+  FTS1 frames (:mod:`repro.trace.framing`).  The router classifies frames
+  from the header alone (:class:`~repro.trace.framing.FrameSplitter`) and
+  forwards the raw bytes; a payload is decoded exactly once, inside the shard
+  that owns the job — the same header-only property the single-process
+  broker has, preserved across the process boundary.
+* **control plane** — a ``multiprocessing`` pipe per shard carries small
+  request/response messages: pump, stats, snapshot, restore, close.  Because
+  data and control travel on different channels, every control request that
+  depends on the data stream carries the router's byte count and the shard
+  drains its socket up to that mark first — the two planes are re-ordered
+  deterministically.
+
+Sessions are already independent and lock-isolated, so sharding changes no
+prediction: the ``shards=N`` service is bit-identical to the single-process
+one on the same input (asserted by ``tests/service/test_sharding.py``).
+
+Crash recovery composes out of existing pieces: shard death is detected on
+the control channel (:class:`~repro.exceptions.ShardCrashedError`), the lost
+shard's sessions are restored from the last merged snapshot
+(:func:`~repro.service.snapshot.split_state`), and the spool tail written
+since the snapshot is replayed through the router.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import select
+import selectors
+import socket
+import struct
+from bisect import bisect_right
+from dataclasses import dataclass
+from hashlib import blake2b
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ServiceError, ShardCrashedError
+from repro.trace.framing import FrameReader, FrameSplitter, RawFrame, encode_frame
+from repro.trace.jsonl import FlushRecord
+
+from repro.service.broker import BrokerStats
+from repro.service.dispatcher import DispatcherStats
+from repro.service.publisher import PredictionPublisher, PredictionUpdate
+from repro.service.service import PredictionService, ServiceConfig
+from repro.service.snapshot import (
+    SNAPSHOT_VERSION,
+    apply_state,
+    check_snapshot_version,
+    merge_states,
+    snapshot_state,
+    split_state,
+)
+
+#: Socket read size of the shard ingestion loop.
+_RECV_CHUNK = 1 << 16
+
+
+class HashRing:
+    """Consistent hashing of job ids onto shard indices.
+
+    Each shard owns ``replicas`` pseudo-random points on a 64-bit ring; a job
+    hashes to the first point at or after it.  The mapping is deterministic
+    across processes and Python runs (``blake2b``, not ``hash()``), balanced
+    to a few percent at 64 replicas, and *consistent*: changing the shard
+    count moves only the jobs whose arc changed owner — the property that
+    lets a snapshot taken at one shard count restore onto another with
+    minimal data movement.
+    """
+
+    def __init__(self, n_shards: int, *, replicas: int = 64) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.n_shards = int(n_shards)
+        self.replicas = int(replicas)
+        points: list[tuple[int, int]] = []
+        for shard in range(self.n_shards):
+            for replica in range(self.replicas):
+                points.append((self._hash(f"shard-{shard}-replica-{replica}"), shard))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [s for _, s in points]
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        return struct.unpack(">Q", blake2b(key.encode("utf-8"), digest_size=8).digest())[0]
+
+    def shard_for(self, job: str) -> int:
+        """Shard index owning ``job``."""
+        position = bisect_right(self._hashes, self._hash(job))
+        if position == len(self._hashes):
+            position = 0
+        return self._owners[position]
+
+
+# --------------------------------------------------------------------- #
+# shard worker (runs in the subprocess)
+# --------------------------------------------------------------------- #
+def _shard_main(index: int, config: ServiceConfig, data_sock: socket.socket, control) -> None:
+    """Ingestion loop of one shard: select over the data socket and control pipe."""
+    service = PredictionService(config)
+    updates: list[dict] = []
+    service.publisher.subscribe(lambda update: updates.append(update.to_dict()))
+    bytes_received = 0
+    data_eof = False
+    # Non-blocking: a control handler may drain the socket ahead of the
+    # selector loop, leaving the loop's readiness event stale — a blocking
+    # recv on a stale event would deadlock the shard.
+    data_sock.setblocking(False)
+
+    def drain_updates() -> list[dict]:
+        drained = list(updates)
+        del updates[: len(drained)]
+        return drained
+
+    def read_available() -> None:
+        # Ingest whatever the data socket holds right now (never blocks).
+        nonlocal bytes_received, data_eof
+        while not data_eof:
+            try:
+                chunk = data_sock.recv(_RECV_CHUNK)
+            except BlockingIOError:
+                return
+            if not chunk:
+                data_eof = True
+                return
+            bytes_received += len(chunk)
+            service.feed_bytes(chunk)
+
+    def sync_to(expected: int) -> None:
+        # The router counted its sends; catch the data plane up to that mark
+        # before acting on a control message that depends on it.
+        read_available()
+        while bytes_received < expected and not data_eof:
+            select.select([data_sock], [], [])
+            read_available()
+
+    def handle(request: dict) -> tuple[dict, bool]:
+        op = request["op"]
+        if op == "pump":
+            sync_to(int(request["expected_bytes"]))
+            submitted = service.pump(wait_for_batch=True)
+            service.dispatcher.join()
+            return {"submitted": submitted, "updates": drain_updates()}, False
+        if op == "drain":
+            sync_to(int(request["expected_bytes"]))
+            service.drain()
+            return {"updates": drain_updates()}, False
+        if op == "stats":
+            broker = service.broker.stats
+            dispatch = service.dispatcher.stats
+            return {
+                "service": service.stats(),
+                "broker": vars(broker),
+                "dispatcher": vars(dispatch),
+                "jobs": list(service.jobs),
+                "latencies": list(service.dispatcher.latencies()),
+                "bytes_received": bytes_received,
+            }, False
+        if op == "snapshot":
+            sync_to(int(request["expected_bytes"]))
+            return {"state": snapshot_state(service)}, False
+        if op == "restore":
+            apply_state(service, request["state"])
+            return {"restored": len(request["state"]["sessions"])}, False
+        if op == "close":
+            service.close()
+            return {"closed": True}, True
+        raise ServiceError(f"unknown shard control op {op!r}")
+
+    selector = selectors.DefaultSelector()
+    selector.register(data_sock, selectors.EVENT_READ, "data")
+    selector.register(control, selectors.EVENT_READ, "control")
+    try:
+        done = False
+        while not done:
+            for key, _ in selector.select():
+                if key.data == "data":
+                    read_available()
+                    if data_eof:
+                        selector.unregister(data_sock)
+                    continue
+                try:
+                    request = control.recv()
+                except EOFError:
+                    # The router went away; there is nobody to serve.
+                    done = True
+                    break
+                try:
+                    response, done = handle(request)
+                    control.send({"ok": True, **response})
+                except Exception as exc:  # surface shard-side errors to the router
+                    control.send({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+                if done:
+                    break
+    finally:
+        selector.close()
+        data_sock.close()
+        control.close()
+
+
+@dataclass
+class _Shard:
+    """Parent-side handle of one worker shard."""
+
+    index: int
+    process: multiprocessing.process.BaseProcess
+    data_sock: socket.socket
+    control: object  # multiprocessing.connection.Connection
+    bytes_sent: int = 0
+    dead: bool = False
+
+    @property
+    def alive(self) -> bool:
+        return not self.dead and self.process.is_alive()
+
+
+# --------------------------------------------------------------------- #
+# the sharded service (parent-side router)
+# --------------------------------------------------------------------- #
+class ShardedService:
+    """Routes FTS1 frames onto N subprocess shards and aggregates their state.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of worker shards (subprocesses) to spawn.
+    config:
+        Per-shard :class:`ServiceConfig` (session config, worker pool,
+        detection backend).
+    token:
+        Optional tenant/auth token nibble (0..15).  When set, the router
+        stamps it on frames it encodes itself and **rejects** routed byte
+        streams whose frames do not carry it (wire-level auth).
+    replicas:
+        Virtual nodes per shard on the hash ring.
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default).
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        config: ServiceConfig | None = None,
+        *,
+        token: int | None = None,
+        replicas: int = 64,
+        start_method: str | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.ring = HashRing(n_shards, replicas=replicas)
+        self.publisher = PredictionPublisher()
+        self._token = token
+        self._splitter = FrameSplitter(expected_token=token)
+        self._ctx = multiprocessing.get_context(start_method)
+        self._closed = False
+        self._shards = [self._spawn(index) for index in range(n_shards)]
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def _spawn(self, index: int) -> _Shard:
+        parent_sock, child_sock = socket.socketpair()
+        parent_conn, child_conn = self._ctx.Pipe()
+        # Not daemonic: a shard may itself host a ProcessPoolBackend (daemonic
+        # processes cannot have children).  Orphan safety comes from the shard
+        # loop exiting on control-pipe EOF when the router goes away.
+        process = self._ctx.Process(
+            target=_shard_main,
+            args=(index, self.config, child_sock, child_conn),
+            name=f"prediction-shard-{index}",
+        )
+        process.start()
+        child_sock.close()
+        child_conn.close()
+        return _Shard(index=index, process=process, data_sock=parent_sock, control=parent_conn)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards (live or dead)."""
+        return len(self._shards)
+
+    @property
+    def token(self) -> int | None:
+        """Tenant/auth token nibble stamped on and required of every frame."""
+        return self._token
+
+    def shard_for(self, job: str) -> int:
+        """Shard index that owns ``job`` (consistent hash)."""
+        return self.ring.shard_for(job)
+
+    def dead_shards(self) -> tuple[int, ...]:
+        """Indices of shards whose process died or whose channel broke."""
+        return tuple(s.index for s in self._shards if not s.alive)
+
+    def kill_shard(self, index: int) -> None:
+        """Forcibly kill a shard (SIGKILL) — fault injection for tests."""
+        shard = self._shards[index]
+        shard.process.kill()
+        shard.process.join()
+
+    def revive_shard(
+        self,
+        index: int,
+        *,
+        state: dict | None = None,
+        spool: str | Path | None = None,
+        spool_offset: int = 0,
+        spool_position: dict | None = None,
+    ) -> int:
+        """Respawn a dead shard, restoring its sessions and replaying the spool.
+
+        ``state`` is a merged snapshot (any deployment shape); only the
+        sessions this shard owns are pushed into the replacement process.
+        With ``spool`` plus the ingestion point recorded alongside the
+        snapshot (``spool_position`` — a tailing reader's rotation-proof
+        :attr:`FrameReader.position` — or a plain ``spool_offset``), the
+        frames written since the snapshot are replayed — **only** those owned
+        by the revived shard; surviving shards already consumed theirs —
+        pumping after every frame so each replayed flush is evaluated at its
+        own timestamp, the same cadence a flush-by-flush live run takes.
+        Returns the number of frames replayed.
+        """
+        shard = self._shards[index]
+        if shard.alive:
+            raise ServiceError(f"shard {index} is still alive; refusing to revive it")
+        self._release(shard)
+        self._shards[index] = self._spawn(index)
+        if state is not None:
+            per_shard = split_state(state, self.ring.shard_for, self.n_shards)
+            self._request(self._shards[index], {"op": "restore", "state": per_shard[index]})
+            # Merge (not replace): surviving shards have published past the
+            # snapshot, only the revived shard's jobs roll back to it.
+            self.publisher.merge_state_dict(per_shard[index]["publisher"])
+        replayed = 0
+        if spool is not None:
+            reader = FrameReader(
+                spool,
+                offset=spool_offset,
+                position=spool_position,
+                expected_token=self._token,
+                raw=True,
+            )
+            for raw in reader.poll():
+                if self.ring.shard_for(raw.job) != index:
+                    continue
+                self.route_raw(raw)
+                self.pump(shards=(index,))
+                replayed += 1
+        return replayed
+
+    def _release(self, shard: _Shard) -> None:
+        shard.dead = True
+        try:
+            shard.data_sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        shard.control.close()
+        # Closing both channels makes a healthy shard exit on EOF; give it a
+        # moment, then escalate so close() can never hang on a wedged shard.
+        shard.process.join(timeout=10.0)
+        if shard.process.is_alive():  # pragma: no cover - defensive
+            shard.process.kill()
+            shard.process.join()
+
+    def close(self) -> None:
+        """Shut every live shard down and reap the subprocesses."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            if shard.alive:
+                try:
+                    self._request(shard, {"op": "close"})
+                except ShardCrashedError:
+                    pass
+            self._release(shard)
+
+    def __enter__(self) -> "ShardedService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # data plane
+    # ------------------------------------------------------------------ #
+    def _send_raw(self, shard: _Shard, data: bytes) -> None:
+        if not shard.alive:
+            raise ShardCrashedError(shard.index)
+        try:
+            shard.data_sock.sendall(data)
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            shard.dead = True
+            raise ShardCrashedError(shard.index, f"shard {shard.index}: {exc}") from exc
+        shard.bytes_sent += len(data)
+
+    def ingest_flush(self, job: str, flush: FlushRecord, *, payload_format: str = "msgpack") -> int:
+        """Encode one flush as a frame and route it; returns the shard index."""
+        index = self.ring.shard_for(job)
+        frame = encode_frame(flush, job=job, payload_format=payload_format, token=self._token)
+        self._send_raw(self._shards[index], frame)
+        return index
+
+    def route_raw(self, frame: RawFrame) -> int:
+        """Route one already-framed message; returns the shard index."""
+        index = self.ring.shard_for(frame.job)
+        self._send_raw(self._shards[index], frame.data)
+        return index
+
+    def feed_bytes(self, data: bytes) -> int:
+        """Route a shared framed byte stream (socket reads); returns frames routed.
+
+        Frames are classified on the header only and forwarded verbatim; a
+        partial trailing frame stays buffered until its bytes arrive.
+        """
+        self._splitter.feed(data)
+        count = 0
+        for raw in self._splitter.raw_frames():
+            self.route_raw(raw)
+            count += 1
+        return count
+
+    def tail_file(self, path: str | Path, *, offset: int = 0) -> FrameReader:
+        """Tail a framed spool file; each ``poll()`` routes the new frames.
+
+        The reader runs in raw (header-only) mode and follows spool rotation.
+        """
+
+        def route(frames: list[RawFrame]) -> None:
+            for raw in frames:
+                self.route_raw(raw)
+
+        return FrameReader(
+            path, offset=offset, sink=route, expected_token=self._token, raw=True
+        )
+
+    # ------------------------------------------------------------------ #
+    # control plane
+    # ------------------------------------------------------------------ #
+    def _request(self, shard: _Shard, message: dict) -> dict:
+        if not shard.alive:
+            raise ShardCrashedError(shard.index)
+        try:
+            shard.control.send(message)
+            response = shard.control.recv()
+        except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
+            shard.dead = True
+            raise ShardCrashedError(shard.index, f"shard {shard.index}: {exc}") from exc
+        if not response.get("ok"):
+            raise ServiceError(
+                f"shard {shard.index} control op {message.get('op')!r} failed: "
+                f"{response.get('error')}"
+            )
+        return response
+
+    def _broadcast(
+        self, op: str, *, with_bytes: bool = False, only: tuple[int, ...] | None = None
+    ) -> list[dict]:
+        """Send one op to every live shard, then collect the replies.
+
+        Requests are written before any reply is awaited, so the shards work
+        in parallel — this is what makes ``pump`` scale with the shard count.
+
+        A failure never short-circuits the collection: every shard that was
+        sent the request gets its reply consumed (or its death recorded)
+        before anything is raised, so the surviving shards' control pipes
+        stay request/response-aligned for the next operation.
+        """
+        live = [
+            s for s in self._shards if s.alive and (only is None or s.index in only)
+        ]
+        crashes: list[ShardCrashedError] = []
+        op_errors: list[str] = []
+        sent: list[_Shard] = []
+        for shard in live:
+            message: dict = {"op": op}
+            if with_bytes:
+                message["expected_bytes"] = shard.bytes_sent
+            try:
+                shard.control.send(message)
+            except (BrokenPipeError, OSError) as exc:
+                shard.dead = True
+                crashes.append(ShardCrashedError(shard.index, f"shard {shard.index}: {exc}"))
+                continue
+            sent.append(shard)
+        responses = []
+        for shard in sent:
+            try:
+                response = shard.control.recv()
+            except (EOFError, OSError) as exc:
+                shard.dead = True
+                crashes.append(ShardCrashedError(shard.index, f"shard {shard.index}: {exc}"))
+                continue
+            if not response.get("ok"):
+                op_errors.append(
+                    f"shard {shard.index} control op {op!r} failed: {response.get('error')}"
+                )
+                continue
+            responses.append(response)
+        if crashes:
+            # Survivors answered; let the caller keep their results (pump
+            # publishes them) even though the crash is surfaced.
+            crashes[0].partial_responses = responses
+            raise crashes[0]
+        if op_errors:
+            raise ServiceError("; ".join(op_errors))
+        return responses
+
+    def _publish_updates(self, responses: list[dict]) -> None:
+        for response in responses:
+            for entry in response.get("updates", ()):
+                self.publisher.publish(PredictionUpdate.from_dict(entry))
+
+    def pump(self, *, shards: tuple[int, ...] | None = None) -> int:
+        """Evaluate every due session on every shard (in parallel).
+
+        Returns the total number of submitted evaluations; every resulting
+        prediction is re-published through the parent-side :attr:`publisher`.
+        ``shards`` restricts the pump to the given shard indices (recovery
+        replay pumps only the revived shard).
+        """
+        responses = self._broadcast_publishing("pump", shards=shards)
+        return sum(r["submitted"] for r in responses)
+
+    def drain(self) -> None:
+        """Pump every shard until nothing is due and nothing is in flight."""
+        self._broadcast_publishing("drain")
+
+    def _broadcast_publishing(
+        self, op: str, *, shards: tuple[int, ...] | None = None
+    ) -> list[dict]:
+        """Broadcast an update-bearing op; publish results even on a crash."""
+        try:
+            responses = self._broadcast(op, with_bytes=True, only=shards)
+        except ShardCrashedError as crash:
+            self._publish_updates(getattr(crash, "partial_responses", []))
+            raise
+        self._publish_updates(responses)
+        return responses
+
+    # ------------------------------------------------------------------ #
+    # aggregated introspection
+    # ------------------------------------------------------------------ #
+    def _stats_responses(self) -> list[dict]:
+        return self._broadcast("stats")
+
+    @property
+    def jobs(self) -> tuple[str, ...]:
+        """Every job seen by any shard (grouped by shard, ingestion order)."""
+        jobs: list[str] = []
+        for response in self._stats_responses():
+            jobs.extend(response["jobs"])
+        return tuple(jobs)
+
+    @property
+    def broker_stats(self) -> BrokerStats:
+        """Ingestion counters aggregated over all shards."""
+        return BrokerStats.merge(
+            BrokerStats(**response["broker"]) for response in self._stats_responses()
+        )
+
+    @property
+    def dispatcher_stats(self) -> DispatcherStats:
+        """Dispatch counters aggregated over all shards."""
+        return DispatcherStats.merge(
+            DispatcherStats(**response["dispatcher"]) for response in self._stats_responses()
+        )
+
+    def latency_percentile(self, q: float) -> float | None:
+        """Detection-latency percentile over all shards' recent windows."""
+        return self._percentile(self._stats_responses(), q)
+
+    @staticmethod
+    def _percentile(responses: list[dict], q: float) -> float | None:
+        latencies = [latency for response in responses for latency in response["latencies"]]
+        if not latencies:
+            return None
+        return float(np.percentile(np.asarray(latencies), q))
+
+    def stats(self) -> dict:
+        """One JSON-friendly dict of service-wide counters, summed over shards.
+
+        Includes the merged p50/p99 detection latencies — everything comes
+        from a single control round trip, so callers wanting several views
+        (the benchmark does) pay one broadcast, not one per accessor.
+        """
+        responses = self._stats_responses()
+        totals: dict = {"shards": self.n_shards, "dead_shards": len(self.dead_shards())}
+        for response in responses:
+            for key, value in response["service"].items():
+                if isinstance(value, (int, float)):
+                    totals[key] = totals.get(key, 0) + value
+        totals["published"] = self.publisher.published
+        totals["p50_detection_latency_seconds"] = self._percentile(responses, 50.0)
+        totals["p99_detection_latency_seconds"] = self._percentile(responses, 99.0)
+        return totals
+
+    def period_provider(self, *, bootstrap: bool = True):
+        """A Set-10 ``PeriodProvider`` backed by the merged parent publisher."""
+        from repro.service.provider import ServicePeriodProvider
+
+        return ServicePeriodProvider(self, bootstrap=bootstrap)
+
+    # ------------------------------------------------------------------ #
+    # snapshot / restore
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """Merged snapshot of all shards (single-process snapshot schema).
+
+        The result round-trips through :func:`repro.service.snapshot.
+        restore_state` (one big service) and :meth:`restore_state` (any shard
+        count) alike.
+        """
+        responses = self._broadcast("snapshot", with_bytes=True)
+        merged = merge_states([response["state"] for response in responses])
+        merged["sharding"] = {"n_shards": self.n_shards, "replicas": self.ring.replicas}
+        return merged
+
+    def restore_state(self, state: dict) -> None:
+        """Load a merged snapshot: each shard receives the sessions it owns."""
+        check_snapshot_version(state)
+        per_shard = split_state(state, self.ring.shard_for, self.n_shards)
+        for shard, shard_state in zip(self._shards, per_shard):
+            self._request(shard, {"op": "restore", "state": shard_state})
+        self.publisher.load_state_dict(state["publisher"])

@@ -15,6 +15,7 @@ any compliant MessagePack decoder.
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Callable, Iterable
 
 from repro.exceptions import TraceFormatError
 from repro.trace.msgpack import packb, unpackb
@@ -23,6 +24,15 @@ from repro.service.service import PredictionService, ServiceConfig
 
 #: Bumped whenever the snapshot layout changes incompatibly.
 SNAPSHOT_VERSION = 1
+
+
+def check_snapshot_version(state: dict) -> None:
+    """Reject snapshots from an incompatible layout (or that aren't snapshots)."""
+    version = state.get("snapshot_version")
+    if version != SNAPSHOT_VERSION:
+        raise TraceFormatError(
+            f"unsupported service snapshot version {version!r} (expected {SNAPSHOT_VERSION})"
+        )
 
 
 def snapshot_state(service: PredictionService) -> dict:
@@ -45,17 +55,82 @@ def restore_state(
     the same :class:`ServiceConfig` the crashed service ran with (or an
     updated one, e.g. to change the worker count on the replacement host).
     """
-    version = state.get("snapshot_version")
-    if version != SNAPSHOT_VERSION:
-        raise TraceFormatError(
-            f"unsupported service snapshot version {version!r} (expected {SNAPSHOT_VERSION})"
-        )
+    check_snapshot_version(state)
     service = PredictionService(config)
     for session_state in state["sessions"]:
         session = service.broker.session(str(session_state["job"]))
         session.load_state_dict(session_state)
     service.publisher.load_state_dict(state["publisher"])
     return service
+
+
+def apply_state(service: PredictionService, state: dict) -> PredictionService:
+    """Load a snapshot's sessions and publisher into an *existing* service.
+
+    Unlike :func:`restore_state` this does not build a new instance — a shard
+    subprocess restores into the service it already runs.  Sessions present in
+    the snapshot are (re)created; sessions the service already holds for other
+    jobs are left alone.
+    """
+    check_snapshot_version(state)
+    for session_state in state["sessions"]:
+        session = service.broker.session(str(session_state["job"]))
+        session.load_state_dict(session_state)
+    service.publisher.load_state_dict(state["publisher"])
+    return service
+
+
+def merge_states(states: Iterable[dict]) -> dict:
+    """Merge per-shard snapshot states into one single-schema state.
+
+    Shards partition the job space, so the merge is a plain concatenation of
+    the session lists and a union of the publisher maps.  The result is a
+    valid :func:`restore_state` input — a sharded deployment can be restored
+    into a single-process service (or re-split onto a different shard count
+    with :func:`split_state`).
+    """
+    states = list(states)
+    for state in states:
+        check_snapshot_version(state)
+    merged_sessions: list[dict] = []
+    latest: dict = {}
+    latest_period: dict = {}
+    for state in states:
+        merged_sessions.extend(state["sessions"])
+        publisher = state.get("publisher", {})
+        latest.update(publisher.get("latest", {}))
+        latest_period.update(publisher.get("latest_period", {}))
+    return {
+        "snapshot_version": SNAPSHOT_VERSION,
+        "sessions": merged_sessions,
+        "publisher": {"latest": latest, "latest_period": latest_period},
+    }
+
+
+def split_state(state: dict, owner: Callable[[str], int], n_shards: int) -> list[dict]:
+    """Split one merged state into per-shard states by job ownership.
+
+    ``owner`` maps a job id to its shard index (the sharded service passes
+    its hash ring), so a snapshot taken from any deployment shape can be
+    restored onto any shard count.
+    """
+    check_snapshot_version(state)
+    shards = [
+        {
+            "snapshot_version": SNAPSHOT_VERSION,
+            "sessions": [],
+            "publisher": {"latest": {}, "latest_period": {}},
+        }
+        for _ in range(n_shards)
+    ]
+    for session_state in state["sessions"]:
+        shards[owner(str(session_state["job"]))]["sessions"].append(session_state)
+    publisher = state.get("publisher", {})
+    for job, entry in publisher.get("latest", {}).items():
+        shards[owner(str(job))]["publisher"]["latest"][job] = entry
+    for job, period in publisher.get("latest_period", {}).items():
+        shards[owner(str(job))]["publisher"]["latest_period"][job] = period
+    return shards
 
 
 def save_snapshot(service: PredictionService, path: str | Path) -> Path:

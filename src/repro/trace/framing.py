@@ -14,11 +14,21 @@ Frame layout (all integers big-endian)::
     offset  size  field
     0       4     magic  b"FTS1"
     4       1     payload format (1 = JSON, 2 = MessagePack)
-    5       1     flags (reserved, must be 0)
+    5       1     flags: high nibble = frame version, low nibble = version-
+                  specific (see below)
     6       2     job-id length J
     8       4     payload length P
     12      J     job id (UTF-8)
     12+J    P     payload (one flush record in the chosen format)
+
+The flags byte is versioned.  Version 0 (the original wire format) requires
+the low nibble to be zero, so every frame ever written before the version
+field existed still decodes.  Version 1 uses the low nibble as a **tenant /
+auth token**: a 4-bit shared secret stamped by the producer and checked by
+the consumer, so a misdirected or forged stream is rejected at the framing
+layer before any payload is decoded.  Versions above
+:data:`MAX_FRAME_VERSION` are rejected — a reader never silently mis-frames
+a future format.
 
 The payload is the :meth:`FlushRecord.to_dict` schema encoded with the
 existing JSONL or MessagePack encoders, so a framed stream is a thin layer
@@ -31,6 +41,8 @@ buffered until the missing bytes arrive.
 from __future__ import annotations
 
 import json
+import os
+import shutil
 import struct
 from dataclasses import dataclass
 from pathlib import Path
@@ -45,6 +57,8 @@ FRAME_MAGIC = b"FTS1"
 #: Payload format codes.
 PAYLOAD_JSON = 1
 PAYLOAD_MSGPACK = 2
+#: Highest frame version this decoder understands.
+MAX_FRAME_VERSION = 1
 
 _FORMAT_NAMES = {PAYLOAD_JSON: "json", PAYLOAD_MSGPACK: "msgpack"}
 _FORMAT_CODES = {name: code for code, name in _FORMAT_NAMES.items()}
@@ -54,6 +68,30 @@ _HEADER = struct.Struct(">4sBBHI")
 MAX_PAYLOAD_BYTES = 256 * 1024 * 1024
 
 
+def _pack_flags(token: int | None) -> int:
+    if token is None:
+        return 0
+    token = int(token)
+    if not 0 <= token <= 0xF:
+        raise TraceFormatError(f"tenant token must fit the flags nibble (0..15), got {token}")
+    return (1 << 4) | token
+
+
+def _unpack_flags(flags: int) -> int | None:
+    """Validate a flags byte; returns the tenant token (``None`` for version 0)."""
+    version = flags >> 4
+    if version > MAX_FRAME_VERSION:
+        raise TraceFormatError(
+            f"unsupported frame version {version} (this reader understands <= "
+            f"{MAX_FRAME_VERSION})"
+        )
+    if version == 0:
+        if flags & 0x0F:
+            raise TraceFormatError(f"unsupported frame flags 0x{flags:02x} for version 0")
+        return None
+    return flags & 0x0F
+
+
 @dataclass(frozen=True)
 class FlushFrame:
     """One decoded frame: a flush record plus its routing header."""
@@ -61,6 +99,22 @@ class FlushFrame:
     job: str
     flush: FlushRecord
     payload_format: str
+    #: Tenant/auth token nibble of a version-1 frame (``None`` on version 0).
+    token: int | None = None
+
+
+@dataclass(frozen=True)
+class RawFrame:
+    """One *undecoded* frame: routing header fields plus the raw bytes.
+
+    A demultiplexing front end (the sharded router) classifies frames from
+    the header alone and forwards ``data`` verbatim — the payload is decoded
+    exactly once, in the shard that owns the job.
+    """
+
+    job: str
+    data: bytes
+    token: int | None = None
 
 
 def encode_frame(
@@ -68,8 +122,13 @@ def encode_frame(
     *,
     job: str,
     payload_format: str = "msgpack",
+    token: int | None = None,
 ) -> bytes:
-    """Encode one flush record as a length-prefixed frame."""
+    """Encode one flush record as a length-prefixed frame.
+
+    With ``token`` (0..15) the frame is written as version 1 and carries the
+    tenant/auth nibble; without it the frame is the plain version-0 format.
+    """
     try:
         code = _FORMAT_CODES[payload_format]
     except KeyError:
@@ -77,6 +136,7 @@ def encode_frame(
         raise TraceFormatError(
             f"unknown frame payload format {payload_format!r}; known formats: {known}"
         ) from None
+    flags = _pack_flags(token)
     job_bytes = job.encode("utf-8")
     if len(job_bytes) > 0xFFFF:
         raise TraceFormatError(f"job id is {len(job_bytes)} bytes; the frame header allows 65535")
@@ -87,7 +147,7 @@ def encode_frame(
         payload = packb(record)
     if len(payload) > MAX_PAYLOAD_BYTES:
         raise TraceFormatError(f"flush payload of {len(payload)} bytes exceeds the frame limit")
-    header = _HEADER.pack(FRAME_MAGIC, code, 0, len(job_bytes), len(payload))
+    header = _HEADER.pack(FRAME_MAGIC, code, flags, len(job_bytes), len(payload))
     return header + job_bytes + payload
 
 
@@ -106,17 +166,16 @@ def _decode_payload(code: int, payload: bytes) -> FlushRecord:
     return FlushRecord.from_dict(data)
 
 
-class FrameDecoder:
-    """Incremental frame decoder: ``feed()`` bytes in, iterate frames out.
+class _FrameBuffer:
+    """Shared incremental framing: buffer bytes, slice out complete frames.
 
-    The decoder buffers arbitrary byte chunks — socket reads, tail reads of a
-    growing file — and yields every complete frame.  Bytes belonging to an
-    incomplete trailing frame stay buffered until more data arrives, which is
-    what makes the stream append/tail-able.
+    Subclasses decide what a "frame" materializes to: :class:`FrameDecoder`
+    decodes the payload, :class:`FrameSplitter` hands the raw bytes through.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, expected_token: int | None = None) -> None:
         self._buffer = bytearray()
+        self._expected_token = expected_token
 
     @property
     def buffered_bytes(self) -> int:
@@ -127,15 +186,21 @@ class FrameDecoder:
         """Append raw bytes received from the stream."""
         self._buffer.extend(data)
 
-    def frames(self) -> Iterator[FlushFrame]:
-        """Yield (and consume) every complete frame currently buffered."""
-        while True:
-            frame = self._try_decode_one()
-            if frame is None:
-                return
-            yield frame
+    def discard_buffered(self) -> int:
+        """Drop the buffered partial frame (resync); returns the bytes dropped."""
+        dropped = len(self._buffer)
+        self._buffer.clear()
+        return dropped
 
-    def _try_decode_one(self) -> FlushFrame | None:
+    def _check_token(self, token: int | None) -> None:
+        if self._expected_token is not None and token != self._expected_token:
+            raise TraceFormatError(
+                f"frame tenant token {token!r} does not match the expected token "
+                f"{self._expected_token}"
+            )
+
+    def _slice_one(self) -> tuple[int, int | None, int, int] | None:
+        """Validate the buffered header; returns (code, token, job_len, total)."""
         buffer = self._buffer
         if len(buffer) < _HEADER.size:
             return None
@@ -144,21 +209,88 @@ class FrameDecoder:
             raise TraceFormatError(
                 f"bad frame magic {bytes(magic)!r}; the stream is not FTS1-framed or is corrupt"
             )
-        if flags != 0:
-            raise TraceFormatError(f"unsupported frame flags 0x{flags:02x}")
+        token = _unpack_flags(flags)
         if code not in _FORMAT_NAMES:
             raise TraceFormatError(f"unknown frame payload format code {code}")
         if payload_len > MAX_PAYLOAD_BYTES:
             raise TraceFormatError(f"frame payload length {payload_len} exceeds the limit")
+        self._check_token(token)
         total = _HEADER.size + job_len + payload_len
         if len(buffer) < total:
             return None
-        job = bytes(buffer[_HEADER.size : _HEADER.size + job_len]).decode("utf-8")
-        payload = bytes(buffer[_HEADER.size + job_len : total])
-        del buffer[:total]
+        return code, token, job_len, total
+
+    def _decode_job(self, job_len: int) -> str:
+        raw = bytes(self._buffer[_HEADER.size : _HEADER.size + job_len])
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise TraceFormatError(f"frame job id is not valid UTF-8: {exc}") from exc
+
+
+class FrameDecoder(_FrameBuffer):
+    """Incremental frame decoder: ``feed()`` bytes in, iterate frames out.
+
+    The decoder buffers arbitrary byte chunks — socket reads, tail reads of a
+    growing file — and yields every complete frame.  Bytes belonging to an
+    incomplete trailing frame stay buffered until more data arrives, which is
+    what makes the stream append/tail-able.  With ``expected_token`` set,
+    every frame must carry that version-1 tenant/auth nibble; version-0
+    (unauthenticated) frames and wrong tokens raise :class:`TraceFormatError`.
+    """
+
+    def frames(self) -> Iterator[FlushFrame]:
+        """Yield (and consume) every complete frame currently buffered."""
+        while True:
+            frame = self._try_decode_one()
+            if frame is None:
+                return
+            yield frame
+
+    def drain(self) -> list[FlushFrame]:
+        """All complete frames currently buffered, as a list."""
+        return list(self.frames())
+
+    def _try_decode_one(self) -> FlushFrame | None:
+        sliced = self._slice_one()
+        if sliced is None:
+            return None
+        code, token, job_len, total = sliced
+        job = self._decode_job(job_len)
+        payload = bytes(self._buffer[_HEADER.size + job_len : total])
+        del self._buffer[:total]
         return FlushFrame(
-            job=job, flush=_decode_payload(code, payload), payload_format=_FORMAT_NAMES[code]
+            job=job,
+            flush=_decode_payload(code, payload),
+            payload_format=_FORMAT_NAMES[code],
+            token=token,
         )
+
+
+class FrameSplitter(_FrameBuffer):
+    """Header-only frame splitter: yields :class:`RawFrame` without decoding.
+
+    The sharded router uses this to route a shared byte stream: the header is
+    validated (magic, version, format code, length bound, token), the job id
+    is read, and the frame's bytes are forwarded untouched — O(header) work
+    per frame on the routing hot path.
+    """
+
+    def raw_frames(self) -> Iterator[RawFrame]:
+        """Yield (and consume) every complete raw frame currently buffered."""
+        while True:
+            sliced = self._slice_one()
+            if sliced is None:
+                return
+            _, token, job_len, total = sliced
+            job = self._decode_job(job_len)
+            data = bytes(self._buffer[:total])
+            del self._buffer[:total]
+            yield RawFrame(job=job, data=data, token=token)
+
+    def drain(self) -> list[RawFrame]:
+        """All complete raw frames currently buffered, as a list."""
+        return list(self.raw_frames())
 
 
 class FrameWriter:
@@ -167,6 +299,12 @@ class FrameWriter:
     Multiple jobs can share one writer — the per-frame ``job`` argument
     overrides the default given at construction — which is exactly the
     multi-tenant spool the broker tails.
+
+    Path-backed writers support **rotation**: :meth:`rotate` renames the
+    current spool to ``<path>.<n>`` and continues appending to a fresh file,
+    and with ``max_bytes`` set the writer rotates automatically before the
+    append that would cross the limit (rotation therefore always happens at a
+    frame boundary — a frame is never split across spool generations).
     """
 
     def __init__(
@@ -175,6 +313,8 @@ class FrameWriter:
         *,
         job: str | None = None,
         payload_format: str = "msgpack",
+        token: int | None = None,
+        max_bytes: int | None = None,
     ) -> None:
         self._path: Path | None = None
         self._stream: BinaryIO | None = None
@@ -182,10 +322,29 @@ class FrameWriter:
             self._path = Path(target)
         else:
             self._stream = target
+        if max_bytes is not None and self._path is None:
+            raise TraceFormatError("max_bytes rotation requires a path-backed writer")
         self._job = job
         self._payload_format = payload_format
+        self._token = token
+        self._max_bytes = max_bytes
         self._frames_written = 0
         self._bytes_written = 0
+        self._current_file_bytes = self._path.stat().st_size if self._path and self._path.exists() else 0
+        # A restarted writer must continue the generation numbering, not
+        # os.replace() the live file onto a retained ``<path>.1``.
+        self._rotations = self._existing_generations()
+
+    def _existing_generations(self) -> int:
+        if self._path is None or not self._path.parent.exists():
+            return 0
+        prefix = self._path.name + "."
+        suffixes = [
+            int(candidate.name[len(prefix):])
+            for candidate in self._path.parent.glob(prefix + "*")
+            if candidate.name[len(prefix):].isdigit()
+        ]
+        return max(suffixes, default=0)
 
     @property
     def frames_written(self) -> int:
@@ -194,18 +353,53 @@ class FrameWriter:
 
     @property
     def bytes_written(self) -> int:
-        """Number of bytes appended so far."""
+        """Number of bytes appended so far (across rotations)."""
         return self._bytes_written
+
+    @property
+    def rotations(self) -> int:
+        """Highest generation number so far (counts pre-existing rotations)."""
+        return self._rotations
+
+    @property
+    def current_file_bytes(self) -> int:
+        """Size of the current spool generation in bytes."""
+        return self._current_file_bytes
+
+    def rotate(self) -> Path | None:
+        """Rotate the spool: rename it to ``<path>.<n>`` and start fresh.
+
+        Returns the rotated-away path, or ``None`` when the spool does not
+        exist yet (nothing to rotate).  Only valid on path-backed writers.
+        """
+        if self._path is None:
+            raise TraceFormatError("cannot rotate a stream-backed frame writer")
+        if not self._path.exists():
+            return None
+        self._rotations += 1
+        rotated = self._path.with_name(f"{self._path.name}.{self._rotations}")
+        os.replace(self._path, rotated)
+        self._current_file_bytes = 0
+        return rotated
 
     def write(self, flush: FlushRecord, *, job: str | None = None) -> int:
         """Append one flush frame; returns the encoded frame size in bytes."""
         job = job if job is not None else self._job
         if job is None:
             raise TraceFormatError("no job id: pass job= to write() or to the writer")
-        frame = encode_frame(flush, job=job, payload_format=self._payload_format)
+        frame = encode_frame(
+            flush, job=job, payload_format=self._payload_format, token=self._token
+        )
         if self._path is not None:
+            if (
+                self._max_bytes is not None
+                and self._current_file_bytes > 0
+                and self._current_file_bytes + len(frame) > self._max_bytes
+            ):
+                self.rotate()
             with self._path.open("ab") as handle:
                 handle.write(frame)
+            self._current_file_bytes += len(frame)
         else:
             assert self._stream is not None
             self._stream.write(frame)
@@ -216,7 +410,7 @@ class FrameWriter:
 
 
 class FrameReader:
-    """Tail a growing framed spool file.
+    """Tail a growing framed spool file, following rotations.
 
     Every :meth:`poll` reads the bytes appended since the previous poll and
     returns the newly completed frames; a frame still being written is left
@@ -224,15 +418,39 @@ class FrameReader:
     from the beginning — ingestion cost is proportional to the new data, not
     to the file size.
 
+    The reader keeps its file handle open between polls, which is what makes
+    it survive **rotation**: when the spool is renamed away and a fresh file
+    appears under the same path, the next poll first drains the remainder of
+    the old generation through the retained handle (so a frame completed just
+    before the rotation is never lost), then *chases the generations*: the
+    rotated-away files (``<path>.<n>``, the :meth:`FrameWriter.rotate`
+    naming) are located by inode and every generation newer than the one just
+    drained is read in order before the live file is reopened — nothing is
+    skipped even when several rotations happened between two polls.  If a
+    generation ends in a torn frame (a writer crash), the partial bytes are
+    discarded — **resynced** — instead of being glued onto the next
+    generation's bytes, which would mis-frame everything after;
+    :attr:`resyncs` and :attr:`skipped_bytes` count these events.
+
     Parameters
     ----------
     path:
         The spool file to tail (it may not exist yet).
     offset:
-        Byte offset to start from (e.g. resumed from a snapshot).
+        Byte offset to start from in the live file (pre-rotation resumes).
+    position:
+        Rotation-proof resume point from :attr:`position` (overrides
+        ``offset``): the recorded inode is looked up among the live file and
+        its generations, so a snapshot taken before a rotation still resumes
+        at the exact byte it was taken at.
     sink:
         Optional callback invoked with each poll's newly completed frames
         (the broker uses this to ingest them automatically).
+    expected_token:
+        Require every frame to carry this version-1 tenant/auth nibble.
+    raw:
+        Split frames on the header only and return :class:`RawFrame` objects
+        (payloads stay undecoded) — what the sharded router tails with.
     """
 
     def __init__(
@@ -240,37 +458,218 @@ class FrameReader:
         path: str | Path,
         *,
         offset: int = 0,
+        position: dict | None = None,
         sink: Callable[[list[FlushFrame]], object] | None = None,
+        expected_token: int | None = None,
+        raw: bool = False,
     ) -> None:
         self._path = Path(path)
         self._offset = int(offset)
-        self._decoder = FrameDecoder()
+        self._start_inode: int | None = None
+        if position is not None:
+            self._offset = int(position["offset"])
+            self._start_inode = position["inode"]
+        buffer_type = FrameSplitter if raw else FrameDecoder
+        self._decoder = buffer_type(expected_token=expected_token)
         self._sink = sink
+        self._handle: BinaryIO | None = None
+        self._inode: int | None = None
+        self._opened_once = False
+        self._resyncs = 0
+        self._skipped_bytes = 0
 
     @property
     def offset(self) -> int:
-        """File offset up to which bytes have been consumed."""
+        """Consumed byte offset within the *current* spool generation."""
         return self._offset
+
+    @property
+    def position(self) -> dict:
+        """Rotation-proof resume point: the current file's inode and offset.
+
+        Record this alongside a snapshot and pass it back as ``position=`` to
+        resume exactly here even if the spool rotated in between.  The offset
+        is the last *frame boundary* consumed — bytes of a partially read
+        trailing frame are excluded, so a fresh reader resumed here decodes
+        that frame from its first byte.
+        """
+        return {
+            "inode": self._inode,
+            "offset": self._offset - self._decoder.buffered_bytes,
+        }
+
+    @property
+    def resyncs(self) -> int:
+        """How many times a torn frame was discarded at a rotation boundary."""
+        return self._resyncs
+
+    @property
+    def skipped_bytes(self) -> int:
+        """Total bytes discarded by resyncs."""
+        return self._skipped_bytes
+
+    def rebase(self, removed_bytes: int) -> None:
+        """Adjust for :func:`compact_spool` dropping ``removed_bytes`` of prefix.
+
+        The compacted file is a new inode holding ``old[removed_bytes:]``; the
+        reader's consumed offset shifts down accordingly and the handle is
+        reopened on the next poll.
+        """
+        self._offset = max(0, self._offset - int(removed_bytes))
+        self._close_handle()
+
+    # ------------------------------------------------------------------ #
+    def _close_handle(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._inode = None
+
+    def _generations(self) -> list[tuple[int, Path]]:
+        """Rotated-away spool files ``<path>.<n>``, oldest (smallest n) first."""
+        generations: list[tuple[int, Path]] = []
+        prefix = self._path.name + "."
+        for candidate in self._path.parent.glob(prefix + "*"):
+            suffix = candidate.name[len(prefix):]
+            if suffix.isdigit():
+                generations.append((int(suffix), candidate))
+        generations.sort()
+        return generations
+
+    @staticmethod
+    def _inode_of(path: Path) -> int | None:
+        try:
+            return os.stat(path).st_ino
+        except FileNotFoundError:
+            return None
+
+    def _open(self, path: Path) -> bool:
+        try:
+            handle = path.open("rb")
+        except FileNotFoundError:
+            return False
+        self._handle = handle
+        self._inode = os.fstat(handle.fileno()).st_ino
+        return True
+
+    def _open_start(self) -> bool:
+        """First open: resolve a recorded resume position, else the oldest data."""
+        if self._handle is not None:
+            return True
+        if self._start_inode is not None:
+            wanted = self._start_inode
+            self._start_inode = None
+            for candidate in [self._path] + [p for _, p in self._generations()]:
+                if self._inode_of(candidate) == wanted and self._open(candidate):
+                    return True
+            # The recorded generation is gone (compacted/deleted): the resume
+            # point cannot be honoured byte-exactly — start over, counted.
+            self._resync()
+            self._offset = 0
+        if self._offset == 0 and not self._opened_once:
+            # A from-the-beginning tail means *all* retained data: start at
+            # the oldest rotated generation, then chase forward to the live
+            # file.  (A non-zero offset refers to the live file.)
+            for _, generation in self._generations():
+                if self._open(generation):
+                    self._opened_once = True
+                    return True
+        opened = self._open(self._path)
+        self._opened_once = self._opened_once or opened
+        return opened
+
+    def _next_after_current(self) -> Path | None:
+        """The file to read after the (rotated-away) current handle."""
+        generations = self._generations()
+        for position, (_, candidate) in enumerate(generations):
+            if self._inode_of(candidate) == self._inode:
+                if position + 1 < len(generations):
+                    return generations[position + 1][1]
+                return self._path
+        # Not found among the generations (deleted): fall back to the live
+        # file; anything in between is gone.
+        return self._path
+
+    def _read_new_bytes(self) -> bytes:
+        assert self._handle is not None
+        self._handle.seek(self._offset)
+        data = self._handle.read()
+        self._offset += len(data)
+        return data
+
+    def _resync(self) -> None:
+        dropped = self._decoder.discard_buffered()
+        if dropped:
+            self._resyncs += 1
+            self._skipped_bytes += dropped
 
     def poll(self) -> list[FlushFrame]:
         """Read newly appended bytes and return the completed frames."""
-        if not self._path.exists():
-            return []
-        with self._path.open("rb") as handle:
-            handle.seek(self._offset)
-            data = handle.read()
-        if data:
-            self._offset += len(data)
-            self._decoder.feed(data)
-        frames = list(self._decoder.frames())
+        frames: list[FlushFrame] = []
+        # Each pass drains one spool generation; a poll crosses exactly the
+        # rotations that happened since the previous poll.
+        while True:
+            if not self._open_start():
+                break
+            assert self._handle is not None
+            size = os.fstat(self._handle.fileno()).st_size
+            if size < self._offset:
+                # The file shrank in place (copy-truncate rotation): whatever
+                # was buffered belongs to the overwritten generation.
+                self._resync()
+                self._offset = 0
+            self._decoder.feed(self._read_new_bytes())
+            frames.extend(self._decoder.drain())
+            if self._inode_of(self._path) == self._inode:
+                break
+            # Rotated away: the current generation was fully drained above.
+            # A torn trailing frame can never be completed now — resync, then
+            # chase the next generation (or the live file).
+            self._resync()
+            next_path = self._next_after_current()
+            self._close_handle()
+            self._offset = 0
+            if next_path is None or not self._open(next_path):  # pragma: no cover
+                break
         if frames and self._sink is not None:
             self._sink(frames)
         return frames
 
 
-def iter_frames(path: str | Path) -> Iterator[FlushFrame]:
+def compact_spool(path: str | Path, *, up_to: int) -> int:
+    """Drop the consumed prefix ``[0, up_to)`` of a spool file.
+
+    Long-running spools grow without bound even though every consumer is far
+    past the beginning; compaction rewrites the file (atomically, via a
+    temporary file and :func:`os.replace`) keeping only the bytes from
+    ``up_to`` on.  ``up_to`` must be a frame boundary of frames every consumer
+    has consumed — typically a reader's :attr:`FrameReader.offset` recorded in
+    a snapshot.  Live readers must be told via :meth:`FrameReader.rebase`.
+
+    Returns the number of bytes removed.
+    """
+    path = Path(path)
+    up_to = int(up_to)
+    if up_to < 0:
+        raise TraceFormatError(f"compaction offset must be >= 0, got {up_to}")
+    if up_to == 0 or not path.exists():
+        return 0
+    size = path.stat().st_size
+    if up_to > size:
+        raise TraceFormatError(f"compaction offset {up_to} lies beyond the spool size {size}")
+    tmp = path.with_name(path.name + ".compact-tmp")
+    # Stream the retained tail: compaction exists because spools get large,
+    # so it must not materialize the whole file in memory.
+    with path.open("rb") as source, tmp.open("wb") as target:
+        source.seek(up_to)
+        shutil.copyfileobj(source, target, 1 << 20)
+    os.replace(tmp, path)
+    return up_to
+
+
+def iter_frames(path: str | Path, *, expected_token: int | None = None) -> Iterator[FlushFrame]:
     """Yield every complete frame stored in a framed spool file."""
-    decoder = FrameDecoder()
+    decoder = FrameDecoder(expected_token=expected_token)
     decoder.feed(Path(path).read_bytes())
     yield from decoder.frames()
     if decoder.buffered_bytes:

@@ -204,3 +204,53 @@ class TestDetectionDispatcher:
         p50 = service.dispatcher.latency_percentile(50.0)
         p99 = service.dispatcher.latency_percentile(99.0)
         assert p50 is not None and p99 is not None and p99 >= p50 >= 0.0
+
+    def test_latency_percentile_empty_window_is_none(self, online_config):
+        dispatcher = DetectionDispatcher(FlushBroker(session_config=SessionConfig(config=online_config)))
+        for q in (0.0, 50.0, 100.0):
+            assert dispatcher.latency_percentile(q) is None
+        assert dispatcher.latencies() == ()
+
+    def test_latency_percentile_extreme_quantiles_and_single_sample(self, online_config):
+        service = PredictionService(ServiceConfig(session=SessionConfig(config=online_config)))
+        service.ingest_flush("one", make_flush(0))
+        service.pump(wait_for_batch=True)
+        latencies = service.dispatcher.latencies()
+        assert len(latencies) == 1
+        only = latencies[0]
+        # With a single sample every quantile collapses onto it.
+        for q in (0.0, 1.0, 50.0, 99.0, 100.0):
+            assert service.dispatcher.latency_percentile(q) == pytest.approx(only)
+        # With several samples q=0/q=100 are the window extremes.
+        for i in range(1, 5):
+            service.ingest_flush("one", make_flush(i))
+            service.pump(wait_for_batch=True)
+        window = service.dispatcher.latencies()
+        assert service.dispatcher.latency_percentile(0.0) == pytest.approx(min(window))
+        assert service.dispatcher.latency_percentile(100.0) == pytest.approx(max(window))
+        service.close()
+
+    def test_pump_after_close_raises_cleanly(self, online_config):
+        for max_workers in (0, 2):
+            service = PredictionService(
+                ServiceConfig(session=SessionConfig(config=online_config), max_workers=max_workers)
+            )
+            service.ingest_flush("x", make_flush(0))
+            service.drain()
+            service.close()
+            assert service.dispatcher.closed
+            service.ingest_flush("x", make_flush(1))  # ingestion still works...
+            with pytest.raises(RuntimeError):  # ...but evaluation does not
+                service.pump(wait_for_batch=True)
+            # close is idempotent and join on a closed dispatcher is a no-op.
+            service.close()
+            service.dispatcher.join()
+
+    def test_dispatcher_constructor_validation(self, online_config):
+        broker = FlushBroker(session_config=SessionConfig(config=online_config))
+        with pytest.raises(ValueError):
+            DetectionDispatcher(broker, max_workers=-1)
+        with pytest.raises(ValueError):
+            DetectionDispatcher(broker, max_pending=0)
+        with pytest.raises(ValueError):
+            DetectionDispatcher(broker, latency_window=0)

@@ -1,0 +1,297 @@
+"""Acceptance tests of the sharded multi-process prediction service.
+
+The contract of sharding is *transparency*: because sessions are independent
+and lock-isolated, distributing them over worker subprocesses must change no
+prediction.  The tests here drive 32 concurrent jobs through a 4-shard
+service and a single-process service on identical framed input and assert
+the full per-session state — predictor step histories, resident buffers,
+counters — is **bit-identical**, then do the same across a kill -9 of a
+shard followed by snapshot restore and spool-tail replay.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.benchmark import synthetic_flush_streams
+from repro.core import FtioConfig
+from repro.service import (
+    HashRing,
+    PredictionService,
+    ServiceConfig,
+    SessionConfig,
+    ShardedService,
+    restore_state,
+)
+from repro.trace.framing import FrameWriter, encode_frame
+
+N_JOBS = 32
+N_SHARDS = 4
+
+
+@pytest.fixture(scope="module")
+def service_config():
+    return ServiceConfig(
+        session=SessionConfig(
+            config=FtioConfig(
+                sampling_frequency=10.0,
+                use_autocorrelation=False,
+                compute_characterization=False,
+            )
+        ),
+        max_workers=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def streams():
+    """32 heterogeneous periodic jobs, 6 flushes each."""
+    return synthetic_flush_streams(N_JOBS, flushes_per_job=6, requests_per_flush=16, seed=42)
+
+
+def frame_for(job_index: int, job: str, flush, token: int | None) -> bytes:
+    # Alternate payload formats across jobs: the codec must be transparent.
+    payload_format = ("msgpack", "json")[job_index % 2]
+    return encode_frame(flush, job=job, payload_format=payload_format, token=token)
+
+
+def run_single(streams, config, *, token: int | None = None) -> dict:
+    service = PredictionService(config)
+    n_rounds = max(len(flushes) for flushes in streams.values())
+    for round_index in range(n_rounds):
+        for job_index, (job, flushes) in enumerate(streams.items()):
+            if round_index < len(flushes):
+                service.feed_bytes(frame_for(job_index, job, flushes[round_index], token))
+        service.pump(wait_for_batch=True)
+    service.drain()
+    from repro.service import snapshot_state
+
+    state = snapshot_state(service)
+    periods = {job: service.publisher.latest_period(job) for job in streams}
+    service.close()
+    return {"state": state, "periods": periods}
+
+
+def sessions_by_job(state: dict) -> dict[str, dict]:
+    return {session["job"]: session for session in state["sessions"]}
+
+
+class TestHashRing:
+    def test_deterministic_and_total(self):
+        ring = HashRing(N_SHARDS)
+        again = HashRing(N_SHARDS)
+        for j in range(500):
+            job = f"job-{j:03d}"
+            assert ring.shard_for(job) == again.shard_for(job)
+            assert 0 <= ring.shard_for(job) < N_SHARDS
+
+    def test_balanced_across_shards(self):
+        ring = HashRing(N_SHARDS)
+        counts = [0] * N_SHARDS
+        for j in range(2000):
+            counts[ring.shard_for(f"job-{j}")] += 1
+        # 64 virtual nodes keep the imbalance moderate.
+        assert min(counts) > 0
+        assert max(counts) < 2.5 * (2000 / N_SHARDS)
+
+    def test_consistency_under_shard_count_change(self):
+        before = HashRing(4)
+        after = HashRing(5)
+        jobs = [f"job-{j}" for j in range(2000)]
+        moved = sum(before.shard_for(j) != after.shard_for(j) for j in jobs)
+        # Consistent hashing: growing 4 -> 5 shards should move roughly 1/5
+        # of the keys, nowhere near the ~4/5 a modulo re-hash would move.
+        assert moved / len(jobs) < 0.45
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, replicas=0)
+
+
+class TestShardedEquivalence:
+    def test_32_jobs_bit_identical_to_single_process(self, streams, service_config):
+        token = 9
+        reference = run_single(streams, service_config, token=token)
+
+        sharded = ShardedService(N_SHARDS, service_config, token=token)
+        try:
+            n_rounds = max(len(flushes) for flushes in streams.values())
+            for round_index in range(n_rounds):
+                for job_index, (job, flushes) in enumerate(streams.items()):
+                    if round_index < len(flushes):
+                        sharded.feed_bytes(
+                            frame_for(job_index, job, flushes[round_index], token)
+                        )
+                sharded.pump()
+            sharded.drain()
+
+            # Every shard served some jobs.
+            owners = {sharded.shard_for(job) for job in streams}
+            assert owners == set(range(N_SHARDS))
+
+            # Published periods match exactly.
+            for job in streams:
+                assert sharded.publisher.latest_period(job) == reference["periods"][job], job
+
+            # Full per-session state is bit-identical: predictor histories
+            # (periods, windows, times, confidences), resident buffers,
+            # metadata and counters.
+            merged = sharded.snapshot_state()
+            ours = sessions_by_job(merged)
+            theirs = sessions_by_job(reference["state"])
+            assert set(ours) == set(theirs) == set(streams)
+            for job in streams:
+                assert ours[job] == theirs[job], job
+            assert merged["publisher"] == reference["state"]["publisher"]
+
+            # Aggregated stats add up across shards.
+            broker = sharded.broker_stats
+            total_flushes = sum(len(f) for f in streams.values())
+            assert broker.jobs == N_JOBS
+            assert broker.frames == broker.flushes == total_flushes
+            dispatch = sharded.dispatcher_stats
+            assert dispatch.completed == dispatch.submitted > 0
+            assert dispatch.failures == 0 and dispatch.pending == 0
+        finally:
+            sharded.close()
+
+    def test_merged_snapshot_restores_into_single_process(self, streams, service_config):
+        token = 2
+        sharded = ShardedService(N_SHARDS, service_config, token=token)
+        try:
+            for job_index, (job, flushes) in enumerate(streams.items()):
+                for flush in flushes[:3]:
+                    sharded.feed_bytes(frame_for(job_index, job, flush, token))
+                sharded.pump()
+            sharded.drain()
+            merged = sharded.snapshot_state()
+            periods = {job: sharded.publisher.latest_period(job) for job in streams}
+        finally:
+            sharded.close()
+
+        single = restore_state(merged, config=service_config)
+        try:
+            assert set(single.jobs) == set(streams)
+            for job in streams:
+                assert single.publisher.latest_period(job) == periods[job], job
+        finally:
+            single.close()
+
+    def test_merged_snapshot_restores_onto_other_shard_count(self, streams, service_config):
+        jobs = dict(list(streams.items())[:8])
+        sharded = ShardedService(N_SHARDS, service_config)
+        try:
+            for job, flushes in jobs.items():
+                for flush in flushes[:3]:
+                    sharded.ingest_flush(job, flush)
+            sharded.drain()
+            merged = sharded.snapshot_state()
+            periods = {job: sharded.publisher.latest_period(job) for job in jobs}
+        finally:
+            sharded.close()
+
+        smaller = ShardedService(2, service_config)
+        try:
+            smaller.restore_state(merged)
+            assert set(smaller.jobs) == set(jobs)
+            for job in jobs:
+                assert smaller.publisher.latest_period(job) == periods[job], job
+        finally:
+            smaller.close()
+
+
+class TestProcessPoolBackend:
+    def test_process_backend_bit_identical_to_thread_backend(self, service_config):
+        streams = synthetic_flush_streams(4, flushes_per_job=6, seed=7)
+
+        def run(backend: str) -> dict:
+            config = ServiceConfig(
+                session=service_config.session,
+                max_workers=2,
+                backend=backend,
+                backend_workers=2,
+            )
+            service = PredictionService(config)
+            for job, flushes in streams.items():
+                for flush in flushes:
+                    service.ingest_flush(job, flush)
+                    service.pump(wait_for_batch=True)
+            service.dispatcher.join()
+            histories = {
+                job: [
+                    (s.index, s.time, s.window, s.period, s.confidence)
+                    for s in service.session(job).predictor.history
+                ]
+                for job in streams
+            }
+            service.close()
+            return histories
+
+        assert run("thread") == run("process")
+
+    def test_unknown_backend_rejected(self):
+        from repro.service import make_backend
+
+        with pytest.raises(ValueError):
+            make_backend("quantum")
+
+
+class TestCrashRecovery:
+    def test_kill9_restore_replay_converges(self, service_config, tmp_path):
+        """Kill -9 a shard mid-stream; snapshot + spool replay must converge
+        to the exact predictions of a run that never crashed."""
+        token = 5
+        streams = synthetic_flush_streams(8, flushes_per_job=9, seed=11)
+        n_rounds = max(len(flushes) for flushes in streams.values())
+        spool = tmp_path / "spool.fts"
+        writer = FrameWriter(spool, payload_format="msgpack", token=token)
+
+        sharded = ShardedService(N_SHARDS, service_config, token=token)
+        try:
+            tail = sharded.tail_file(spool)
+
+            def stream_round(round_index: int) -> None:
+                for job, flushes in streams.items():
+                    if round_index < len(flushes):
+                        writer.write(flushes[round_index], job=job)
+                tail.poll()
+                sharded.pump()
+
+            third = n_rounds // 3
+            for round_index in range(third):
+                stream_round(round_index)
+            snapshot = sharded.snapshot_state()
+            snapshot_offset = tail.offset
+
+            # Keep streaming past the snapshot, then pull the plug: the
+            # victim's post-snapshot in-memory state is gone for good.
+            for round_index in range(third, 2 * third):
+                stream_round(round_index)
+            victim = sharded.shard_for(next(iter(streams)))
+            sharded.kill_shard(victim)
+            assert sharded.dead_shards() == (victim,)
+
+            replayed = sharded.revive_shard(
+                victim, state=snapshot, spool=spool, spool_offset=snapshot_offset
+            )
+            assert replayed > 0, "frames written since the snapshot must be replayed"
+            assert sharded.dead_shards() == ()
+
+            for round_index in range(2 * third, n_rounds):
+                stream_round(round_index)
+            sharded.drain()
+
+            merged = sharded.snapshot_state()
+            periods = {job: sharded.publisher.latest_period(job) for job in streams}
+        finally:
+            sharded.close()
+
+        reference = run_single(streams, service_config, token=token)
+        assert periods == reference["periods"]
+        ours = sessions_by_job(merged)
+        theirs = sessions_by_job(reference["state"])
+        for job in streams:
+            assert ours[job]["predictor"] == theirs[job]["predictor"], job
+            assert ours[job]["buffer"] == theirs[job]["buffer"], job
