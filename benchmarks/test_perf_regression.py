@@ -48,6 +48,11 @@ MAX_SERVICE_P99_LATENCY_SECONDS = 1.0
 #: cheap synthetic detections do not amortize, so the floor stays loose).
 MIN_SHARDED_JOBS_PER_SECOND = 5.0
 SHARD_COUNTS = ("1", "2", "4")
+#: Gateway floor: every flush crosses loopback TCP and the msgpack control
+#: envelope; the measured numbers are tens-to-hundreds of jobs/s, the floor
+#: keeps an order of magnitude of headroom for noisy shared runners.
+MIN_GATEWAY_JOBS_PER_SECOND = 2.0
+MAX_GATEWAY_RTT_P99_SECONDS = 1.0
 #: Generous absolute budget for one offline detection (seconds); the measured
 #: time at 100k samples is ~10 ms, so a 100x margin still catches an O(N^2)
 #: regression (which lands at seconds).
@@ -96,6 +101,13 @@ def _format_table(report: dict) -> str:
     )
     lines.append(
         f"sharded ({sharded['1']['n_jobs']} jobs, {sharded['1']['cpu_count']} cpu): {scaling}"
+    )
+    gateway = service["gateway"]
+    lines.append(
+        f"gateway: {gateway['n_jobs']} jobs over TCP at "
+        f"{gateway['jobs_per_second']:.0f} jobs/s, control round trip p50 "
+        f"{gateway['round_trip_p50_seconds'] * 1e3:.2f} ms / p99 "
+        f"{gateway['round_trip_p99_seconds'] * 1e3:.2f} ms"
     )
     return "\n".join(lines)
 
@@ -153,10 +165,21 @@ class TestPerfRegression:
                 f"{entry['jobs_per_second']:.1f} jobs/s"
             )
 
+    def test_gateway_throughput_floor(self, perf_report):
+        gateway = perf_report["results"]["service"]["gateway"]
+        assert gateway["n_detections"] > 0
+        assert gateway["jobs_per_second"] >= MIN_GATEWAY_JOBS_PER_SECOND, (
+            f"gateway throughput dropped to {gateway['jobs_per_second']:.1f} jobs/s"
+        )
+        assert gateway["round_trip_p99_seconds"] <= MAX_GATEWAY_RTT_P99_SECONDS, (
+            f"gateway control round-trip p99 rose to "
+            f"{gateway['round_trip_p99_seconds']:.3f} s"
+        )
+
     def test_report_written_and_valid_json(self, perf_report):
         path = write_report(perf_report, REPO_ROOT / "BENCH_perf.json")
         loaded = json.loads(path.read_text(encoding="utf-8"))
-        assert loaded["schema_version"] == 3
+        assert loaded["schema_version"] == 4
         assert loaded["signal_sizes"] == [1_000, 10_000, 100_000]
         assert set(loaded["results"]["service"]["sharded"]) == set(SHARD_COUNTS)
         assert set(loaded["results"]) == {

@@ -50,10 +50,11 @@ def main() -> None:
             max_samples=50_000,
         ),
         max_workers=2,
+        token=TOKEN,
     )
 
     # --- 2. a 4-shard service tails the spool ------------------------------ #
-    service = ShardedService(4, config, token=TOKEN)
+    service = ShardedService(4, config)
     tail = service.tail_file(spool)
     owners = {job: service.shard_for(job) for job in jobs}
     print("job -> shard:", ", ".join(f"{job}:{shard}" for job, shard in owners.items()))

@@ -12,9 +12,13 @@ The package is organized in layers:
 * :mod:`repro.cluster` / :mod:`repro.scheduling` — the shared-file-system
   simulator and the Set-10 I/O scheduling use case;
 * :mod:`repro.service` — the streaming prediction service: framed multi-job
-  flush ingestion, bounded-memory online sessions, live FTIO-driven
+  flush ingestion, bounded-memory online sessions, the versioned
+  control-plane protocol, the asyncio TCP gateway, live FTIO-driven
   scheduling;
-* :mod:`repro.analysis` — detection-error sweeps and report rendering.
+* :mod:`repro.client` — the blocking TCP client of the service gateway;
+* :mod:`repro.analysis` — detection-error sweeps and report rendering;
+* :mod:`repro.api` — the unified facade: ``detect`` / ``predict`` /
+  ``serve`` / ``connect`` behind one frozen :class:`~repro.api.ReproConfig`.
 
 Quick start::
 
@@ -23,9 +27,28 @@ Quick start::
     trace = workloads.ior_trace(ranks=8, iterations=8, seed=1)
     result = Ftio(FtioConfig(sampling_frequency=1.0)).detect(trace)
     print(result.summary())
+
+or, through the facade::
+
+    import repro.api as api
+
+    result = api.detect(trace, sampling_frequency=1.0)
 """
 
-from repro import analysis, cluster, core, freq, scheduling, service, trace, tracer, workloads
+from repro import (
+    analysis,
+    api,
+    client,
+    cluster,
+    core,
+    freq,
+    scheduling,
+    service,
+    trace,
+    tracer,
+    workloads,
+)
+from repro.api import ReproConfig
 from repro.core import (
     Ftio,
     FtioConfig,
@@ -40,6 +63,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "analysis",
+    "api",
+    "client",
     "cluster",
     "core",
     "freq",
@@ -50,6 +75,7 @@ __all__ = [
     "workloads",
     "Ftio",
     "FtioConfig",
+    "ReproConfig",
     "FtioResult",
     "OnlinePredictor",
     "Periodicity",

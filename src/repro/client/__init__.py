@@ -1,0 +1,11 @@
+"""Client-side access to a running prediction service.
+
+:class:`ServiceClient` is the blocking TCP client of the service gateway
+(:mod:`repro.service.gateway`): connect, stream flushes, pump, read stats,
+snapshot/restore, and subscribe to live predictions — all over the typed,
+versioned control-plane protocol of :mod:`repro.service.protocol`.
+"""
+
+from repro.client.client import ServiceClient
+
+__all__ = ["ServiceClient"]

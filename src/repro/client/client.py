@@ -1,0 +1,267 @@
+"""Blocking TCP client of the prediction-service gateway.
+
+:class:`ServiceClient` connects to a :class:`~repro.service.gateway.
+ServiceGateway`, performs the :class:`~repro.service.protocol.Hello` version
+negotiation, and then exposes the service's whole control surface as plain
+method calls: stream flushes in, pump, read stats, snapshot/restore, and
+subscribe to the live prediction stream.
+
+The conversation is strictly typed (:mod:`repro.service.protocol`); flush
+payloads travel as ordinary FTS1 frames inside
+:class:`~repro.service.protocol.SubmitFrames`, so the client is wire-format
+compatible with every other producer (spool writers, socket feeds).
+
+Asynchronous :class:`~repro.service.protocol.PredictionEvent` messages may
+interleave with request/response pairs once :meth:`ServiceClient.subscribe`
+ran; the client transparently queues them, and :meth:`ServiceClient.
+predictions` / :meth:`ServiceClient.poll_predictions` hand them out in
+arrival order.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from collections import deque
+from collections.abc import Iterator, Sequence
+from typing import TypeVar
+
+from repro.exceptions import ProtocolError, ServiceError
+from repro.service import protocol as proto
+from repro.service.publisher import PredictionUpdate
+from repro.trace.framing import encode_frame
+from repro.trace.jsonl import FlushRecord
+
+#: Socket read size of the reply loop.
+_READ_CHUNK = 1 << 16
+
+R = TypeVar("R", bound=proto.Message)
+
+
+class ServiceClient:
+    """Blocking client of a prediction-service TCP gateway.
+
+    Parameters
+    ----------
+    host, port:
+        Gateway address (see :attr:`~repro.service.gateway.ThreadedGateway.
+        host` / ``port``).
+    token:
+        Tenant/auth nibble presented in the handshake and stamped on every
+        frame this client encodes (must match the server's token, if any).
+    timeout:
+        Socket timeout in seconds for connecting and for every reply.
+    name:
+        Client name reported in the handshake (diagnostics).
+
+    The client is a context manager; leaving the ``with`` block sends
+    :class:`~repro.service.protocol.Close` and disconnects.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        token: int | None = None,
+        timeout: float = 30.0,
+        name: str = "repro-client",
+    ) -> None:
+        self._token = token
+        self._timeout = float(timeout)
+        self._decoder = proto.MessageDecoder()
+        self._events: deque[PredictionUpdate] = deque()
+        self._closed = False
+        self._sock = socket.create_connection((host, port), timeout=self._timeout)
+        try:
+            reply = self._rpc(
+                proto.Hello(versions=proto.SUPPORTED_VERSIONS, token=token, client=name),
+                proto.HelloReply,
+            )
+        except BaseException:
+            # A rejected handshake (wrong token, no common version) must not
+            # leak the connected socket — __exit__/close are unreachable when
+            # __init__ raises.
+            self._sock.close()
+            raise
+        #: Negotiated control-plane protocol version.
+        self.protocol_version: int = reply.version
+        #: Server name from the handshake.
+        self.server: str = reply.server
+        #: Shard count of the engine behind the gateway (0 = single process).
+        self.shards: int = reply.shards
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    def _send(self, message: proto.Message) -> None:
+        if self._closed:
+            raise ServiceError("client is closed")
+        self._sock.sendall(proto.encode_message(message))
+
+    def _read_message(self) -> proto.Message:
+        """Next complete message from the stream (blocking, honors timeout)."""
+        while True:
+            for message in self._decoder.messages():
+                return message
+            data = self._sock.recv(_READ_CHUNK)
+            if not data:
+                raise ProtocolError("server closed the connection")
+            self._decoder.feed(data)
+
+    def _rpc(self, request: proto.Message, reply_type: type[R]) -> R:
+        """Send one request and return its typed reply.
+
+        Prediction events arriving in between are queued, an
+        :class:`~repro.service.protocol.Error` reply raises
+        :class:`~repro.exceptions.ServiceError`, and any other message type
+        is a protocol violation.
+        """
+        self._send(request)
+        while True:
+            message = self._read_message()
+            if isinstance(message, proto.PredictionEvent):
+                self._events.append(PredictionUpdate.from_dict(message.update))
+                continue
+            if isinstance(message, proto.Error):
+                raise ServiceError(
+                    f"{type(request).__name__} failed ({message.code}): {message.message}"
+                )
+            if isinstance(message, reply_type):
+                return message
+            raise ProtocolError(
+                f"expected {reply_type.__name__} in reply to {type(request).__name__}, "
+                f"got {type(message).__name__}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # data plane
+    # ------------------------------------------------------------------ #
+    def submit_flush(
+        self, job: str, flush: FlushRecord, *, payload_format: str = "msgpack"
+    ) -> int:
+        """Encode one flush as an FTS1 frame and submit it; returns frames routed."""
+        frame = encode_frame(flush, job=job, payload_format=payload_format, token=self._token)
+        return self.submit_bytes(frame)
+
+    def submit_bytes(self, data: bytes) -> int:
+        """Submit raw FTS1-framed bytes; returns the frames completed by them."""
+        return self._rpc(proto.SubmitFrames(data=data), proto.SubmitReply).frames
+
+    # ------------------------------------------------------------------ #
+    # evaluation and results
+    # ------------------------------------------------------------------ #
+    def pump(self) -> int:
+        """Evaluate every due session; returns the number of evaluations.
+
+        The updates published during the pump are queued as predictions
+        (available via :meth:`predictions`).
+        """
+        reply = self._rpc(proto.Pump(), proto.PumpReply)
+        self._queue_updates(reply.updates)
+        return reply.submitted
+
+    def drain(self) -> None:
+        """Pump until nothing is due and nothing is in flight."""
+        reply = self._rpc(proto.Drain(), proto.DrainReply)
+        self._queue_updates(reply.updates)
+
+    def finish_job(self, job: str) -> None:
+        """Mark ``job`` finished (pending data is still evaluated, then idle)."""
+        self._rpc(proto.FinishJob(job=job), proto.FinishJobReply)
+
+    def stats(self) -> dict:
+        """Service-wide counters of the engine behind the gateway."""
+        return self._rpc(proto.Stats(), proto.StatsReply).stats
+
+    def snapshot(self) -> dict:
+        """Full service snapshot state (see :mod:`repro.service.snapshot`)."""
+        return self._rpc(proto.Snapshot(), proto.SnapshotReply).state
+
+    def restore(self, state: dict) -> int:
+        """Load a snapshot into the engine; returns the sessions restored."""
+        return self._rpc(proto.Restore(state=state), proto.RestoreReply).restored
+
+    # ------------------------------------------------------------------ #
+    # prediction stream
+    # ------------------------------------------------------------------ #
+    def subscribe(self, jobs: Sequence[str] | None = None) -> int:
+        """Stream every published prediction to this connection.
+
+        ``jobs`` restricts the stream to the given job ids.  Events are
+        queued as they arrive and handed out by :meth:`predictions` /
+        :meth:`poll_predictions`.  A client that both subscribes and pumps
+        sees each update twice (once pushed, once in the pump reply) — use
+        one mode or the other per connection.
+        """
+        reply = self._rpc(
+            proto.Subscribe(jobs=None if jobs is None else tuple(jobs)), proto.SubscribeReply
+        )
+        return reply.subscription
+
+    def _queue_updates(self, updates: tuple[dict, ...]) -> None:
+        for entry in updates:
+            self._events.append(PredictionUpdate.from_dict(entry))
+
+    def predictions(self) -> list[PredictionUpdate]:
+        """Drain the already-received predictions (never blocks)."""
+        drained = list(self._events)
+        self._events.clear()
+        return drained
+
+    def poll_predictions(
+        self, *, timeout: float = 0.5, min_events: int = 1
+    ) -> list[PredictionUpdate]:
+        """Wait up to ``timeout`` seconds for ``min_events`` predictions.
+
+        Returns everything received (possibly more than ``min_events``, or
+        fewer when the timeout strikes first).  Only useful on a subscribed
+        connection — without a subscription nothing ever arrives unasked.
+        """
+        deadline = time.monotonic() + timeout
+        while len(self._events) < min_events:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            self._sock.settimeout(remaining)
+            try:
+                message = self._read_message()
+            except (socket.timeout, TimeoutError):
+                break
+            finally:
+                self._sock.settimeout(self._timeout)
+            if isinstance(message, proto.PredictionEvent):
+                self._events.append(PredictionUpdate.from_dict(message.update))
+            elif isinstance(message, proto.Error):
+                raise ServiceError(f"server error ({message.code}): {message.message}")
+            else:
+                raise ProtocolError(
+                    f"unexpected {type(message).__name__} outside a request"
+                )
+        return self.predictions()
+
+    def iter_predictions(self, *, timeout: float = 0.5) -> Iterator[PredictionUpdate]:
+        """Yield predictions as they arrive until ``timeout`` passes silently."""
+        while True:
+            batch = self.poll_predictions(timeout=timeout, min_events=1)
+            if not batch:
+                return
+            yield from batch
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Say goodbye (best effort) and disconnect."""
+        if self._closed:
+            return
+        try:
+            self._rpc(proto.Close(), proto.CloseReply)
+        except (OSError, ServiceError, ProtocolError):  # pragma: no cover - best effort
+            pass
+        self._closed = True
+        self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -45,6 +45,10 @@ class ServiceError(ReproError):
     """The streaming prediction service was driven into an invalid state."""
 
 
+class ProtocolError(ServiceError):
+    """A control-plane message violated the versioned wire protocol."""
+
+
 class ShardCrashedError(ServiceError):
     """A worker shard of the sharded service died (or its channel broke).
 

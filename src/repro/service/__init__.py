@@ -15,8 +15,14 @@ merged snapshot/restore, and crash recovery (see
 :mod:`repro.service.sharding`).  Where an evaluation runs is pluggable:
 :class:`ThreadBackend` (default) or :class:`ProcessPoolBackend` for
 CPU-bound tenants (see :mod:`repro.service.backend`).
+
+Every control surface — the shard pipes, the asyncio TCP gateway
+(:class:`ServiceGateway` / :class:`ThreadedGateway`) and the blocking
+:class:`~repro.client.ServiceClient` — speaks the one typed, versioned
+message layer of :mod:`repro.service.protocol`.
 """
 
+from repro.service import protocol
 from repro.service.backend import (
     DetectionBackend,
     ProcessPoolBackend,
@@ -24,6 +30,7 @@ from repro.service.backend import (
     make_backend,
 )
 from repro.service.bridge import PhaseFlushBridge
+from repro.service.gateway import ServiceGateway, ThreadedGateway
 from repro.service.broker import BrokerStats, FlushBroker
 from repro.service.dispatcher import DetectionDispatcher, DispatcherStats
 from repro.service.provider import ServicePeriodProvider
@@ -51,6 +58,9 @@ from repro.service.snapshot import (
 __all__ = [
     "PhaseFlushBridge",
     "BrokerStats",
+    "ServiceGateway",
+    "ThreadedGateway",
+    "protocol",
     "FlushBroker",
     "DetectionBackend",
     "DetectionDispatcher",

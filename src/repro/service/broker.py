@@ -60,6 +60,9 @@ class FlushBroker:
     session_factory:
         Alternative constructor for per-job sessions (overrides
         ``session_config``); receives the job id.
+    expected_token:
+        Require every ingested frame to carry this version-1 tenant/auth
+        nibble (wire-level auth; ``None`` accepts any frame).
     """
 
     def __init__(
@@ -67,12 +70,14 @@ class FlushBroker:
         *,
         session_config: SessionConfig | None = None,
         session_factory: SessionFactory | None = None,
+        expected_token: int | None = None,
     ) -> None:
         self._session_config = session_config or SessionConfig()
         self._factory = session_factory
         self._sessions: dict[str, JobSession] = {}
         self._lock = threading.Lock()
-        self._decoder = FrameDecoder()
+        self._expected_token = expected_token
+        self._decoder = FrameDecoder(expected_token=expected_token)
         self._frames = 0
         self._flushes = 0
         self._requests = 0
@@ -169,4 +174,6 @@ class FlushBroker:
             ...
             reader.poll()   # routes any new frames into the sessions
         """
-        return FrameReader(path, offset=offset, sink=self.ingest_frames)
+        return FrameReader(
+            path, offset=offset, sink=self.ingest_frames, expected_token=self._expected_token
+        )

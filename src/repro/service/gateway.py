@@ -1,0 +1,447 @@
+"""Asyncio multi-client TCP gateway in front of the prediction service.
+
+The gateway is the network front door of the service: any number of clients
+connect over TCP, negotiate a protocol version (:class:`~repro.service.
+protocol.Hello`), and then drive one shared engine — a single-process
+:class:`~repro.service.service.PredictionService` or a multi-process
+:class:`~repro.service.sharding.ShardedService` — through the same typed
+message layer the shard control pipes speak (:mod:`repro.service.protocol`).
+
+Design notes:
+
+* **one engine, many clients** — engine calls are serialized behind one
+  asyncio lock and executed on a worker thread
+  (``loop.run_in_executor``), so a slow ``drain`` from one client never
+  stalls the event loop: other clients keep connecting, submitting and
+  subscribing meanwhile.
+* **data plane stays FTS1** — flush frames travel verbatim inside
+  :class:`~repro.service.protocol.SubmitFrames`; the engine classifies them
+  header-only exactly as it does for spool files and socketpairs.
+* **push and pull results** — :class:`~repro.service.protocol.Pump` /
+  ``Drain`` replies carry the updates published during that call (pull),
+  and a :class:`~repro.service.protocol.Subscribe` turns the connection into
+  a live :class:`~repro.service.protocol.PredictionEvent` stream (push).
+* **fail clean, never hang** — a corrupt or oversized control message, a
+  version mismatch or a wrong tenant token produce a typed
+  :class:`~repro.service.protocol.Error` reply and a closed connection;
+  engine-side failures are reported per request and leave the connection
+  usable.
+
+:class:`ThreadedGateway` wraps the asyncio server in a background thread for
+blocking callers (tests, :func:`repro.api.serve`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections.abc import Callable
+from typing import Any
+
+from repro.exceptions import ProtocolError, ServiceError
+from repro.service import protocol as proto
+from repro.service.publisher import PredictionUpdate
+from repro.service.service import PredictionService
+
+#: Socket read size of the gateway's per-connection loop.
+_READ_CHUNK = 1 << 16
+
+
+class _CloseConnection(Exception):
+    """Internal flow control: the connection should be closed (not an error)."""
+
+
+class _Connection:
+    """Per-client state: serialized writes plus the subscription stream."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.subscribed = False
+        self.jobs: frozenset[str] | None = None
+        self.events: asyncio.Queue[PredictionUpdate] = asyncio.Queue()
+        self.sender: asyncio.Task | None = None
+
+    async def send(self, message: proto.Message) -> None:
+        async with self.write_lock:
+            self.writer.write(proto.encode_message(message))
+            await self.writer.drain()
+
+    def wants(self, update: PredictionUpdate) -> bool:
+        return self.subscribed and (self.jobs is None or update.job in self.jobs)
+
+
+class ServiceGateway:
+    """Asyncio TCP server speaking the versioned control-plane protocol.
+
+    Parameters
+    ----------
+    engine:
+        The service every client drives: a :class:`PredictionService` or a
+        :class:`~repro.service.sharding.ShardedService`.  The gateway does
+        **not** own it — closing the gateway leaves the engine running.
+    host, port:
+        Listen address; port 0 picks a free port (read :attr:`port` after
+        :meth:`start`).
+    token:
+        Require every client's :class:`~repro.service.protocol.Hello` to
+        present this tenant/auth nibble (defaults to the engine's configured
+        token).
+    name:
+        Server name reported in the :class:`~repro.service.protocol.
+        HelloReply`.
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        token: int | None = None,
+        name: str = "repro-gateway",
+    ) -> None:
+        self._engine = engine
+        self._requested_host = host
+        self._requested_port = port
+        if token is None:
+            token = getattr(engine, "token", None)
+            if token is None:
+                token = getattr(getattr(engine, "config", None), "token", None)
+        self._token = token
+        self._name = name
+        self._server: asyncio.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._engine_lock: asyncio.Lock | None = None
+        self._connections: set[_Connection] = set()
+        self._subscription: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def host(self) -> str:
+        """Bound listen host."""
+        if self._server is None or not self._server.sockets:
+            return self._requested_host
+        return str(self._server.sockets[0].getsockname()[0])
+
+    @property
+    def port(self) -> int:
+        """Bound listen port (the actual one when 0 was requested)."""
+        if self._server is None or not self._server.sockets:
+            return self._requested_port
+        return int(self._server.sockets[0].getsockname()[1])
+
+    @property
+    def address(self) -> str:
+        """``host:port`` of the listening socket."""
+        return f"{self.host}:{self.port}"
+
+    async def start(self) -> "ServiceGateway":
+        """Bind the listening socket and start accepting clients."""
+        self._loop = asyncio.get_running_loop()
+        self._engine_lock = asyncio.Lock()
+        self._server = await asyncio.start_server(
+            self._serve_client, self._requested_host, self._requested_port
+        )
+        # One engine-side subscription fans published predictions out to every
+        # subscribed connection; publisher callbacks may fire on worker
+        # threads, so the hop onto the loop is thread-safe.
+        self._subscription = self._engine.publisher.subscribe(self._on_update)
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting, drop every connection, detach from the engine."""
+        if self._subscription is not None:
+            self._engine.publisher.unsubscribe(self._subscription)
+            self._subscription = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for connection in list(self._connections):
+            if connection.sender is not None:
+                connection.sender.cancel()
+            connection.writer.close()
+        self._connections.clear()
+
+    # ------------------------------------------------------------------ #
+    # prediction fan-out (publisher thread -> event loop -> sockets)
+    # ------------------------------------------------------------------ #
+    def _on_update(self, update: PredictionUpdate) -> None:
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(self._fanout, update)
+
+    def _fanout(self, update: PredictionUpdate) -> None:
+        for connection in self._connections:
+            if connection.wants(update):
+                connection.events.put_nowait(update)
+
+    async def _send_events(self, connection: _Connection) -> None:
+        while True:
+            update = await connection.events.get()
+            await connection.send(proto.PredictionEvent(update=update.to_dict()))
+
+    # ------------------------------------------------------------------ #
+    # per-connection protocol loop
+    # ------------------------------------------------------------------ #
+    async def _serve_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _Connection(writer)
+        self._connections.add(connection)
+        connection.sender = asyncio.ensure_future(self._send_events(connection))
+        decoder = proto.MessageDecoder()
+        handshaken = False
+        try:
+            while True:
+                try:
+                    messages = list(decoder.messages())
+                except ProtocolError as exc:
+                    # Corrupt framing is unrecoverable on this connection (the
+                    # byte stream cannot be resynchronized); reject and close.
+                    await connection.send(proto.Error(message=str(exc), code="protocol"))
+                    return
+                for message in messages:
+                    if not handshaken:
+                        await self._handle_hello(connection, message)
+                        handshaken = True
+                    else:
+                        await self._handle(connection, message)
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    return
+                decoder.feed(data)
+        except _CloseConnection:
+            pass
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover - client vanished
+            pass
+        finally:
+            self._connections.discard(connection)
+            if connection.sender is not None:
+                connection.sender.cancel()
+            writer.close()
+
+    async def _handle_hello(self, connection: _Connection, message: proto.Message) -> None:
+        if not isinstance(message, proto.Hello):
+            await connection.send(
+                proto.Error(
+                    message=f"expected Hello, got {type(message).__name__}", code="protocol"
+                )
+            )
+            raise _CloseConnection
+        version = proto.negotiate_version(message.versions)
+        if version is None:
+            await connection.send(
+                proto.Error(
+                    message=(
+                        f"no common protocol version (server speaks "
+                        f"{proto.SUPPORTED_VERSIONS}, client offered {message.versions})"
+                    ),
+                    code="unsupported-version",
+                )
+            )
+            raise _CloseConnection
+        if self._token is not None and message.token != self._token:
+            await connection.send(
+                proto.Error(message="tenant token mismatch", code="unauthorized")
+            )
+            raise _CloseConnection
+        await connection.send(
+            proto.HelloReply(
+                version=version,
+                server=self._name,
+                shards=int(getattr(self._engine, "n_shards", 0)),
+            )
+        )
+
+    async def _handle(self, connection: _Connection, message: proto.Message) -> None:
+        try:
+            reply = await self._dispatch(connection, message)
+        except _CloseConnection:
+            raise
+        except ServiceError as exc:
+            reply = proto.Error(message=str(exc), code="service-error")
+        except Exception as exc:  # engine-side failure: report, keep serving
+            reply = proto.Error(message=f"{type(exc).__name__}: {exc}", code="internal")
+        await connection.send(reply)
+
+    async def _dispatch(self, connection: _Connection, message: proto.Message) -> proto.Message:
+        if isinstance(message, proto.SubmitFrames):
+            data = message.data
+            frames = await self._run_engine(lambda: self._engine.feed_bytes(data))
+            return proto.SubmitReply(frames=frames)
+        if isinstance(message, proto.Pump):
+            submitted, updates = await self._run_engine(
+                lambda: self._with_updates(self._pump_engine)
+            )
+            return proto.PumpReply(submitted=submitted, updates=updates)
+        if isinstance(message, proto.Drain):
+            _, updates = await self._run_engine(lambda: self._with_updates(self._engine.drain))
+            return proto.DrainReply(updates=updates)
+        if isinstance(message, proto.Stats):
+            return proto.StatsReply(stats=await self._run_engine(self._engine.stats))
+        if isinstance(message, proto.Snapshot):
+            return proto.SnapshotReply(state=await self._run_engine(self._engine.snapshot_state))
+        if isinstance(message, proto.Restore):
+            state = message.state
+            await self._run_engine(lambda: self._engine.restore_state(state))
+            return proto.RestoreReply(restored=len(state.get("sessions", ())))
+        if isinstance(message, proto.FinishJob):
+            job = message.job
+            await self._run_engine(lambda: self._engine.finish_job(job))
+            return proto.FinishJobReply(job=job)
+        if isinstance(message, proto.Subscribe):
+            connection.jobs = None if message.jobs is None else frozenset(message.jobs)
+            connection.subscribed = True
+            return proto.SubscribeReply(subscription=id(connection) & 0x7FFFFFFF)
+        if isinstance(message, proto.Close):
+            await connection.send(proto.CloseReply())
+            raise _CloseConnection
+        if isinstance(message, proto.Hello):
+            return proto.Error(message="conversation already established", code="protocol")
+        return proto.Error(
+            message=f"unsupported gateway message {type(message).__name__}", code="unsupported"
+        )
+
+    # ------------------------------------------------------------------ #
+    # engine access
+    # ------------------------------------------------------------------ #
+    async def _run_engine(self, fn: Callable[[], Any]) -> Any:
+        """Run one blocking engine call off-loop, serialized across clients."""
+        assert self._loop is not None and self._engine_lock is not None
+        async with self._engine_lock:
+            return await self._loop.run_in_executor(None, fn)
+
+    def _pump_engine(self) -> int:
+        if isinstance(self._engine, PredictionService):
+            submitted = self._engine.pump(wait_for_batch=True)
+            self._engine.dispatcher.join()
+            return submitted
+        return self._engine.pump()
+
+    def _with_updates(self, fn: Callable[[], Any]) -> tuple[Any, tuple[dict, ...]]:
+        """Capture the updates published while ``fn`` runs (for pull replies)."""
+        captured: list[dict] = []
+        subscription = self._engine.publisher.subscribe(
+            lambda update: captured.append(update.to_dict())
+        )
+        try:
+            result = fn()
+        finally:
+            self._engine.publisher.unsubscribe(subscription)
+        return result, tuple(captured)
+
+
+class ThreadedGateway:
+    """A :class:`ServiceGateway` running its own event loop in a thread.
+
+    Blocking callers (tests, :func:`repro.api.serve`) start it, read
+    :attr:`host`/:attr:`port`, connect :class:`~repro.client.ServiceClient`
+    instances against it, and :meth:`close` it when done::
+
+        with ThreadedGateway(service).start() as gateway:
+            client = ServiceClient(gateway.host, gateway.port)
+
+    With ``own_engine=True`` closing the gateway also closes the engine.
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        token: int | None = None,
+        name: str = "repro-gateway",
+        own_engine: bool = False,
+    ) -> None:
+        self._engine = engine
+        self._kwargs: dict[str, Any] = {
+            "host": host,
+            "port": port,
+            "token": token,
+            "name": name,
+        }
+        self._own_engine = own_engine
+        self._gateway: ServiceGateway | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def engine(self):
+        """The service this gateway fronts."""
+        return self._engine
+
+    @property
+    def host(self) -> str:
+        """Bound listen host."""
+        assert self._gateway is not None, "gateway not started"
+        return self._gateway.host
+
+    @property
+    def port(self) -> int:
+        """Bound listen port."""
+        assert self._gateway is not None, "gateway not started"
+        return self._gateway.port
+
+    @property
+    def address(self) -> str:
+        """``host:port`` of the listening socket."""
+        assert self._gateway is not None, "gateway not started"
+        return self._gateway.address
+
+    def start(self) -> "ThreadedGateway":
+        """Start the server thread; returns once the socket is bound."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, name="repro-gateway", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._error is not None:
+            error, self._error = self._error, None
+            self._thread.join()
+            self._thread = None
+            raise error
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._amain())
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            gateway = ServiceGateway(self._engine, **self._kwargs)
+            await gateway.start()
+        except BaseException as exc:
+            self._error = exc
+            self._ready.set()
+            return
+        self._gateway = gateway
+        self._ready.set()
+        await self._stop.wait()
+        await gateway.stop()
+
+    def close(self) -> None:
+        """Stop the server, join the thread, optionally close the engine."""
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            assert self._loop is not None and self._stop is not None
+            self._loop.call_soon_threadsafe(self._stop.set)
+            thread.join(timeout=10.0)
+        self._thread = None
+        if self._own_engine:
+            self._engine.close()
+
+    def __enter__(self) -> "ThreadedGateway":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

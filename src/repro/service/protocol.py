@@ -1,0 +1,514 @@
+"""Typed, versioned control-plane protocol of the prediction service.
+
+Every control surface of the service speaks one message layer: the shard
+control pipe of :class:`~repro.service.sharding.ShardedService`, the asyncio
+TCP gateway (:mod:`repro.service.gateway`) and the blocking
+:class:`~repro.client.ServiceClient` all exchange the dataclasses defined
+here, encoded canonically with the library's own MessagePack implementation
+and wrapped in a tiny length-prefixed envelope.
+
+Envelope layout (all integers big-endian)::
+
+    offset  size  field
+    0       4     magic  b"FTC1"
+    4       1     message type code (see the registry below)
+    5       4     body length B
+    9       B     body: the message payload as one MessagePack map
+
+The *envelope* is unversioned and stable; the *conversation* is versioned
+through the :class:`Hello` handshake: the connecting side offers the protocol
+versions it speaks, the serving side picks the highest common one
+(:func:`negotiate_version`) and answers with :class:`HelloReply` — or an
+:class:`Error` when no common version exists, so an incompatible peer is
+rejected cleanly instead of mis-parsed.  :data:`PROTOCOL_VERSION` is the
+current (and so far only) version.
+
+Data-plane payloads do not travel here: flush frames keep their FTS1 wire
+format (:mod:`repro.trace.framing`) and ride inside :class:`SubmitFrames`
+verbatim, so a gateway or router still classifies them header-only and a
+payload is decoded exactly once, in the session that owns the job.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass, fields
+from typing import Any, TypeVar
+
+from repro.exceptions import ProtocolError
+from repro.trace.msgpack import packb, unpackb
+
+#: First bytes of every control-plane envelope.
+PROTOCOL_MAGIC = b"FTC1"
+#: Current control-plane protocol version.
+PROTOCOL_VERSION = 1
+#: Every version this implementation can speak.
+SUPPORTED_VERSIONS: tuple[int, ...] = (1,)
+#: Upper bound on one message body; a corrupt length field must never make a
+#: reader wait for gigabytes that will not arrive.  Snapshots are the largest
+#: messages (bounded session buffers), far below this.
+MAX_MESSAGE_BYTES = 1 << 30
+
+_ENVELOPE = struct.Struct(">4sBI")
+
+M = TypeVar("M", bound="Message")
+
+
+class Message:
+    """Base class of every control-plane message."""
+
+    def to_payload(self) -> dict:
+        """The message body as a MessagePack-serializable map."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}  # type: ignore[arg-type]
+
+    @classmethod
+    def from_payload(cls: type[M], payload: Mapping) -> M:
+        """Rebuild the message from a decoded body map."""
+        raise NotImplementedError
+
+
+def _opt_int(value: Any) -> int | None:
+    return None if value is None else int(value)
+
+
+def _str_tuple(value: Any) -> tuple[str, ...]:
+    if not isinstance(value, (list, tuple)):
+        raise ProtocolError(f"expected a string list, got {type(value).__name__}")
+    return tuple(str(item) for item in value)
+
+
+def _dict_tuple(value: Any) -> tuple[dict, ...]:
+    if not isinstance(value, (list, tuple)):
+        raise ProtocolError(f"expected a map list, got {type(value).__name__}")
+    out = []
+    for item in value:
+        if not isinstance(item, dict):
+            raise ProtocolError(f"expected a map, got {type(item).__name__}")
+        out.append(item)
+    return tuple(out)
+
+
+def _require_dict(value: Any, field: str) -> dict:
+    if not isinstance(value, dict):
+        raise ProtocolError(f"field {field!r} must be a map, got {type(value).__name__}")
+    return value
+
+
+# --------------------------------------------------------------------- #
+# handshake
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Hello(Message):
+    """First message of every conversation: offer versions, present a token.
+
+    ``token`` is the wire-level tenant/auth nibble (the same 0..15 secret the
+    FTS1 frame flags carry); a server configured with a token rejects a hello
+    that does not present it.
+    """
+
+    versions: tuple[int, ...] = SUPPORTED_VERSIONS
+    token: int | None = None
+    client: str = ""
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "Hello":
+        versions = payload.get("versions")
+        if not isinstance(versions, (list, tuple)) or not versions:
+            raise ProtocolError("hello must offer at least one protocol version")
+        return cls(
+            versions=tuple(int(v) for v in versions),
+            token=_opt_int(payload.get("token")),
+            client=str(payload.get("client", "")),
+        )
+
+
+@dataclass(frozen=True)
+class HelloReply(Message):
+    """Successful handshake: the negotiated version plus server facts."""
+
+    version: int = PROTOCOL_VERSION
+    server: str = ""
+    shards: int = 0
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "HelloReply":
+        return cls(
+            version=int(payload["version"]),
+            server=str(payload.get("server", "")),
+            shards=int(payload.get("shards", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class Error(Message):
+    """Failure reply; ``code`` is a stable machine-readable discriminator."""
+
+    message: str
+    code: str = "error"
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "Error":
+        return cls(message=str(payload["message"]), code=str(payload.get("code", "error")))
+
+
+# --------------------------------------------------------------------- #
+# data ingestion and evaluation
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SubmitFrames(Message):
+    """Raw FTS1-framed bytes to ingest (one or more complete or partial frames)."""
+
+    data: bytes
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "SubmitFrames":
+        data = payload["data"]
+        if not isinstance(data, (bytes, bytearray)):
+            raise ProtocolError(f"frame data must be binary, got {type(data).__name__}")
+        return cls(data=bytes(data))
+
+
+@dataclass(frozen=True)
+class SubmitReply(Message):
+    """Frames completed (routed) by the submitted bytes."""
+
+    frames: int
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "SubmitReply":
+        return cls(frames=int(payload["frames"]))
+
+
+@dataclass(frozen=True)
+class Pump(Message):
+    """Evaluate every due session.
+
+    ``expected_bytes`` carries the sender's data-plane byte count when data
+    and control travel on different channels (the shard socketpair): the
+    receiver drains its data stream up to that mark before pumping, which
+    re-orders the two planes deterministically.  ``None`` when both planes
+    share one ordered channel (the TCP gateway).
+    """
+
+    expected_bytes: int | None = None
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "Pump":
+        return cls(expected_bytes=_opt_int(payload.get("expected_bytes")))
+
+
+@dataclass(frozen=True)
+class PumpReply(Message):
+    """Evaluations submitted, plus the updates published during the pump."""
+
+    submitted: int
+    updates: tuple[dict, ...] = ()
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "PumpReply":
+        return cls(
+            submitted=int(payload["submitted"]),
+            updates=_dict_tuple(payload.get("updates", ())),
+        )
+
+
+@dataclass(frozen=True)
+class Drain(Message):
+    """Pump until nothing is due and nothing is in flight."""
+
+    expected_bytes: int | None = None
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "Drain":
+        return cls(expected_bytes=_opt_int(payload.get("expected_bytes")))
+
+
+@dataclass(frozen=True)
+class DrainReply(Message):
+    """Drain finished; carries the updates published while draining."""
+
+    updates: tuple[dict, ...] = ()
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "DrainReply":
+        return cls(updates=_dict_tuple(payload.get("updates", ())))
+
+
+@dataclass(frozen=True)
+class FinishJob(Message):
+    """Mark one job finished (pending data is still evaluated, then idle)."""
+
+    job: str
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "FinishJob":
+        return cls(job=str(payload["job"]))
+
+
+@dataclass(frozen=True)
+class FinishJobReply(Message):
+    """The job was marked finished."""
+
+    job: str
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "FinishJobReply":
+        return cls(job=str(payload["job"]))
+
+
+# --------------------------------------------------------------------- #
+# introspection, snapshot, subscription, lifecycle
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Stats(Message):
+    """Request the service-wide counters."""
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "Stats":
+        return cls()
+
+
+@dataclass(frozen=True)
+class StatsReply(Message):
+    """One JSON-friendly map of counters (shape owned by the serving side)."""
+
+    stats: dict
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "StatsReply":
+        return cls(stats=_require_dict(payload["stats"], "stats"))
+
+
+@dataclass(frozen=True)
+class Snapshot(Message):
+    """Capture the full service state (see :mod:`repro.service.snapshot`)."""
+
+    expected_bytes: int | None = None
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "Snapshot":
+        return cls(expected_bytes=_opt_int(payload.get("expected_bytes")))
+
+
+@dataclass(frozen=True)
+class SnapshotReply(Message):
+    """The captured snapshot state."""
+
+    state: dict
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "SnapshotReply":
+        return cls(state=_require_dict(payload["state"], "state"))
+
+
+@dataclass(frozen=True)
+class Restore(Message):
+    """Load a snapshot state into the running service."""
+
+    state: dict
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "Restore":
+        return cls(state=_require_dict(payload["state"], "state"))
+
+
+@dataclass(frozen=True)
+class RestoreReply(Message):
+    """Sessions restored from the snapshot."""
+
+    restored: int
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "RestoreReply":
+        return cls(restored=int(payload["restored"]))
+
+
+@dataclass(frozen=True)
+class Subscribe(Message):
+    """Stream every published prediction back as :class:`PredictionEvent`.
+
+    ``jobs`` restricts the stream to the given job ids (``None`` = all).
+    """
+
+    jobs: tuple[str, ...] | None = None
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "Subscribe":
+        jobs = payload.get("jobs")
+        return cls(jobs=None if jobs is None else _str_tuple(jobs))
+
+
+@dataclass(frozen=True)
+class SubscribeReply(Message):
+    """Subscription established; events follow asynchronously."""
+
+    subscription: int
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "SubscribeReply":
+        return cls(subscription=int(payload["subscription"]))
+
+
+@dataclass(frozen=True)
+class PredictionEvent(Message):
+    """One published prediction, pushed to a subscribed peer.
+
+    ``update`` is the :meth:`~repro.service.publisher.PredictionUpdate.
+    to_dict` map.
+    """
+
+    update: dict
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "PredictionEvent":
+        return cls(update=_require_dict(payload["update"], "update"))
+
+
+@dataclass(frozen=True)
+class Close(Message):
+    """End the conversation (and, on a shard pipe, shut the shard down)."""
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "Close":
+        return cls()
+
+
+@dataclass(frozen=True)
+class CloseReply(Message):
+    """Acknowledged; the peer is about to go away."""
+
+    closed: bool = True
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "CloseReply":
+        return cls(closed=bool(payload.get("closed", True)))
+
+
+# --------------------------------------------------------------------- #
+# registry and codec
+# --------------------------------------------------------------------- #
+#: Stable wire codes; append-only — codes are part of the wire format.
+MESSAGE_TYPES: dict[int, type[Message]] = {
+    1: Hello,
+    2: HelloReply,
+    3: Error,
+    4: SubmitFrames,
+    5: SubmitReply,
+    6: Pump,
+    7: PumpReply,
+    8: Drain,
+    9: DrainReply,
+    10: Stats,
+    11: StatsReply,
+    12: Snapshot,
+    13: SnapshotReply,
+    14: Restore,
+    15: RestoreReply,
+    16: Subscribe,
+    17: SubscribeReply,
+    18: PredictionEvent,
+    19: FinishJob,
+    20: FinishJobReply,
+    21: Close,
+    22: CloseReply,
+}
+_TYPE_CODES: dict[type[Message], int] = {cls: code for code, cls in MESSAGE_TYPES.items()}
+
+
+def negotiate_version(offered: Iterable[int]) -> int | None:
+    """Highest offered version this implementation speaks, or ``None``."""
+    common = set(int(v) for v in offered) & set(SUPPORTED_VERSIONS)
+    return max(common) if common else None
+
+
+def encode_message(message: Message) -> bytes:
+    """Encode one message as a length-prefixed envelope."""
+    try:
+        code = _TYPE_CODES[type(message)]
+    except KeyError:
+        raise ProtocolError(f"{type(message).__name__} is not a registered message type") from None
+    body = packb(message.to_payload())
+    if len(body) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"message body of {len(body)} bytes exceeds the protocol limit")
+    return _ENVELOPE.pack(PROTOCOL_MAGIC, code, len(body)) + body
+
+
+def decode_message(data: bytes) -> Message:
+    """Decode exactly one enveloped message (trailing bytes are an error)."""
+    decoder = MessageDecoder()
+    decoder.feed(data)
+    messages = list(decoder.messages())
+    if not messages or decoder.buffered_bytes:
+        raise ProtocolError(
+            f"expected exactly one complete message in {len(data)} bytes, got "
+            f"{len(messages)} plus {decoder.buffered_bytes} trailing"
+        )
+    if len(messages) > 1:
+        raise ProtocolError(f"expected exactly one message, got {len(messages)}")
+    return messages[0]
+
+
+class MessageDecoder:
+    """Incremental envelope decoder: ``feed()`` bytes in, iterate messages out.
+
+    Bytes of an incomplete trailing message stay buffered until more data
+    arrives; corrupt input (bad magic, unknown type code, oversized or
+    undecodable body) raises :class:`~repro.exceptions.ProtocolError` without
+    consuming past the fault, so a server can reject the peer cleanly.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Number of bytes waiting for the rest of their message."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> None:
+        """Append raw bytes received from the stream."""
+        self._buffer.extend(data)
+
+    def messages(self) -> Iterator[Message]:
+        """Yield (and consume) every complete message currently buffered."""
+        while True:
+            message = self._try_decode_one()
+            if message is None:
+                return
+            yield message
+
+    def _try_decode_one(self) -> Message | None:
+        buffer = self._buffer
+        if len(buffer) < _ENVELOPE.size:
+            return None
+        magic, code, body_len = _ENVELOPE.unpack_from(buffer)
+        if magic != PROTOCOL_MAGIC:
+            raise ProtocolError(
+                f"bad control-message magic {bytes(magic)!r}; the stream is not "
+                f"FTC1-enveloped or is corrupt"
+            )
+        cls = MESSAGE_TYPES.get(code)
+        if cls is None:
+            raise ProtocolError(f"unknown control-message type code {code}")
+        if body_len > MAX_MESSAGE_BYTES:
+            raise ProtocolError(f"control-message body length {body_len} exceeds the limit")
+        total = _ENVELOPE.size + body_len
+        if len(buffer) < total:
+            return None
+        body = bytes(buffer[_ENVELOPE.size : total])
+        del buffer[:total]
+        try:
+            payload = unpackb(body)
+        except Exception as exc:
+            raise ProtocolError(f"undecodable {cls.__name__} body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                f"{cls.__name__} body must be a map, got {type(payload).__name__}"
+            )
+        try:
+            return cls.from_payload(payload)
+        except ProtocolError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed {cls.__name__} payload: {exc}") from exc

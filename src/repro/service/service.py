@@ -19,10 +19,11 @@ Snapshot/restore for crash recovery lives in :mod:`repro.service.snapshot`.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.trace.framing import FlushFrame, FrameReader
+from repro.trace.framing import FlushFrame, FrameReader, compact_spool
 from repro.trace.jsonl import FlushRecord
 
 from repro.service.backend import DetectionBackend, make_backend
@@ -56,6 +57,20 @@ class ServiceConfig:
         ``ProcessPoolExecutor`` (see :mod:`repro.service.backend`).
     backend_workers:
         Worker count of a process backend (``None`` = CPU-count default).
+    token:
+        Wire-level tenant/auth nibble (0..15).  When set, every ingested FTS1
+        frame must carry it and every control-plane peer must present it in
+        its :class:`~repro.service.protocol.Hello`.
+    auto_compact:
+        Compact every tailed spool after a successful snapshot, dropping the
+        prefix the snapshot already covers (see
+        :meth:`PredictionService.compact_spools`).
+    auto_revive:
+        Sharded deployments only: :meth:`~repro.service.sharding.
+        ShardedService.pump` transparently revives a crashed shard from the
+        last snapshot instead of raising ``ShardCrashedError``.
+    revive_budget:
+        Maximum number of automatic revives before crashes surface again.
     """
 
     session: SessionConfig = field(default_factory=SessionConfig)
@@ -64,6 +79,37 @@ class ServiceConfig:
     latency_window: int = 4096
     backend: str = "thread"
     backend_workers: int | None = None
+    token: int | None = None
+    auto_compact: bool = False
+    auto_revive: bool = False
+    revive_budget: int = 3
+
+
+def tail_positions(tails: dict[Path, FrameReader]) -> dict[str, dict]:
+    """Rotation-proof resume point of every tailed spool, keyed by path."""
+    return {str(path): reader.position for path, reader in tails.items()}
+
+
+def compact_tails(tails: dict[Path, FrameReader]) -> dict[str, int]:
+    """Compact every tailed spool up to its reader's consumed position.
+
+    Shared by the single-process and sharded engines so the compaction
+    protocol (live-generation guard, reader rebase) can never diverge
+    between them.  Returns the bytes removed per spool path.
+    """
+    removed: dict[str, int] = {}
+    for path, reader in tails.items():
+        position = reader.position
+        up_to = int(position["offset"])
+        if up_to <= 0 or not path.exists():
+            continue
+        if position["inode"] != os.stat(path).st_ino:
+            continue
+        dropped = compact_spool(path, up_to=up_to)
+        if dropped:
+            reader.rebase(dropped)
+            removed[str(path)] = dropped
+    return removed
 
 
 class PredictionService:
@@ -80,7 +126,10 @@ class PredictionService:
         if backend is None:
             backend = make_backend(self.config.backend, workers=self.config.backend_workers)
         self.publisher = PredictionPublisher()
-        self.broker = FlushBroker(session_config=self.config.session)
+        self.broker = FlushBroker(
+            session_config=self.config.session, expected_token=self.config.token
+        )
+        self._tails: dict[Path, FrameReader] = {}
         self.dispatcher = DetectionDispatcher(
             self.broker,
             sink=self._on_detection,
@@ -106,8 +155,29 @@ class PredictionService:
         return self.broker.feed_bytes(data)
 
     def tail_file(self, path: str | Path, *, offset: int = 0) -> FrameReader:
-        """Tail a framed spool file; each ``poll()`` ingests the new frames."""
-        return self.broker.tail(path, offset=offset)
+        """Tail a framed spool file; each ``poll()`` ingests the new frames.
+
+        The reader is remembered so snapshot-driven spool compaction
+        (:meth:`compact_spools`, ``ServiceConfig.auto_compact``) knows how far
+        each spool has been consumed.
+        """
+        reader = self.broker.tail(path, offset=offset)
+        self._tails[Path(path)] = reader
+        return reader
+
+    def spool_positions(self) -> dict[str, dict]:
+        """Rotation-proof resume point of every tailed spool (by path)."""
+        return tail_positions(self._tails)
+
+    def compact_spools(self) -> dict[str, int]:
+        """Compact every tailed spool up to its reader's consumed position.
+
+        Only the live generation the reader is actually positioned in is
+        compacted (a reader still catching up on a rotated-away generation is
+        left alone), and the reader is rebased so tailing continues
+        seamlessly.  Returns the bytes removed per spool path.
+        """
+        return compact_tails(self._tails)
 
     def finish_job(self, job: str) -> None:
         """Mark a job finished: pending data is still evaluated, then idle.
@@ -158,6 +228,30 @@ class PredictionService:
     def period_provider(self, *, bootstrap: bool = True) -> ServicePeriodProvider:
         """A Set-10 :class:`PeriodProvider` backed by this service's publisher."""
         return ServicePeriodProvider(self, bootstrap=bootstrap)
+
+    # ------------------------------------------------------------------ #
+    # snapshot / restore
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """Capture the full service state (see :mod:`repro.service.snapshot`).
+
+        With ``ServiceConfig.auto_compact`` set, every tailed spool is
+        compacted up to the position this snapshot covers right after the
+        capture — the snapshot plus the remaining spool tail is always a
+        complete recovery recipe, and spools stop growing without bound.
+        """
+        from repro.service.snapshot import snapshot_state
+
+        state = snapshot_state(self)
+        if self.config.auto_compact:
+            self.compact_spools()
+        return state
+
+    def restore_state(self, state: dict) -> "PredictionService":
+        """Load a snapshot's sessions and publisher into this running service."""
+        from repro.service.snapshot import apply_state
+
+        return apply_state(self, state)
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -13,12 +13,14 @@ as a thin router:
   forwards the raw bytes; a payload is decoded exactly once, inside the shard
   that owns the job — the same header-only property the single-process
   broker has, preserved across the process boundary.
-* **control plane** — a ``multiprocessing`` pipe per shard carries small
-  request/response messages: pump, stats, snapshot, restore, close.  Because
-  data and control travel on different channels, every control request that
-  depends on the data stream carries the router's byte count and the shard
-  drains its socket up to that mark first — the two planes are re-ordered
-  deterministically.
+* **control plane** — a ``multiprocessing`` pipe per shard carries the typed,
+  versioned messages of :mod:`repro.service.protocol` (the same protocol the
+  TCP gateway speaks): :class:`~repro.service.protocol.Hello` negotiation at
+  spawn, then Pump/Drain/Stats/Snapshot/Restore/Close request/response
+  pairs.  Because data and control travel on different channels, every
+  control request that depends on the data stream carries the router's byte
+  count (``expected_bytes``) and the shard drains its socket up to that mark
+  first — the two planes are re-ordered deterministically.
 
 Sessions are already independent and lock-isolated, so sharding changes no
 prediction: the ``shards=N`` service is bit-identical to the single-process
@@ -28,33 +30,46 @@ Crash recovery composes out of existing pieces: shard death is detected on
 the control channel (:class:`~repro.exceptions.ShardCrashedError`), the lost
 shard's sessions are restored from the last merged snapshot
 (:func:`~repro.service.snapshot.split_state`), and the spool tail written
-since the snapshot is replayed through the router.
+since the snapshot is replayed through the router.  With
+``ServiceConfig.auto_revive`` the router does this by itself: a crash
+surfacing during :meth:`ShardedService.pump` or :meth:`~ShardedService.
+drain` triggers :meth:`~ShardedService.revive_shard` from the last snapshot
+taken through :meth:`~ShardedService.snapshot_state` (bounded by
+``ServiceConfig.revive_budget``), and the pump is retried.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import select
 import selectors
 import socket
-import struct
+import warnings
 from bisect import bisect_right
 from dataclasses import dataclass
 from hashlib import blake2b
 from pathlib import Path
+from struct import unpack
+from typing import Callable
 
 import numpy as np
 
-from repro.exceptions import ServiceError, ShardCrashedError
+from repro.exceptions import ProtocolError, ServiceError, ShardCrashedError
 from repro.trace.framing import FrameReader, FrameSplitter, RawFrame, encode_frame
 from repro.trace.jsonl import FlushRecord
 
+from repro.service import protocol as proto
 from repro.service.broker import BrokerStats
 from repro.service.dispatcher import DispatcherStats
 from repro.service.publisher import PredictionPublisher, PredictionUpdate
-from repro.service.service import PredictionService, ServiceConfig
+from repro.service.service import (
+    PredictionService,
+    ServiceConfig,
+    compact_tails,
+    tail_positions,
+)
 from repro.service.snapshot import (
-    SNAPSHOT_VERSION,
     apply_state,
     check_snapshot_version,
     merge_states,
@@ -64,6 +79,9 @@ from repro.service.snapshot import (
 
 #: Socket read size of the shard ingestion loop.
 _RECV_CHUNK = 1 << 16
+
+#: Sentinel distinguishing "token not passed" from "token=None".
+_UNSET = object()
 
 
 class HashRing:
@@ -95,7 +113,7 @@ class HashRing:
 
     @staticmethod
     def _hash(key: str) -> int:
-        return struct.unpack(">Q", blake2b(key.encode("utf-8"), digest_size=8).digest())[0]
+        return unpack(">Q", blake2b(key.encode("utf-8"), digest_size=8).digest())[0]
 
     def shard_for(self, job: str) -> int:
         """Shard index owning ``job``."""
@@ -109,7 +127,12 @@ class HashRing:
 # shard worker (runs in the subprocess)
 # --------------------------------------------------------------------- #
 def _shard_main(index: int, config: ServiceConfig, data_sock: socket.socket, control) -> None:
-    """Ingestion loop of one shard: select over the data socket and control pipe."""
+    """Control loop of one shard: select over the data socket and control pipe.
+
+    Control messages are the typed protocol envelopes of
+    :mod:`repro.service.protocol`, one per ``send_bytes``/``recv_bytes`` pair
+    on the pipe.
+    """
     service = PredictionService(config)
     updates: list[dict] = []
     service.publisher.subscribe(lambda update: updates.append(update.to_dict()))
@@ -120,8 +143,8 @@ def _shard_main(index: int, config: ServiceConfig, data_sock: socket.socket, con
     # recv on a stale event would deadlock the shard.
     data_sock.setblocking(False)
 
-    def drain_updates() -> list[dict]:
-        drained = list(updates)
+    def drain_updates() -> tuple[dict, ...]:
+        drained = tuple(updates)
         del updates[: len(drained)]
         return drained
 
@@ -139,46 +162,75 @@ def _shard_main(index: int, config: ServiceConfig, data_sock: socket.socket, con
             bytes_received += len(chunk)
             service.feed_bytes(chunk)
 
-    def sync_to(expected: int) -> None:
+    def sync_to(expected: int | None) -> None:
         # The router counted its sends; catch the data plane up to that mark
         # before acting on a control message that depends on it.
         read_available()
+        if expected is None:
+            return
         while bytes_received < expected and not data_eof:
             select.select([data_sock], [], [])
             read_available()
 
-    def handle(request: dict) -> tuple[dict, bool]:
-        op = request["op"]
-        if op == "pump":
-            sync_to(int(request["expected_bytes"]))
+    def handle(request: proto.Message) -> tuple[proto.Message, bool]:
+        if isinstance(request, proto.Hello):
+            version = proto.negotiate_version(request.versions)
+            if version is None:
+                return (
+                    proto.Error(
+                        message=(
+                            f"no common protocol version (shard speaks "
+                            f"{proto.SUPPORTED_VERSIONS}, peer offered {request.versions})"
+                        ),
+                        code="unsupported-version",
+                    ),
+                    False,
+                )
+            return proto.HelloReply(version=version, server=f"prediction-shard-{index}"), False
+        if isinstance(request, proto.Pump):
+            sync_to(request.expected_bytes)
             submitted = service.pump(wait_for_batch=True)
             service.dispatcher.join()
-            return {"submitted": submitted, "updates": drain_updates()}, False
-        if op == "drain":
-            sync_to(int(request["expected_bytes"]))
+            return proto.PumpReply(submitted=submitted, updates=drain_updates()), False
+        if isinstance(request, proto.Drain):
+            sync_to(request.expected_bytes)
             service.drain()
-            return {"updates": drain_updates()}, False
-        if op == "stats":
+            return proto.DrainReply(updates=drain_updates()), False
+        if isinstance(request, proto.Stats):
             broker = service.broker.stats
             dispatch = service.dispatcher.stats
-            return {
-                "service": service.stats(),
-                "broker": vars(broker),
-                "dispatcher": vars(dispatch),
-                "jobs": list(service.jobs),
-                "latencies": list(service.dispatcher.latencies()),
-                "bytes_received": bytes_received,
-            }, False
-        if op == "snapshot":
-            sync_to(int(request["expected_bytes"]))
-            return {"state": snapshot_state(service)}, False
-        if op == "restore":
-            apply_state(service, request["state"])
-            return {"restored": len(request["state"]["sessions"])}, False
-        if op == "close":
+            return (
+                proto.StatsReply(
+                    stats={
+                        "service": service.stats(),
+                        "broker": vars(broker),
+                        "dispatcher": vars(dispatch),
+                        "jobs": list(service.jobs),
+                        "latencies": list(service.dispatcher.latencies()),
+                        "bytes_received": bytes_received,
+                    }
+                ),
+                False,
+            )
+        if isinstance(request, proto.Snapshot):
+            sync_to(request.expected_bytes)
+            return proto.SnapshotReply(state=snapshot_state(service)), False
+        if isinstance(request, proto.Restore):
+            apply_state(service, request.state)
+            return proto.RestoreReply(restored=len(request.state["sessions"])), False
+        if isinstance(request, proto.FinishJob):
+            service.finish_job(request.job)
+            return proto.FinishJobReply(job=request.job), False
+        if isinstance(request, proto.Close):
             service.close()
-            return {"closed": True}, True
-        raise ServiceError(f"unknown shard control op {op!r}")
+            return proto.CloseReply(), True
+        return (
+            proto.Error(
+                message=f"unsupported shard control message {type(request).__name__}",
+                code="unsupported",
+            ),
+            False,
+        )
 
     selector = selectors.DefaultSelector()
     selector.register(data_sock, selectors.EVENT_READ, "data")
@@ -193,16 +245,25 @@ def _shard_main(index: int, config: ServiceConfig, data_sock: socket.socket, con
                         selector.unregister(data_sock)
                     continue
                 try:
-                    request = control.recv()
+                    request = proto.decode_message(control.recv_bytes())
                 except EOFError:
                     # The router went away; there is nobody to serve.
                     done = True
                     break
+                except ProtocolError as exc:
+                    control.send_bytes(
+                        proto.encode_message(proto.Error(message=str(exc), code="protocol"))
+                    )
+                    continue
                 try:
                     response, done = handle(request)
-                    control.send({"ok": True, **response})
+                    control.send_bytes(proto.encode_message(response))
                 except Exception as exc:  # surface shard-side errors to the router
-                    control.send({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+                    control.send_bytes(
+                        proto.encode_message(
+                            proto.Error(message=f"{type(exc).__name__}: {exc}", code="internal")
+                        )
+                    )
                 if done:
                     break
     finally:
@@ -219,6 +280,7 @@ class _Shard:
     process: multiprocessing.process.BaseProcess
     data_sock: socket.socket
     control: object  # multiprocessing.connection.Connection
+    protocol_version: int = proto.PROTOCOL_VERSION
     bytes_sent: int = 0
     dead: bool = False
 
@@ -239,11 +301,11 @@ class ShardedService:
         Number of worker shards (subprocesses) to spawn.
     config:
         Per-shard :class:`ServiceConfig` (session config, worker pool,
-        detection backend).
+        detection backend, tenant token, auto-revive policy).
     token:
-        Optional tenant/auth token nibble (0..15).  When set, the router
-        stamps it on frames it encodes itself and **rejects** routed byte
-        streams whose frames do not carry it (wire-level auth).
+        Deprecated — set :attr:`ServiceConfig.token` instead.  When set, the
+        router stamps it on frames it encodes itself and **rejects** routed
+        byte streams whose frames do not carry it (wire-level auth).
     replicas:
         Virtual nodes per shard on the hash ring.
     start_method:
@@ -255,17 +317,30 @@ class ShardedService:
         n_shards: int,
         config: ServiceConfig | None = None,
         *,
-        token: int | None = None,
+        token: object = _UNSET,
         replicas: int = 64,
         start_method: str | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
+        if token is not _UNSET and token is not None:
+            warnings.warn(
+                "ShardedService(token=...) is deprecated; set ServiceConfig(token=...) "
+                "(or ReproConfig(token=...)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self._token: int | None = int(token)  # type: ignore[arg-type]
+        else:
+            self._token = self.config.token
         self.ring = HashRing(n_shards, replicas=replicas)
         self.publisher = PredictionPublisher()
-        self._token = token
-        self._splitter = FrameSplitter(expected_token=token)
+        self._splitter = FrameSplitter(expected_token=self._token)
         self._ctx = multiprocessing.get_context(start_method)
         self._closed = False
+        self._tails: dict[Path, FrameReader] = {}
+        self._last_snapshot: dict | None = None
+        self._snapshot_positions: dict[Path, dict] = {}
+        self._auto_revives = 0
         self._shards = [self._spawn(index) for index in range(n_shards)]
 
     # ------------------------------------------------------------------ #
@@ -285,7 +360,19 @@ class ShardedService:
         process.start()
         child_sock.close()
         child_conn.close()
-        return _Shard(index=index, process=process, data_sock=parent_sock, control=parent_conn)
+        shard = _Shard(index=index, process=process, data_sock=parent_sock, control=parent_conn)
+        # Version negotiation before the first real control message: a shard
+        # built from an incompatible protocol generation fails loudly at
+        # spawn, never by silently mis-parsing a request later.
+        reply = self._request(
+            shard, proto.Hello(versions=proto.SUPPORTED_VERSIONS, token=self._token)
+        )
+        if not isinstance(reply, proto.HelloReply):
+            raise ServiceError(
+                f"shard {index} handshake returned {type(reply).__name__}, expected HelloReply"
+            )
+        shard.protocol_version = reply.version
+        return shard
 
     @property
     def n_shards(self) -> int:
@@ -304,6 +391,11 @@ class ShardedService:
     def dead_shards(self) -> tuple[int, ...]:
         """Indices of shards whose process died or whose channel broke."""
         return tuple(s.index for s in self._shards if not s.alive)
+
+    @property
+    def auto_revives(self) -> int:
+        """Number of automatic shard revives performed so far."""
+        return self._auto_revives
 
     def kill_shard(self, index: int) -> None:
         """Forcibly kill a shard (SIGKILL) — fault injection for tests."""
@@ -340,25 +432,53 @@ class ShardedService:
         self._shards[index] = self._spawn(index)
         if state is not None:
             per_shard = split_state(state, self.ring.shard_for, self.n_shards)
-            self._request(self._shards[index], {"op": "restore", "state": per_shard[index]})
+            self._request(self._shards[index], proto.Restore(state=per_shard[index]))
             # Merge (not replace): surviving shards have published past the
             # snapshot, only the revived shard's jobs roll back to it.
             self.publisher.merge_state_dict(per_shard[index]["publisher"])
         replayed = 0
         if spool is not None:
-            reader = FrameReader(
-                spool,
-                offset=spool_offset,
-                position=spool_position,
-                expected_token=self._token,
-                raw=True,
+            replayed = self._replay_spool(
+                index, spool, spool_offset=spool_offset, spool_position=spool_position
             )
-            for raw in reader.poll():
-                if self.ring.shard_for(raw.job) != index:
-                    continue
-                self.route_raw(raw)
-                self.pump(shards=(index,))
-                replayed += 1
+        return replayed
+
+    def _replay_spool(
+        self,
+        index: int,
+        spool: str | Path,
+        *,
+        spool_offset: int = 0,
+        spool_position: dict | None = None,
+        limit: int | None = None,
+    ) -> int:
+        """Replay the spool tail into shard ``index``; returns frames replayed.
+
+        ``limit`` bounds the replay to that many bytes past the start point
+        (every frame counts, owned or not) — the auto-revive path uses it to
+        stop exactly at the parent tail's consumed position, so a frame a
+        concurrent writer appended after the parent's last poll is never
+        ingested twice (once by the replay, again by the next poll).
+        """
+        reader = FrameReader(
+            spool,
+            offset=spool_offset,
+            position=spool_position,
+            expected_token=self._token,
+            raw=True,
+        )
+        replayed = 0
+        budget = limit
+        for raw in reader.poll():
+            if budget is not None:
+                if len(raw.data) > budget:
+                    break
+                budget -= len(raw.data)
+            if self.ring.shard_for(raw.job) != index:
+                continue
+            self.route_raw(raw)
+            self.pump(shards=(index,))
+            replayed += 1
         return replayed
 
     def _release(self, shard: _Shard) -> None:
@@ -383,7 +503,7 @@ class ShardedService:
         for shard in self._shards:
             if shard.alive:
                 try:
-                    self._request(shard, {"op": "close"})
+                    self._request(shard, proto.Close())
                 except ShardCrashedError:
                     pass
             self._release(shard)
@@ -407,7 +527,9 @@ class ShardedService:
             raise ShardCrashedError(shard.index, f"shard {shard.index}: {exc}") from exc
         shard.bytes_sent += len(data)
 
-    def ingest_flush(self, job: str, flush: FlushRecord, *, payload_format: str = "msgpack") -> int:
+    def ingest_flush(
+        self, job: str, flush: FlushRecord, *, payload_format: str = "msgpack"
+    ) -> int:
         """Encode one flush as a frame and route it; returns the shard index."""
         index = self.ring.shard_for(job)
         frame = encode_frame(flush, job=job, payload_format=payload_format, token=self._token)
@@ -437,39 +559,71 @@ class ShardedService:
         """Tail a framed spool file; each ``poll()`` routes the new frames.
 
         The reader runs in raw (header-only) mode and follows spool rotation.
+        It is remembered so snapshots can record the spool position (auto
+        revive replays from it) and ``auto_compact`` can drop the consumed
+        prefix.
+
+        With ``ServiceConfig.auto_revive``, a dead shard discovered while
+        routing is revived in place.  The revival replay reads the spool from
+        the last snapshot position **to its end**, so it already delivers
+        every frame of the current poll batch the revived shard owns — those
+        frames are therefore skipped (not double-sent) for the rest of the
+        batch.
         """
 
         def route(frames: list[RawFrame]) -> None:
+            replayed_by_revival: set[int] = set()
             for raw in frames:
-                self.route_raw(raw)
+                owner = self.ring.shard_for(raw.job)
+                if owner in replayed_by_revival:
+                    continue
+                try:
+                    self.route_raw(raw)
+                except ShardCrashedError as crash:
+                    if not self._auto_revive_index(crash.shard):
+                        raise crash
+                    replayed_by_revival.add(crash.shard)
 
-        return FrameReader(
+        reader = FrameReader(
             path, offset=offset, sink=route, expected_token=self._token, raw=True
         )
+        self._tails[Path(path)] = reader
+        return reader
+
+    def spool_positions(self) -> dict[str, dict]:
+        """Rotation-proof resume point of every tailed spool (by path)."""
+        return tail_positions(self._tails)
+
+    def compact_spools(self) -> dict[str, int]:
+        """Compact every tailed spool up to its reader's consumed position."""
+        return compact_tails(self._tails)
 
     # ------------------------------------------------------------------ #
     # control plane
     # ------------------------------------------------------------------ #
-    def _request(self, shard: _Shard, message: dict) -> dict:
+    def _request(self, shard: _Shard, message: proto.Message) -> proto.Message:
         if not shard.alive:
             raise ShardCrashedError(shard.index)
         try:
-            shard.control.send(message)
-            response = shard.control.recv()
+            shard.control.send_bytes(proto.encode_message(message))
+            response = proto.decode_message(shard.control.recv_bytes())
         except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
             shard.dead = True
             raise ShardCrashedError(shard.index, f"shard {shard.index}: {exc}") from exc
-        if not response.get("ok"):
+        if isinstance(response, proto.Error):
             raise ServiceError(
-                f"shard {shard.index} control op {message.get('op')!r} failed: "
-                f"{response.get('error')}"
+                f"shard {shard.index} control request {type(message).__name__} failed: "
+                f"{response.message}"
             )
         return response
 
     def _broadcast(
-        self, op: str, *, with_bytes: bool = False, only: tuple[int, ...] | None = None
-    ) -> list[dict]:
-        """Send one op to every live shard, then collect the replies.
+        self,
+        make_message: Callable[[_Shard], proto.Message],
+        *,
+        only: tuple[int, ...] | None = None,
+    ) -> list[proto.Message]:
+        """Send one request to every live shard, then collect the replies.
 
         Requests are written before any reply is awaited, so the shards work
         in parallel — this is what makes ``pump`` scale with the shard count.
@@ -486,28 +640,24 @@ class ShardedService:
         op_errors: list[str] = []
         sent: list[_Shard] = []
         for shard in live:
-            message: dict = {"op": op}
-            if with_bytes:
-                message["expected_bytes"] = shard.bytes_sent
+            message = make_message(shard)
             try:
-                shard.control.send(message)
+                shard.control.send_bytes(proto.encode_message(message))
             except (BrokenPipeError, OSError) as exc:
                 shard.dead = True
                 crashes.append(ShardCrashedError(shard.index, f"shard {shard.index}: {exc}"))
                 continue
             sent.append(shard)
-        responses = []
+        responses: list[proto.Message] = []
         for shard in sent:
             try:
-                response = shard.control.recv()
+                response = proto.decode_message(shard.control.recv_bytes())
             except (EOFError, OSError) as exc:
                 shard.dead = True
                 crashes.append(ShardCrashedError(shard.index, f"shard {shard.index}: {exc}"))
                 continue
-            if not response.get("ok"):
-                op_errors.append(
-                    f"shard {shard.index} control op {op!r} failed: {response.get('error')}"
-                )
+            if isinstance(response, proto.Error):
+                op_errors.append(f"shard {shard.index} control request failed: {response.message}")
                 continue
             responses.append(response)
         if crashes:
@@ -519,9 +669,9 @@ class ShardedService:
             raise ServiceError("; ".join(op_errors))
         return responses
 
-    def _publish_updates(self, responses: list[dict]) -> None:
+    def _publish_updates(self, responses: list[proto.Message]) -> None:
         for response in responses:
-            for entry in response.get("updates", ()):
+            for entry in getattr(response, "updates", ()):
                 self.publisher.publish(PredictionUpdate.from_dict(entry))
 
     def pump(self, *, shards: tuple[int, ...] | None = None) -> int:
@@ -531,20 +681,123 @@ class ShardedService:
         prediction is re-published through the parent-side :attr:`publisher`.
         ``shards`` restricts the pump to the given shard indices (recovery
         replay pumps only the revived shard).
+
+        With ``ServiceConfig.auto_revive``, dead shards — whether discovered
+        right here or on an earlier data-plane send — are transparently
+        revived from the last :meth:`snapshot_state` snapshot (plus the
+        recorded spool tails) before and during the pump, up to
+        ``ServiceConfig.revive_budget`` times over the service's lifetime;
+        a dead shard that cannot be revived anymore raises instead of being
+        silently skipped.
         """
-        responses = self._broadcast_publishing("pump", shards=shards)
-        return sum(r["submitted"] for r in responses)
+        self._revive_or_raise(only=shards)
+        total = 0
+        only = shards
+        while True:
+            try:
+                responses = self._broadcast_publishing(
+                    lambda shard: proto.Pump(expected_bytes=shard.bytes_sent), shards=only
+                )
+                return total + sum(r.submitted for r in responses)  # type: ignore[attr-defined]
+            except ShardCrashedError as crash:
+                # Survivors' counts were published with their updates; keep
+                # them so the retry only adds the revived shards' work.
+                total += sum(
+                    getattr(r, "submitted", 0) for r in crash.partial_responses
+                )
+                revived = self._revive_or_raise(only=shards)
+                if not revived:
+                    raise
+                only = revived
 
     def drain(self) -> None:
         """Pump every shard until nothing is due and nothing is in flight."""
-        self._broadcast_publishing("drain")
+        self._revive_or_raise()
+        while True:
+            try:
+                self._broadcast_publishing(
+                    lambda shard: proto.Drain(expected_bytes=shard.bytes_sent)
+                )
+                return
+            except ShardCrashedError:
+                if not self._revive_or_raise():
+                    raise
+
+    def finish_job(self, job: str) -> None:
+        """Mark ``job`` finished on the shard that owns it."""
+        self._request(self._shards[self.ring.shard_for(job)], proto.FinishJob(job=job))
+
+    def _auto_revive_index(self, index: int) -> bool:
+        """Revive one dead shard from the last snapshot, if policy allows.
+
+        The replay covers **every** tailed spool, each bounded at the parent
+        tail's consumed position — frames past that mark have not been routed
+        yet and will arrive through the normal poll path.
+        """
+        if not self.config.auto_revive or self._closed:
+            return False
+        if self._auto_revives >= self.config.revive_budget:
+            return False
+        if self._shards[index].alive:  # pragma: no cover - already recovered
+            return False
+        self._auto_revives += 1
+        self.revive_shard(index, state=self._last_snapshot)
+        for path, reader in self._tails.items():
+            snapshot_position = self._snapshot_positions.get(path)
+            parent_position = reader.position
+            limit: int | None = None
+            start_offset = 0 if snapshot_position is None else int(snapshot_position["offset"])
+            same_inode = (
+                snapshot_position is None
+                or snapshot_position["inode"] == parent_position["inode"]
+            )
+            # A byte bound is only meaningful within one spool generation; a
+            # rotation in between falls back to replay-to-EOF (PR-3 semantics).
+            bounded = parent_position["inode"] is not None and same_inode
+            if bounded and not self._has_generations(path):
+                limit = max(0, int(parent_position["offset"]) - start_offset)
+            self._replay_spool(index, path, spool_position=snapshot_position, limit=limit)
+        return True
+
+    @staticmethod
+    def _has_generations(path: Path) -> bool:
+        prefix = path.name + "."
+        return any(
+            candidate.name[len(prefix):].isdigit()
+            for candidate in path.parent.glob(prefix + "*")
+        )
+
+    def _revive_or_raise(self, *, only: tuple[int, ...] | None = None) -> tuple[int, ...]:
+        """Auto-revive every (eligible) dead shard; raise when one cannot be.
+
+        With ``auto_revive`` off this is a no-op (dead shards are skipped
+        silently, the PR-3 contract); with it on, a dead shard that cannot be
+        healed — budget exhausted — surfaces as :class:`ShardCrashedError`
+        instead of silently dropping its work.
+        """
+        if not self.config.auto_revive or self._closed:
+            return ()
+        revived: list[int] = []
+        for index in self.dead_shards():
+            if only is not None and index not in only:
+                continue
+            if self._auto_revive_index(index):
+                revived.append(index)
+            else:
+                raise ShardCrashedError(
+                    index, f"shard {index} is dead and the auto-revive budget is exhausted"
+                )
+        return tuple(revived)
 
     def _broadcast_publishing(
-        self, op: str, *, shards: tuple[int, ...] | None = None
-    ) -> list[dict]:
-        """Broadcast an update-bearing op; publish results even on a crash."""
+        self,
+        make_message: Callable[[_Shard], proto.Message],
+        *,
+        shards: tuple[int, ...] | None = None,
+    ) -> list[proto.Message]:
+        """Broadcast an update-bearing request; publish results even on a crash."""
         try:
-            responses = self._broadcast(op, with_bytes=True, only=shards)
+            responses = self._broadcast(make_message, only=shards)
         except ShardCrashedError as crash:
             self._publish_updates(getattr(crash, "partial_responses", []))
             raise
@@ -555,28 +808,31 @@ class ShardedService:
     # aggregated introspection
     # ------------------------------------------------------------------ #
     def _stats_responses(self) -> list[dict]:
-        return self._broadcast("stats")
+        return [
+            response.stats  # type: ignore[attr-defined]
+            for response in self._broadcast(lambda shard: proto.Stats())
+        ]
 
     @property
     def jobs(self) -> tuple[str, ...]:
         """Every job seen by any shard (grouped by shard, ingestion order)."""
         jobs: list[str] = []
-        for response in self._stats_responses():
-            jobs.extend(response["jobs"])
+        for stats in self._stats_responses():
+            jobs.extend(stats["jobs"])
         return tuple(jobs)
 
     @property
     def broker_stats(self) -> BrokerStats:
         """Ingestion counters aggregated over all shards."""
         return BrokerStats.merge(
-            BrokerStats(**response["broker"]) for response in self._stats_responses()
+            BrokerStats(**stats["broker"]) for stats in self._stats_responses()
         )
 
     @property
     def dispatcher_stats(self) -> DispatcherStats:
         """Dispatch counters aggregated over all shards."""
         return DispatcherStats.merge(
-            DispatcherStats(**response["dispatcher"]) for response in self._stats_responses()
+            DispatcherStats(**stats["dispatcher"]) for stats in self._stats_responses()
         )
 
     def latency_percentile(self, q: float) -> float | None:
@@ -584,8 +840,8 @@ class ShardedService:
         return self._percentile(self._stats_responses(), q)
 
     @staticmethod
-    def _percentile(responses: list[dict], q: float) -> float | None:
-        latencies = [latency for response in responses for latency in response["latencies"]]
+    def _percentile(stats_list: list[dict], q: float) -> float | None:
+        latencies = [latency for stats in stats_list for latency in stats["latencies"]]
         if not latencies:
             return None
         return float(np.percentile(np.asarray(latencies), q))
@@ -597,15 +853,19 @@ class ShardedService:
         from a single control round trip, so callers wanting several views
         (the benchmark does) pay one broadcast, not one per accessor.
         """
-        responses = self._stats_responses()
-        totals: dict = {"shards": self.n_shards, "dead_shards": len(self.dead_shards())}
-        for response in responses:
-            for key, value in response["service"].items():
+        stats_list = self._stats_responses()
+        totals: dict = {
+            "shards": self.n_shards,
+            "dead_shards": len(self.dead_shards()),
+            "revived_shards": self._auto_revives,
+        }
+        for stats in stats_list:
+            for key, value in stats["service"].items():
                 if isinstance(value, (int, float)):
                     totals[key] = totals.get(key, 0) + value
         totals["published"] = self.publisher.published
-        totals["p50_detection_latency_seconds"] = self._percentile(responses, 50.0)
-        totals["p99_detection_latency_seconds"] = self._percentile(responses, 99.0)
+        totals["p50_detection_latency_seconds"] = self._percentile(stats_list, 50.0)
+        totals["p99_detection_latency_seconds"] = self._percentile(stats_list, 99.0)
         return totals
 
     def period_provider(self, *, bootstrap: bool = True):
@@ -622,11 +882,33 @@ class ShardedService:
 
         The result round-trips through :func:`repro.service.snapshot.
         restore_state` (one big service) and :meth:`restore_state` (any shard
-        count) alike.
+        count) alike.  The snapshot (plus each tailed spool's position) is
+        remembered as the auto-revive recovery point, and with
+        ``ServiceConfig.auto_compact`` every tailed spool is compacted up to
+        the position this snapshot covers.
         """
-        responses = self._broadcast("snapshot", with_bytes=True)
-        merged = merge_states([response["state"] for response in responses])
+        responses = self._broadcast(
+            lambda shard: proto.Snapshot(expected_bytes=shard.bytes_sent)
+        )
+        merged = merge_states(
+            [response.state for response in responses]  # type: ignore[attr-defined]
+        )
         merged["sharding"] = {"n_shards": self.n_shards, "replicas": self.ring.replicas}
+        self._last_snapshot = merged
+        self._snapshot_positions = {
+            path: reader.position for path, reader in self._tails.items()
+        }
+        if self.config.auto_compact:
+            compacted = self.compact_spools()
+            # Compaction rewrote the spools under new inodes; re-anchor the
+            # recorded positions on the compacted files (whose byte 0 is
+            # exactly the first post-snapshot byte of each compacted spool).
+            for path, reader in self._tails.items():
+                if str(path) in compacted and path.exists():
+                    self._snapshot_positions[path] = {
+                        "inode": os.stat(path).st_ino,
+                        "offset": reader.position["offset"],
+                    }
         return merged
 
     def restore_state(self, state: dict) -> None:
@@ -634,5 +916,5 @@ class ShardedService:
         check_snapshot_version(state)
         per_shard = split_state(state, self.ring.shard_for, self.n_shards)
         for shard, shard_state in zip(self._shards, per_shard):
-            self._request(shard, {"op": "restore", "state": shard_state})
+            self._request(shard, proto.Restore(state=shard_state))
         self.publisher.load_state_dict(state["publisher"])

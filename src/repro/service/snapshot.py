@@ -133,10 +133,17 @@ def split_state(state: dict, owner: Callable[[str], int], n_shards: int) -> list
     return shards
 
 
-def save_snapshot(service: PredictionService, path: str | Path) -> Path:
-    """Write a snapshot file; returns its path."""
+def save_snapshot(service, path: str | Path) -> Path:
+    """Write a snapshot file; returns its path.
+
+    Goes through the service's :meth:`~repro.service.service.
+    PredictionService.snapshot_state` method (rather than the bare
+    :func:`snapshot_state` capture), so a single-process *or sharded* service
+    can be saved, and the post-snapshot hooks — spool auto-compaction, the
+    auto-revive recovery point — fire exactly as for an in-memory snapshot.
+    """
     path = Path(path)
-    path.write_bytes(packb(snapshot_state(service)))
+    path.write_bytes(packb(service.snapshot_state()))
     return path
 
 

@@ -1,0 +1,77 @@
+"""Stability contract of ``write_report`` (BENCH_perf.json diff churn).
+
+Reruns must produce minimal diffs: sorted keys, rounded floats, and noise
+hysteresis for float measurements — while integer *facts* (counts,
+cpu_count, schema versions) always follow the new run.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.benchmark import NOISE_TOLERANCE, _stable_merge, write_report
+
+
+class TestStableMerge:
+    def test_float_within_noise_keeps_old_value(self):
+        assert _stable_merge(0.0105, 0.0100, tolerance=NOISE_TOLERANCE) == 0.0100
+
+    def test_float_beyond_noise_updates(self):
+        assert _stable_merge(0.0200, 0.0100, tolerance=NOISE_TOLERANCE) == 0.0200
+
+    def test_sub_millisecond_changes_are_always_noise(self):
+        assert _stable_merge(9e-4, 1e-5, tolerance=NOISE_TOLERANCE) == 1e-5
+
+    def test_integers_always_follow_the_new_run(self):
+        # Counts are facts, not measurements: a 30% drop in n_detections or a
+        # cpu_count change must never be frozen by the hysteresis.
+        assert _stable_merge({"n_detections": 457}, {"n_detections": 358},
+                             tolerance=NOISE_TOLERANCE) == {"n_detections": 457}
+        assert _stable_merge({"cpu_count": 3}, {"cpu_count": 4},
+                             tolerance=NOISE_TOLERANCE) == {"cpu_count": 3}
+
+    def test_structure_follows_the_new_report(self):
+        merged = _stable_merge(
+            {"kept": 1.0, "added": 2.0}, {"kept": 1.0, "removed": 3.0},
+            tolerance=NOISE_TOLERANCE,
+        )
+        assert merged == {"kept": 1.0, "added": 2.0}
+
+
+class TestWriteReport:
+    @staticmethod
+    def report(*, stamp: int, seconds: float, count: int) -> dict:
+        return {
+            "schema_version": 4,
+            "generated_at": stamp,
+            "results": {"kernel": {"seconds": seconds, "count": count}},
+        }
+
+    def test_unchanged_rerun_is_byte_identical(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_report(self.report(stamp=100, seconds=0.5, count=7), path)
+        first = path.read_bytes()
+        # Same measurements within noise, later timestamp: nothing rewritten.
+        write_report(self.report(stamp=200, seconds=0.55, count=7), path)
+        assert path.read_bytes() == first
+
+    def test_real_change_updates_value_and_stamp(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_report(self.report(stamp=100, seconds=0.5, count=7), path)
+        write_report(self.report(stamp=200, seconds=2.0, count=7), path)
+        loaded = json.loads(path.read_text())
+        assert loaded["results"]["kernel"]["seconds"] == 2.0
+        assert loaded["generated_at"] == 200
+
+    def test_count_change_alone_updates_the_file(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_report(self.report(stamp=100, seconds=0.5, count=7), path)
+        write_report(self.report(stamp=200, seconds=0.5, count=9), path)
+        assert json.loads(path.read_text())["results"]["kernel"]["count"] == 9
+
+    def test_floats_are_rounded_and_keys_sorted(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_report({"b": 0.123456789123, "a": 1}, path)
+        text = path.read_text()
+        assert json.loads(text) == {"a": 1, "b": 0.123457}
+        assert text.index('"a"') < text.index('"b"')

@@ -1,0 +1,289 @@
+"""End-to-end tests of the asyncio TCP gateway and the blocking client.
+
+The acceptance criterion of the API redesign: streaming N concurrent jobs
+through the TCP gateway via :class:`~repro.client.ServiceClient` must
+produce **bit-identical** session state and predictions to direct in-process
+ingestion — for the single-process engine and for a 2-shard deployment
+alike.  On top, the protocol-versioning guarantees are exercised against a
+live server: an unknown-version hello is rejected cleanly, and corrupt or
+truncated control bytes never deadlock the gateway.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.client import ServiceClient
+from repro.core import FtioConfig
+from repro.exceptions import ProtocolError, ServiceError
+from repro.service import (
+    PredictionService,
+    ServiceConfig,
+    SessionConfig,
+    ShardedService,
+    ThreadedGateway,
+)
+from repro.service import protocol as proto
+from repro.trace.jsonl import trace_to_flushes
+from repro.trace.msgpack import packb, unpackb
+from repro.workloads.hacc import hacc_flush_times, hacc_io_trace
+
+N_JOBS = 16
+
+
+@pytest.fixture(scope="module")
+def online_config():
+    return FtioConfig(
+        sampling_frequency=10.0, use_autocorrelation=False, compute_characterization=False
+    )
+
+
+@pytest.fixture(scope="module")
+def service_config(online_config):
+    return ServiceConfig(
+        session=SessionConfig(config=online_config, max_samples=200_000), max_workers=2
+    )
+
+
+@pytest.fixture(scope="module")
+def job_streams(online_config):
+    """16 concurrent periodic jobs with different periods, phases and sizes."""
+    streams = {}
+    for j in range(N_JOBS):
+        trace = hacc_io_trace(
+            ranks=2,
+            loops=5,
+            period=6.0 + 0.5 * j,
+            first_phase_delay=3.0 + 0.25 * j,
+            seed=100 + j,
+        )
+        streams[f"job-{j:02d}"] = trace_to_flushes(trace, hacc_flush_times(trace))
+    return streams
+
+
+def _stream_direct(service, streams) -> dict:
+    """Reference run: in-process ingestion, one pump per interleaved round."""
+    n_rounds = max(len(flushes) for flushes in streams.values())
+    for round_index in range(n_rounds):
+        for job, flushes in streams.items():
+            if round_index < len(flushes):
+                service.ingest_flush(job, flushes[round_index])
+        if isinstance(service, PredictionService):
+            service.pump(wait_for_batch=True)
+            service.dispatcher.join()
+        else:
+            service.pump()
+    state = service.snapshot_state()
+    service.close()
+    return state
+
+
+def _stream_through_gateway(engine, streams) -> tuple[dict, list]:
+    """The same workload, but every byte crosses the TCP gateway."""
+    n_rounds = max(len(flushes) for flushes in streams.values())
+    with ThreadedGateway(engine, own_engine=True) as gateway:
+        with ServiceClient(gateway.host, gateway.port) as client:
+            for round_index in range(n_rounds):
+                for job, flushes in streams.items():
+                    if round_index < len(flushes):
+                        assert client.submit_flush(job, flushes[round_index]) == 1
+                client.pump()
+            state = client.snapshot()
+            predictions = client.predictions()
+    return state, predictions
+
+
+def _comparable(state: dict) -> dict:
+    """Canonical snapshot form: msgpack-normalized, sessions sorted by job."""
+    state = unpackb(packb({k: v for k, v in state.items() if k != "sharding"}))
+    state["sessions"] = sorted(state["sessions"], key=lambda s: s["job"])
+    return state
+
+
+class TestGatewayEquivalence:
+    def test_single_process_bit_identical(self, service_config, job_streams):
+        direct = _stream_direct(PredictionService(service_config), job_streams)
+        via_gateway, predictions = _stream_through_gateway(
+            PredictionService(service_config), job_streams
+        )
+        assert _comparable(via_gateway) == _comparable(direct)
+        # Every job produced live predictions through the wire.
+        assert {p.job for p in predictions} == set(job_streams)
+        by_job = {}
+        for p in predictions:
+            by_job[p.job] = p
+        for job, update in by_job.items():
+            assert update.period == direct["publisher"]["latest"][job]["period"]
+
+    def test_sharded_bit_identical(self, service_config, job_streams):
+        direct = _stream_direct(ShardedService(2, service_config), job_streams)
+        via_gateway, predictions = _stream_through_gateway(
+            ShardedService(2, service_config), job_streams
+        )
+        assert _comparable(via_gateway) == _comparable(direct)
+        assert {p.job for p in predictions} == set(job_streams)
+
+    def test_sharded_matches_single_process(self, service_config, job_streams):
+        # The transitive closure: gateway == direct (above) and shards == 1
+        # process, so every surface serves the same predictions.
+        single = _stream_direct(PredictionService(service_config), job_streams)
+        sharded = _stream_direct(ShardedService(2, service_config), job_streams)
+        assert _comparable(sharded) == _comparable(single)
+
+
+class TestGatewayProtocol:
+    @pytest.fixture()
+    def gateway(self, service_config):
+        with ThreadedGateway(PredictionService(service_config), own_engine=True) as gw:
+            yield gw
+
+    def test_handshake_reports_version_and_shards(self, gateway):
+        with ServiceClient(gateway.host, gateway.port) as client:
+            assert client.protocol_version == proto.PROTOCOL_VERSION
+            assert client.server == "repro-gateway"
+            assert client.shards == 0
+
+    def test_unknown_version_hello_rejected_cleanly(self, gateway):
+        with socket.create_connection((gateway.host, gateway.port), timeout=10.0) as sock:
+            sock.sendall(proto.encode_message(proto.Hello(versions=(99,))))
+            reply = self._read_one(sock)
+            assert isinstance(reply, proto.Error)
+            assert reply.code == "unsupported-version"
+            assert "99" in reply.message
+            # The server closes the connection after the rejection.
+            assert sock.recv(1024) == b""
+        # ... and keeps serving other clients.
+        with ServiceClient(gateway.host, gateway.port) as client:
+            assert client.stats()["jobs"] == 0
+
+    def test_first_message_must_be_hello(self, gateway):
+        with socket.create_connection((gateway.host, gateway.port), timeout=10.0) as sock:
+            sock.sendall(proto.encode_message(proto.Pump()))
+            reply = self._read_one(sock)
+            assert isinstance(reply, proto.Error)
+            assert reply.code == "protocol"
+            assert sock.recv(1024) == b""
+
+    def test_corrupt_bytes_never_deadlock_the_gateway(self, gateway):
+        # A peer spraying garbage gets a typed rejection and a closed socket.
+        with socket.create_connection((gateway.host, gateway.port), timeout=10.0) as sock:
+            sock.sendall(b"GARBAGE-NOT-A-MESSAGE" * 10)
+            reply = self._read_one(sock)
+            assert isinstance(reply, proto.Error)
+            assert reply.code == "protocol"
+            assert sock.recv(1024) == b""
+        # A peer sending a truncated message simply stays pending — and does
+        # not wedge the event loop for anyone else.
+        with socket.create_connection((gateway.host, gateway.port), timeout=10.0) as idle:
+            idle.sendall(proto.encode_message(proto.Hello())[:7])
+            with ServiceClient(gateway.host, gateway.port) as client:
+                assert client.pump() == 0
+                assert client.stats()["jobs"] == 0
+
+    def test_engine_errors_keep_the_connection_usable(self, gateway):
+        with ServiceClient(gateway.host, gateway.port) as client:
+            with pytest.raises(ServiceError, match="snapshot version"):
+                client.restore({"snapshot_version": 999, "sessions": []})
+            # The failure was scoped to that request, not the connection.
+            assert client.stats()["jobs"] == 0
+
+    def test_failed_handshake_closes_the_socket(self, service_config, monkeypatch):
+        created = []
+        real_connect = socket.create_connection
+
+        def spying_connect(*args, **kwargs):
+            sock = real_connect(*args, **kwargs)
+            created.append(sock)
+            return sock
+
+        monkeypatch.setattr(socket, "create_connection", spying_connect)
+        engine = PredictionService(service_config)
+        with ThreadedGateway(engine, own_engine=True, token=5) as gw:
+            with pytest.raises(ServiceError, match="unauthorized"):
+                ServiceClient(gw.host, gw.port, token=9)
+        assert len(created) == 1
+        # A closed socket reports fileno -1; anything else is a leaked fd.
+        assert created[0].fileno() == -1
+
+    def test_submit_rejects_malformed_frames(self, gateway):
+        with ServiceClient(gateway.host, gateway.port) as client:
+            with pytest.raises(ServiceError):
+                client.submit_bytes(b"NOTFTS1-data-plane-garbage")
+            assert client.stats()["jobs"] == 0
+
+    @staticmethod
+    def _read_one(sock) -> proto.Message:
+        decoder = proto.MessageDecoder()
+        while True:
+            for message in decoder.messages():
+                return message
+            data = sock.recv(1 << 16)
+            if not data:
+                raise ProtocolError("connection closed before a reply arrived")
+            decoder.feed(data)
+
+
+class TestGatewayFeatures:
+    def test_subscription_streams_filtered_predictions(self, service_config, job_streams):
+        job, flushes = next(iter(job_streams.items()))
+        other_job = list(job_streams)[1]
+        with ThreadedGateway(PredictionService(service_config), own_engine=True) as gateway:
+            monitor = ServiceClient(gateway.host, gateway.port, name="monitor")
+            monitor.subscribe([job])
+            with ServiceClient(gateway.host, gateway.port) as driver:
+                for flush in flushes[:4]:
+                    driver.submit_flush(job, flush)
+                    driver.submit_flush(other_job, job_streams[other_job][0])
+                    driver.pump()
+            events = monitor.poll_predictions(timeout=5.0, min_events=4)
+            assert len(events) >= 4
+            assert {e.job for e in events} == {job}
+            monitor.close()
+
+    def test_snapshot_restore_round_trip_over_the_wire(self, service_config, job_streams):
+        job, flushes = next(iter(job_streams.items()))
+        with ThreadedGateway(PredictionService(service_config), own_engine=True) as gateway:
+            with ServiceClient(gateway.host, gateway.port) as client:
+                for flush in flushes:
+                    client.submit_flush(job, flush)
+                    client.pump()
+                state = client.snapshot()
+                latest = client.stats()
+        with ThreadedGateway(PredictionService(service_config), own_engine=True) as gateway:
+            with ServiceClient(gateway.host, gateway.port) as client:
+                assert client.restore(state) == 1
+                restored = client.stats()
+                assert restored["jobs"] == latest["jobs"] == 1
+                # The restored engine answers with the exact same state: the
+                # snapshot → wire → restore → snapshot loop is lossless.
+                assert client.snapshot() == unpackb(packb(state))
+
+    def test_finish_job_over_the_wire(self, service_config, job_streams):
+        job, flushes = next(iter(job_streams.items()))
+        engine = PredictionService(service_config)
+        with ThreadedGateway(engine, own_engine=True) as gateway:
+            with ServiceClient(gateway.host, gateway.port) as client:
+                client.submit_flush(job, flushes[0])
+                client.finish_job(job)
+                client.drain()
+                assert engine.session(job).finished
+
+    def test_multiple_clients_share_one_engine(self, service_config, job_streams):
+        jobs = list(job_streams)[:4]
+        with ThreadedGateway(PredictionService(service_config), own_engine=True) as gateway:
+            clients = [
+                ServiceClient(gateway.host, gateway.port, name=f"client-{i}")
+                for i in range(4)
+            ]
+            try:
+                for client, job in zip(clients, jobs):
+                    client.submit_flush(job, job_streams[job][0])
+                clients[0].drain()
+                stats = clients[-1].stats()
+                assert stats["jobs"] == 4
+                assert stats["detections"] == 4
+            finally:
+                for client in clients:
+                    client.close()

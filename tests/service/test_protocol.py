@@ -1,0 +1,233 @@
+"""Unit and property tests of the versioned control-plane protocol.
+
+The hypothesis round-trips cover every registered message type: whatever a
+peer encodes, the decoder must rebuild bit-identically — including through
+arbitrary TCP-style re-chunking of the byte stream.  Corruption (bad magic,
+unknown type codes, oversized bodies, undecodable payloads) must raise
+:class:`~repro.exceptions.ProtocolError` instead of mis-framing, and a
+truncated message must simply stay buffered — never produce garbage, never
+busy-loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ProtocolError
+from repro.service import protocol as proto
+
+# --------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------- #
+token_st = st.one_of(st.none(), st.integers(min_value=0, max_value=15))
+name_st = st.text(max_size=16)
+job_st = st.text(min_size=1, max_size=16)
+scalar_st = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=12),
+    st.binary(max_size=12),
+)
+flat_map_st = st.dictionaries(st.text(max_size=8), scalar_st, max_size=4)
+nested_map_st = st.dictionaries(
+    st.text(max_size=8),
+    st.one_of(scalar_st, st.lists(scalar_st, max_size=3), flat_map_st),
+    max_size=4,
+)
+update_st = st.fixed_dictionaries(
+    {
+        "job": job_st,
+        "index": st.integers(min_value=0, max_value=2**20),
+        "time": st.floats(allow_nan=False, allow_infinity=False, width=64),
+        "frequency": st.one_of(st.none(), st.floats(0.0, 1e6, allow_nan=False)),
+        "period": st.one_of(st.none(), st.floats(0.0, 1e6, allow_nan=False)),
+        "confidence": st.floats(0.0, 1.0, allow_nan=False),
+        "latency": st.one_of(st.none(), st.floats(0.0, 10.0, allow_nan=False)),
+    }
+)
+updates_st = st.lists(update_st, max_size=3).map(tuple)
+expected_bytes_st = st.one_of(st.none(), st.integers(min_value=0, max_value=2**48))
+
+message_st = st.one_of(
+    st.builds(
+        proto.Hello,
+        versions=st.lists(st.integers(1, 255), min_size=1, max_size=4).map(tuple),
+        token=token_st,
+        client=name_st,
+    ),
+    st.builds(
+        proto.HelloReply,
+        version=st.integers(1, 255),
+        server=name_st,
+        shards=st.integers(0, 64),
+    ),
+    st.builds(proto.Error, message=st.text(max_size=64), code=st.text(min_size=1, max_size=16)),
+    st.builds(proto.SubmitFrames, data=st.binary(max_size=256)),
+    st.builds(proto.SubmitReply, frames=st.integers(0, 2**20)),
+    st.builds(proto.Pump, expected_bytes=expected_bytes_st),
+    st.builds(proto.PumpReply, submitted=st.integers(0, 2**20), updates=updates_st),
+    st.builds(proto.Drain, expected_bytes=expected_bytes_st),
+    st.builds(proto.DrainReply, updates=updates_st),
+    st.builds(proto.Stats),
+    st.builds(proto.StatsReply, stats=nested_map_st),
+    st.builds(proto.Snapshot, expected_bytes=expected_bytes_st),
+    st.builds(proto.SnapshotReply, state=nested_map_st),
+    st.builds(proto.Restore, state=nested_map_st),
+    st.builds(proto.RestoreReply, restored=st.integers(0, 2**20)),
+    st.builds(
+        proto.Subscribe,
+        jobs=st.one_of(st.none(), st.lists(job_st, max_size=3).map(tuple)),
+    ),
+    st.builds(proto.SubscribeReply, subscription=st.integers(0, 2**31 - 1)),
+    st.builds(proto.PredictionEvent, update=update_st),
+    st.builds(proto.FinishJob, job=job_st),
+    st.builds(proto.FinishJobReply, job=job_st),
+    st.builds(proto.Close),
+    st.builds(proto.CloseReply, closed=st.booleans()),
+)
+
+
+def _normalize(message: proto.Message) -> proto.Message:
+    """Canonical form for equality: msgpack decodes arrays as lists."""
+    return type(message).from_payload(
+        {k: _as_lists(v) for k, v in message.to_payload().items()}
+    )
+
+
+def _as_lists(value):
+    if isinstance(value, tuple):
+        return [_as_lists(v) for v in value]
+    if isinstance(value, list):
+        return [_as_lists(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _as_lists(v) for k, v in value.items()}
+    return value
+
+
+# --------------------------------------------------------------------- #
+# property tests
+# --------------------------------------------------------------------- #
+class TestRoundTrip:
+    @given(message=message_st)
+    @settings(max_examples=300, deadline=None)
+    def test_every_message_round_trips(self, message):
+        decoded = proto.decode_message(proto.encode_message(message))
+        assert type(decoded) is type(message)
+        assert decoded == _normalize(message)
+
+    @given(
+        messages=st.lists(message_st, min_size=1, max_size=5),
+        chunk=st.integers(min_value=1, max_value=37),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_rechunked_stream_decodes_identically(self, messages, chunk):
+        stream = b"".join(proto.encode_message(m) for m in messages)
+        decoder = proto.MessageDecoder()
+        decoded = []
+        for start in range(0, len(stream), chunk):
+            decoder.feed(stream[start : start + chunk])
+            decoded.extend(decoder.messages())
+        assert decoder.buffered_bytes == 0
+        assert [type(m) for m in decoded] == [type(m) for m in messages]
+        assert decoded == [_normalize(m) for m in messages]
+
+    @given(message=message_st, cut=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100, deadline=None)
+    def test_truncated_message_stays_buffered(self, message, cut):
+        encoded = proto.encode_message(message)
+        cut = min(cut, len(encoded) - 1)
+        decoder = proto.MessageDecoder()
+        decoder.feed(encoded[:-cut])
+        assert list(decoder.messages()) == []
+        assert decoder.buffered_bytes == len(encoded) - cut
+        decoder.feed(encoded[-cut:])
+        assert list(decoder.messages()) == [_normalize(message)]
+
+
+class TestVersioning:
+    def test_current_version_is_supported(self):
+        assert proto.PROTOCOL_VERSION in proto.SUPPORTED_VERSIONS
+
+    def test_negotiation_picks_highest_common(self):
+        assert proto.negotiate_version([1]) == 1
+        assert proto.negotiate_version([1, 99]) == 1
+
+    def test_negotiation_rejects_unknown_only(self):
+        assert proto.negotiate_version([99]) is None
+        assert proto.negotiate_version([0, 2, 255]) is None
+        assert proto.negotiate_version([]) is None
+
+    def test_hello_requires_versions(self):
+        with pytest.raises(ProtocolError):
+            proto.Hello.from_payload({"versions": []})
+        with pytest.raises(ProtocolError):
+            proto.Hello.from_payload({"token": 3})
+
+
+class TestCorruption:
+    def test_bad_magic_raises(self):
+        encoded = bytearray(proto.encode_message(proto.Stats()))
+        encoded[0] ^= 0xFF
+        decoder = proto.MessageDecoder()
+        decoder.feed(bytes(encoded))
+        with pytest.raises(ProtocolError, match="magic"):
+            list(decoder.messages())
+
+    def test_unknown_type_code_raises(self):
+        encoded = bytearray(proto.encode_message(proto.Stats()))
+        encoded[4] = 0xEE
+        decoder = proto.MessageDecoder()
+        decoder.feed(bytes(encoded))
+        with pytest.raises(ProtocolError, match="type code"):
+            list(decoder.messages())
+
+    def test_oversized_body_length_raises_immediately(self):
+        import struct
+
+        header = struct.pack(">4sBI", proto.PROTOCOL_MAGIC, 10, proto.MAX_MESSAGE_BYTES + 1)
+        decoder = proto.MessageDecoder()
+        decoder.feed(header)
+        # The length field alone condemns the stream: no waiting for a body
+        # that would never arrive (the anti-deadlock property).
+        with pytest.raises(ProtocolError, match="exceeds the limit"):
+            list(decoder.messages())
+
+    def test_undecodable_body_raises(self):
+        import struct
+
+        body = b"\xc1\xc1\xc1"  # 0xC1 is the one never-used msgpack byte
+        header = struct.pack(">4sBI", proto.PROTOCOL_MAGIC, 10, len(body))
+        decoder = proto.MessageDecoder()
+        decoder.feed(header + body)
+        with pytest.raises(ProtocolError):
+            list(decoder.messages())
+
+    def test_non_map_body_raises(self):
+        import struct
+
+        from repro.trace.msgpack import packb
+
+        body = packb([1, 2, 3])
+        header = struct.pack(">4sBI", proto.PROTOCOL_MAGIC, 10, len(body))
+        decoder = proto.MessageDecoder()
+        decoder.feed(header + body)
+        with pytest.raises(ProtocolError, match="must be a map"):
+            list(decoder.messages())
+
+    def test_decode_message_rejects_trailing_bytes(self):
+        encoded = proto.encode_message(proto.Stats())
+        with pytest.raises(ProtocolError):
+            proto.decode_message(encoded + b"x")
+        with pytest.raises(ProtocolError):
+            proto.decode_message(encoded[:-1])
+
+    def test_registry_codes_are_stable(self):
+        # Codes are wire format: changing one breaks cross-version peers.
+        assert proto.MESSAGE_TYPES[1] is proto.Hello
+        assert proto.MESSAGE_TYPES[3] is proto.Error
+        assert proto.MESSAGE_TYPES[18] is proto.PredictionEvent
+        assert len(set(proto.MESSAGE_TYPES)) == len(proto.MESSAGE_TYPES) == 22
