@@ -53,6 +53,13 @@ SHARD_COUNTS = ("1", "2", "4")
 #: keeps an order of magnitude of headroom for noisy shared runners.
 MIN_GATEWAY_JOBS_PER_SECOND = 2.0
 MAX_GATEWAY_RTT_P99_SECONDS = 1.0
+#: Live-resharding floors: a 64-job migration moves tens of sessions per hop
+#: in well under a second on the reference container (hundreds of sessions/s
+#: moved); the floors keep two orders of magnitude of headroom while still
+#: catching a migration path degrading to per-session round trips or a pause
+#: that would stall live ingestion.
+MIN_RESHARD_MOVED_PER_SECOND = 2.0
+MAX_RESHARD_PAUSE_P99_SECONDS = 30.0
 #: Generous absolute budget for one offline detection (seconds); the measured
 #: time at 100k samples is ~10 ms, so a 100x margin still catches an O(N^2)
 #: regression (which lands at seconds).
@@ -108,6 +115,15 @@ def _format_table(report: dict) -> str:
         f"{gateway['jobs_per_second']:.0f} jobs/s, control round trip p50 "
         f"{gateway['round_trip_p50_seconds'] * 1e3:.2f} ms / p99 "
         f"{gateway['round_trip_p99_seconds'] * 1e3:.2f} ms"
+    )
+    reshard = service["reshard"]
+    path = " -> ".join(str(count) for count in reshard["shard_path"])
+    lines.append(
+        f"reshard: {path} over {reshard['n_jobs']} live jobs moved "
+        f"{reshard['sessions_moved']} sessions at "
+        f"{reshard['sessions_moved_per_second']:.0f}/s, pause p50 "
+        f"{reshard['pause_p50_seconds'] * 1e3:.1f} ms / p99 "
+        f"{reshard['pause_p99_seconds'] * 1e3:.1f} ms"
     )
     return "\n".join(lines)
 
@@ -176,10 +192,22 @@ class TestPerfRegression:
             f"{gateway['round_trip_p99_seconds']:.3f} s"
         )
 
+    def test_reshard_migration_floor(self, perf_report):
+        reshard = perf_report["results"]["service"]["reshard"]
+        assert reshard["reshards"] == len(reshard["shard_path"]) - 1 >= 3
+        assert reshard["sessions_moved"] > 0
+        assert reshard["sessions_moved_per_second"] >= MIN_RESHARD_MOVED_PER_SECOND, (
+            f"live-reshard migration rate dropped to "
+            f"{reshard['sessions_moved_per_second']:.1f} sessions/s"
+        )
+        assert reshard["pause_p99_seconds"] <= MAX_RESHARD_PAUSE_P99_SECONDS, (
+            f"live-reshard p99 ingest pause rose to {reshard['pause_p99_seconds']:.3f} s"
+        )
+
     def test_report_written_and_valid_json(self, perf_report):
         path = write_report(perf_report, REPO_ROOT / "BENCH_perf.json")
         loaded = json.loads(path.read_text(encoding="utf-8"))
-        assert loaded["schema_version"] == 4
+        assert loaded["schema_version"] == 5
         assert loaded["signal_sizes"] == [1_000, 10_000, 100_000]
         assert set(loaded["results"]["service"]["sharded"]) == set(SHARD_COUNTS)
         assert set(loaded["results"]) == {

@@ -17,11 +17,12 @@ module provides the small timing utilities the perf-regression benchmark
 * :func:`write_report` — persists the report (``BENCH_perf.json`` at the repo
   root by convention).
 
-The report schema (version 4; version 1 lacked the ``service`` section,
-version 2 lacked ``service.sharded``, version 3 lacked ``service.gateway``)::
+The report schema (version 5; version 1 lacked the ``service`` section,
+version 2 lacked ``service.sharded``, version 3 lacked ``service.gateway``,
+version 4 lacked ``service.reshard``)::
 
     {
-      "schema_version": 4,
+      "schema_version": 5,
       "generated_at": <unix epoch seconds>,
       "environment": {"python": "...", "numpy": "...", "platform": "..."},
       "signal_sizes": [1000, 10000, 100000],
@@ -43,7 +44,13 @@ version 2 lacked ``service.sharded``, version 3 lacked ``service.gateway``)::
                                         "elapsed_seconds", "jobs_per_second",
                                         "flushes_per_second",
                                         "round_trip_p50_seconds",
-                                        "round_trip_p99_seconds"}}
+                                        "round_trip_p99_seconds"},
+                            "reshard": {"n_jobs", "n_flushes", "shard_path",
+                                        "reshards", "sessions_moved",
+                                        "sessions_moved_per_second",
+                                        "pause_p50_seconds",
+                                        "pause_p99_seconds",
+                                        "pause_total_seconds", "cpu_count"}}
       }
     }
 
@@ -392,6 +399,88 @@ def run_gateway_benchmark(
     }
 
 
+def run_reshard_benchmark(
+    *,
+    n_jobs: int = 64,
+    flushes_per_job: int = 5,
+    requests_per_flush: int = 16,
+    max_workers: int = 2,
+    sampling_frequency: float = 10.0,
+    shard_path: tuple[int, ...] = (2, 4, 1, 3, 2),
+    seed: int = 0,
+) -> dict:
+    """Measure live resharding: migration throughput and ingest pause.
+
+    Streams ``n_jobs`` concurrent jobs through a sharded service and walks
+    the shard count along ``shard_path`` between ingest rounds — every hop a
+    live :meth:`~repro.service.sharding.ShardedService.reshard` while the
+    sessions are warm.  Each hop's wall-clock duration is the *pause*: the
+    window during which frames for moving jobs are parked instead of served.
+    Reports the sessions-moved/second migration rate and the pause
+    distribution (p50/p99) — the ``service.reshard`` block of
+    ``BENCH_perf.json`` (schema v5).
+    """
+    from repro.core.config import FtioConfig
+    from repro.service import ServiceConfig, SessionConfig, ShardedService
+
+    if len(shard_path) < 2:
+        raise ValueError(f"shard_path needs at least one hop, got {shard_path!r}")
+    if len(shard_path) - 1 > flushes_per_job:
+        raise ValueError(
+            f"shard_path needs at most flushes_per_job={flushes_per_job} hops, "
+            f"got {len(shard_path) - 1}"
+        )
+    streams = synthetic_flush_streams(
+        n_jobs,
+        flushes_per_job=flushes_per_job,
+        requests_per_flush=requests_per_flush,
+        seed=seed,
+    )
+    config = ServiceConfig(
+        session=SessionConfig(
+            config=FtioConfig(
+                sampling_frequency=sampling_frequency,
+                use_autocorrelation=False,
+                compute_characterization=False,
+            )
+        ),
+        max_workers=max_workers,
+    )
+    service = ShardedService(shard_path[0], config)
+    pauses: list[float] = []
+    sessions_moved = 0
+    try:
+        for round_index in range(flushes_per_job):
+            for job, flushes in streams.items():
+                service.ingest_flush(job, flushes[round_index])
+            service.pump()
+            if round_index + 1 < len(shard_path):
+                started = time.perf_counter()
+                summary = service.reshard(shard_path[round_index + 1])
+                pauses.append(time.perf_counter() - started)
+                sessions_moved += summary["moved_sessions"]
+        service.drain()
+    finally:
+        service.close()
+
+    pause_array = np.asarray(pauses)
+    total_pause = float(pause_array.sum())
+    return {
+        "n_jobs": int(n_jobs),
+        "n_flushes": int(n_jobs * flushes_per_job),
+        "shard_path": [int(count) for count in shard_path],
+        "reshards": len(pauses),
+        "sessions_moved": int(sessions_moved),
+        "sessions_moved_per_second": (
+            float(sessions_moved / total_pause) if total_pause > 0 else 0.0
+        ),
+        "pause_p50_seconds": float(np.percentile(pause_array, 50.0)),
+        "pause_p99_seconds": float(np.percentile(pause_array, 99.0)),
+        "pause_total_seconds": total_pause,
+        "cpu_count": int(os.cpu_count() or 1),
+    }
+
+
 def run_sharded_scaling_benchmark(
     *,
     shard_counts: tuple[int, ...] = (1, 2, 4),
@@ -523,14 +612,16 @@ def run_perf_suite(
     }
 
     # Streaming service under 100+ concurrent jobs (jobs/sec, p99 latency),
-    # plus the multi-process scaling curve at shards = 1 / 2 / 4 and the
-    # TCP-gateway end-to-end throughput / round-trip latency.
+    # plus the multi-process scaling curve at shards = 1 / 2 / 4, the
+    # TCP-gateway end-to-end throughput / round-trip latency, and the live
+    # resharding migration rate / ingest-pause distribution.
     results["service"] = run_service_benchmark(seed=seed)
     results["service"]["sharded"] = run_sharded_scaling_benchmark(seed=seed)
     results["service"]["gateway"] = run_gateway_benchmark(seed=seed)
+    results["service"]["reshard"] = run_reshard_benchmark(seed=seed)
 
     return {
-        "schema_version": 4,
+        "schema_version": 5,
         "generated_at": int(time.time()),
         "environment": {
             "python": platform.python_version(),

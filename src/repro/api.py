@@ -76,7 +76,10 @@ class ReproConfig:
         Worker count of a process backend (``None`` = CPU count).
     shards:
         Worker shards of the service; 0 runs single-process, N >= 1 spawns a
-        :class:`~repro.service.sharding.ShardedService` of N subprocesses.
+        :class:`~repro.service.sharding.ShardedService` of N subprocesses
+        (the count is live-resizable afterwards — see
+        :meth:`~repro.service.sharding.ShardedService.reshard` and
+        :meth:`~repro.client.ServiceClient.resize`).
     replicas:
         Virtual nodes per shard on the consistent-hash ring.
     token:
@@ -236,10 +239,18 @@ def serve(
     owns an engine it built (closing the gateway closes it) but never an
     engine that was passed in.
 
+    For a sharded engine the shard count is only the *initial* topology:
+    it is mutable at runtime, locally via
+    :meth:`~repro.service.gateway.ThreadedGateway.resize` or from any
+    connected client via :meth:`~repro.client.ServiceClient.resize` — a
+    live, minimal-movement reshard (sessions migrate over the protocol-v2
+    chunked snapshot transfer; in-flight frames are parked and replayed).
+
     Use as a context manager::
 
         with api.serve(api.ReproConfig(shards=2)) as gateway:
             client = api.connect(gateway.address)
+            client.resize(4)          # grow the live service to 4 shards
     """
     from repro.service.gateway import ThreadedGateway
 

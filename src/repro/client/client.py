@@ -3,8 +3,8 @@
 :class:`ServiceClient` connects to a :class:`~repro.service.gateway.
 ServiceGateway`, performs the :class:`~repro.service.protocol.Hello` version
 negotiation, and then exposes the service's whole control surface as plain
-method calls: stream flushes in, pump, read stats, snapshot/restore, and
-subscribe to the live prediction stream.
+method calls: stream flushes in, pump, read stats, snapshot/restore, resize
+the shard topology, and subscribe to the live prediction stream.
 
 The conversation is strictly typed (:mod:`repro.service.protocol`); flush
 payloads travel as ordinary FTS1 frames inside
@@ -16,6 +16,15 @@ interleave with request/response pairs once :meth:`ServiceClient.subscribe`
 ran; the client transparently queues them, and :meth:`ServiceClient.
 predictions` / :meth:`ServiceClient.poll_predictions` hand them out in
 arrival order.
+
+Connection loss is handled per request: *idempotent* control calls
+(``stats``, ``snapshot``, ``subscribe``, ``finish_job``, ``resize``)
+transparently reconnect — a fresh socket, a fresh handshake, the
+subscription re-established — and retry once; calls whose effect on the
+server is unknowable after a drop (``submit``, ``pump``, ``drain``,
+``restore``) raise the typed
+:class:`~repro.exceptions.ConnectionLostError` instead of hanging or
+silently double-applying.
 """
 
 from __future__ import annotations
@@ -26,14 +35,27 @@ from collections import deque
 from collections.abc import Iterator, Sequence
 from typing import TypeVar
 
-from repro.exceptions import ProtocolError, ServiceError
+from repro.exceptions import ConnectionLostError, ProtocolError, ServiceError
 from repro.service import protocol as proto
 from repro.service.publisher import PredictionUpdate
 from repro.trace.framing import encode_frame
 from repro.trace.jsonl import FlushRecord
+from repro.trace.msgpack import packb
 
 #: Socket read size of the reply loop.
 _READ_CHUNK = 1 << 16
+
+#: Requests that are safe to repeat after a reconnect: re-running them
+#: against a server that already served the lost first attempt changes
+#: nothing (``ResizeShards`` to the same count is a no-op; ``Subscribe`` and
+#: ``FinishJob`` are naturally idempotent).
+_IDEMPOTENT: tuple[type[proto.Message], ...] = (
+    proto.Stats,
+    proto.Snapshot,
+    proto.Subscribe,
+    proto.FinishJob,
+    proto.ResizeShards,
+)
 
 R = TypeVar("R", bound=proto.Message)
 
@@ -53,6 +75,14 @@ class ServiceClient:
         Socket timeout in seconds for connecting and for every reply.
     name:
         Client name reported in the handshake (diagnostics).
+    versions:
+        Protocol versions to offer in the handshake (defaults to everything
+        this implementation speaks; pass ``(1,)`` to talk to — or test
+        against — a v1-only server).
+    reconnect:
+        Transparently reconnect and retry idempotent calls after a dropped
+        connection (one retry per call).  ``False`` makes every drop raise
+        :class:`~repro.exceptions.ConnectionLostError`.
 
     The client is a context manager; leaving the ``with`` block sends
     :class:`~repro.service.protocol.Close` and disconnects.
@@ -66,30 +96,78 @@ class ServiceClient:
         token: int | None = None,
         timeout: float = 30.0,
         name: str = "repro-client",
+        versions: Sequence[int] | None = None,
+        reconnect: bool = True,
     ) -> None:
+        self._host = host
+        self._port = int(port)
         self._token = token
         self._timeout = float(timeout)
+        self._name = name
+        self._versions: tuple[int, ...] = (
+            tuple(int(v) for v in versions) if versions is not None
+            else proto.SUPPORTED_VERSIONS
+        )
+        self._reconnect_enabled = bool(reconnect)
         self._decoder = proto.MessageDecoder()
         self._events: deque[PredictionUpdate] = deque()
         self._closed = False
-        self._sock = socket.create_connection((host, port), timeout=self._timeout)
+        self._subscribed = False
+        self._subscription_jobs: tuple[str, ...] | None = None
+        #: Number of transparent reconnects performed so far.
+        self.reconnects = 0
+        #: Negotiated control-plane protocol version.
+        self.protocol_version: int = 0
+        #: Server name from the handshake.
+        self.server: str = ""
+        #: Shard count of the engine behind the gateway (0 = single process).
+        self.shards: int = 0
+        self._sock = self._connect()
+
+    # ------------------------------------------------------------------ #
+    # connection management
+    # ------------------------------------------------------------------ #
+    def _connect(self) -> socket.socket:
+        self._decoder = proto.MessageDecoder()
+        sock = socket.create_connection((self._host, self._port), timeout=self._timeout)
+        self._sock = sock
         try:
-            reply = self._rpc(
-                proto.Hello(versions=proto.SUPPORTED_VERSIONS, token=token, client=name),
+            reply = self._rpc_once(
+                proto.Hello(versions=self._versions, token=self._token, client=self._name),
                 proto.HelloReply,
             )
         except BaseException:
             # A rejected handshake (wrong token, no common version) must not
             # leak the connected socket — __exit__/close are unreachable when
             # __init__ raises.
-            self._sock.close()
+            sock.close()
             raise
-        #: Negotiated control-plane protocol version.
-        self.protocol_version: int = reply.version
-        #: Server name from the handshake.
-        self.server: str = reply.server
-        #: Shard count of the engine behind the gateway (0 = single process).
-        self.shards: int = reply.shards
+        self.protocol_version = reply.version
+        self.server = reply.server
+        self.shards = reply.shards
+        return sock
+
+    def _reconnect(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        try:
+            self._connect()
+        except OSError as exc:
+            # The retry contract is typed end to end: a server that is gone
+            # (or still restarting) surfaces as ConnectionLostError, never
+            # as a raw socket error from inside the transparent retry.
+            raise ConnectionLostError(
+                f"reconnect to {self._host}:{self._port} failed: {exc}"
+            ) from exc
+        self.reconnects += 1
+        if self._subscribed:
+            # The push stream does not survive the old connection; restore
+            # it before the retried request so no gap goes unnoticed.
+            self._rpc_once(
+                proto.Subscribe(jobs=self._subscription_jobs), proto.SubscribeReply
+            )
 
     # ------------------------------------------------------------------ #
     # plumbing
@@ -97,27 +175,35 @@ class ServiceClient:
     def _send(self, message: proto.Message) -> None:
         if self._closed:
             raise ServiceError("client is closed")
-        self._sock.sendall(proto.encode_message(message))
+        try:
+            self._sock.sendall(proto.encode_message(message))
+        except OSError as exc:
+            raise ConnectionLostError(
+                f"connection lost while sending {type(message).__name__}: {exc}"
+            ) from exc
 
     def _read_message(self) -> proto.Message:
         """Next complete message from the stream (blocking, honors timeout)."""
         while True:
             for message in self._decoder.messages():
                 return message
-            data = self._sock.recv(_READ_CHUNK)
+            try:
+                data = self._sock.recv(_READ_CHUNK)
+            except TimeoutError:
+                raise
+            except OSError as exc:
+                raise ConnectionLostError(f"connection lost: {exc}") from exc
             if not data:
-                raise ProtocolError("server closed the connection")
+                raise ConnectionLostError("server closed the connection")
             self._decoder.feed(data)
 
-    def _rpc(self, request: proto.Message, reply_type: type[R]) -> R:
-        """Send one request and return its typed reply.
+    def _await_reply(self, reply_type: type[R], *, request_name: str) -> R:
+        """Read messages until the typed reply (queueing prediction events).
 
-        Prediction events arriving in between are queued, an
-        :class:`~repro.service.protocol.Error` reply raises
-        :class:`~repro.exceptions.ServiceError`, and any other message type
-        is a protocol violation.
+        An :class:`~repro.service.protocol.Error` reply raises
+        :class:`~repro.exceptions.ServiceError`; any other message type is a
+        protocol violation.
         """
-        self._send(request)
         while True:
             message = self._read_message()
             if isinstance(message, proto.PredictionEvent):
@@ -125,14 +211,37 @@ class ServiceClient:
                 continue
             if isinstance(message, proto.Error):
                 raise ServiceError(
-                    f"{type(request).__name__} failed ({message.code}): {message.message}"
+                    f"{request_name} failed ({message.code}): {message.message}"
                 )
             if isinstance(message, reply_type):
                 return message
             raise ProtocolError(
-                f"expected {reply_type.__name__} in reply to {type(request).__name__}, "
+                f"expected {reply_type.__name__} in reply to {request_name}, "
                 f"got {type(message).__name__}"
             )
+
+    def _rpc_once(self, request: proto.Message, reply_type: type[R]) -> R:
+        self._send(request)
+        return self._await_reply(reply_type, request_name=type(request).__name__)
+
+    def _rpc(self, request: proto.Message, reply_type: type[R]) -> R:
+        """Send one request and return its typed reply.
+
+        A connection drop mid-call reconnects and retries once when the
+        request is idempotent; otherwise the typed
+        :class:`~repro.exceptions.ConnectionLostError` propagates.
+        """
+        try:
+            return self._rpc_once(request, reply_type)
+        except ConnectionLostError:
+            if (
+                self._closed
+                or not self._reconnect_enabled
+                or not isinstance(request, _IDEMPOTENT)
+            ):
+                raise
+            self._reconnect()
+            return self._rpc_once(request, reply_type)
 
     # ------------------------------------------------------------------ #
     # data plane
@@ -174,12 +283,104 @@ class ServiceClient:
         """Service-wide counters of the engine behind the gateway."""
         return self._rpc(proto.Stats(), proto.StatsReply).stats
 
-    def snapshot(self) -> dict:
-        """Full service snapshot state (see :mod:`repro.service.snapshot`)."""
-        return self._rpc(proto.Snapshot(), proto.SnapshotReply).state
+    def resize(self, n_shards: int) -> dict:
+        """Live-reshard the engine to ``n_shards`` worker shards (protocol v2).
 
-    def restore(self, state: dict) -> int:
-        """Load a snapshot into the engine; returns the sessions restored."""
+        Returns a summary dict (``n_shards``, ``moved_sessions``,
+        ``moved_jobs``) and refreshes :attr:`shards`.  Safe to retry — and
+        therefore transparently retried after a connection drop: resizing to
+        a count the engine already has is a no-op.
+        """
+        if self.protocol_version < 2:
+            raise ServiceError(
+                f"the server negotiated protocol v{self.protocol_version}; "
+                f"resize requires v2"
+            )
+        reply = self._rpc(proto.ResizeShards(n_shards=n_shards), proto.ResizeShardsReply)
+        self.shards = reply.n_shards
+        return {
+            "n_shards": reply.n_shards,
+            "moved_sessions": reply.moved_sessions,
+            "moved_jobs": reply.moved_jobs,
+        }
+
+    # ------------------------------------------------------------------ #
+    # snapshot transfer
+    # ------------------------------------------------------------------ #
+    def snapshot(self, *, max_chunk: int | None = None) -> dict:
+        """Full service snapshot state (see :mod:`repro.service.snapshot`).
+
+        Against a v2 server the state travels as a bounded
+        :class:`~repro.service.protocol.SnapshotChunk` stream
+        (``max_chunk`` payload bytes each, default
+        :data:`~repro.service.protocol.DEFAULT_CHUNK_BYTES`) whenever it
+        exceeds one chunk; a v1 server replies with a single
+        :class:`~repro.service.protocol.SnapshotReply` and the client
+        accepts both shapes.
+        """
+        if self.protocol_version < 2:
+            return self._rpc(proto.Snapshot(), proto.SnapshotReply).state
+        request = proto.Snapshot(
+            max_chunk=(
+                max(1, int(max_chunk)) if max_chunk is not None else proto.DEFAULT_CHUNK_BYTES
+            )
+        )
+        try:
+            return self._collect_state(request)
+        except ConnectionLostError:
+            if self._closed or not self._reconnect_enabled:
+                raise
+            self._reconnect()
+            return self._collect_state(request)
+
+    def _collect_state(self, request: proto.Snapshot) -> dict:
+        self._send(request)
+        assembler = proto.ChunkAssembler(expected_kind="snapshot")
+        while True:
+            message = self._read_message()
+            if isinstance(message, proto.PredictionEvent):
+                self._events.append(PredictionUpdate.from_dict(message.update))
+                continue
+            if isinstance(message, proto.Error):
+                raise ServiceError(
+                    f"Snapshot failed ({message.code}): {message.message}"
+                )
+            if isinstance(message, proto.SnapshotReply):
+                if assembler.receiving:
+                    raise ProtocolError(
+                        "server interleaved a SnapshotReply into a chunk stream"
+                    )
+                return message.state
+            if isinstance(message, proto.SnapshotChunk):
+                state = assembler.feed(message)
+                if state is not None:
+                    return state
+                continue
+            raise ProtocolError(
+                f"unexpected {type(message).__name__} in reply to Snapshot"
+            )
+
+    def restore(self, state: dict, *, max_chunk: int | None = None) -> int:
+        """Load a snapshot into the engine; returns the sessions restored.
+
+        Against a v2 server a state larger than one chunk streams as
+        ``kind="restore"`` chunks; the final chunk triggers the apply and is
+        answered with a single :class:`~repro.service.protocol.RestoreReply`.
+        Not retried after a connection drop (whether the server applied the
+        state is unknowable) — :class:`~repro.exceptions.ConnectionLostError`
+        surfaces instead.
+        """
+        if self.protocol_version >= 2:
+            bound = max(1, int(max_chunk)) if max_chunk is not None else proto.DEFAULT_CHUNK_BYTES
+            packed = packb(state)
+            if len(packed) > bound:
+                for chunk in proto.iter_state_chunks(
+                    packed, kind="restore", max_chunk=bound
+                ):
+                    self._send(chunk)
+                return self._await_reply(
+                    proto.RestoreReply, request_name="Restore (chunked)"
+                ).restored
         return self._rpc(proto.Restore(state=state), proto.RestoreReply).restored
 
     # ------------------------------------------------------------------ #
@@ -192,11 +393,13 @@ class ServiceClient:
         queued as they arrive and handed out by :meth:`predictions` /
         :meth:`poll_predictions`.  A client that both subscribes and pumps
         sees each update twice (once pushed, once in the pump reply) — use
-        one mode or the other per connection.
+        one mode or the other per connection.  The subscription is
+        re-established automatically after a transparent reconnect.
         """
-        reply = self._rpc(
-            proto.Subscribe(jobs=None if jobs is None else tuple(jobs)), proto.SubscribeReply
-        )
+        job_filter = None if jobs is None else tuple(jobs)
+        reply = self._rpc(proto.Subscribe(jobs=job_filter), proto.SubscribeReply)
+        self._subscribed = True
+        self._subscription_jobs = job_filter
         return reply.subscription
 
     def _queue_updates(self, updates: tuple[dict, ...]) -> None:
@@ -216,7 +419,9 @@ class ServiceClient:
 
         Returns everything received (possibly more than ``min_events``, or
         fewer when the timeout strikes first).  Only useful on a subscribed
-        connection — without a subscription nothing ever arrives unasked.
+        connection — without a subscription nothing ever arrives unasked.  A
+        connection drop mid-poll reconnects (the subscription is restored)
+        and keeps waiting out the deadline.
         """
         deadline = time.monotonic() + timeout
         while len(self._events) < min_events:
@@ -226,10 +431,20 @@ class ServiceClient:
             self._sock.settimeout(remaining)
             try:
                 message = self._read_message()
-            except (socket.timeout, TimeoutError):
+            except TimeoutError:
                 break
+            except ConnectionLostError:
+                if self._closed or not (self._reconnect_enabled and self._subscribed):
+                    raise
+                self._reconnect()
+                continue
             finally:
-                self._sock.settimeout(self._timeout)
+                # After a *failed* reconnect the old socket is closed; the
+                # typed error in flight must not be masked by an EBADF here.
+                try:
+                    self._sock.settimeout(self._timeout)
+                except OSError:
+                    pass
             if isinstance(message, proto.PredictionEvent):
                 self._events.append(PredictionUpdate.from_dict(message.update))
             elif isinstance(message, proto.Error):
@@ -254,7 +469,7 @@ class ServiceClient:
         if self._closed:
             return
         try:
-            self._rpc(proto.Close(), proto.CloseReply)
+            self._rpc_once(proto.Close(), proto.CloseReply)
         except (OSError, ServiceError, ProtocolError):  # pragma: no cover - best effort
             pass
         self._closed = True

@@ -49,6 +49,16 @@ class ProtocolError(ServiceError):
     """A control-plane message violated the versioned wire protocol."""
 
 
+class ConnectionLostError(ServiceError):
+    """The control-plane connection dropped mid-conversation.
+
+    Raised by :class:`~repro.client.ServiceClient` when the TCP connection
+    dies during a request that is *not* safe to retry transparently (the
+    reply — and whether the server acted on the request at all — is
+    unknowable).  Idempotent calls reconnect and retry instead of raising.
+    """
+
+
 class ShardCrashedError(ServiceError):
     """A worker shard of the sharded service died (or its channel broke).
 

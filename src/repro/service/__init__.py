@@ -11,8 +11,9 @@ scheduler, closing the paper's Figure 17 loop end to end.
 Past one process, :class:`ShardedService` consistent-hashes jobs onto N
 worker shards — each a full service in its own subprocess fed over a
 socketpair of FTS1 frames — with a header-only router, aggregated stats,
-merged snapshot/restore, and crash recovery (see
-:mod:`repro.service.sharding`).  Where an evaluation runs is pluggable:
+merged snapshot/restore, crash recovery, and *elastic live resharding*
+(:meth:`ShardedService.reshard` grows or shrinks the topology mid-stream
+with minimal session movement; see :mod:`repro.service.sharding`).  Where an evaluation runs is pluggable:
 :class:`ThreadBackend` (default) or :class:`ProcessPoolBackend` for
 CPU-bound tenants (see :mod:`repro.service.backend`).
 
@@ -47,7 +48,9 @@ from repro.service.session import (
 from repro.service.sharding import HashRing, ShardedService
 from repro.service.snapshot import (
     apply_state,
+    extract_jobs,
     load_snapshot,
+    merge_into,
     merge_states,
     restore_state,
     save_snapshot,
@@ -80,8 +83,10 @@ __all__ = [
     "SessionConfig",
     "ThreadBackend",
     "apply_state",
+    "extract_jobs",
     "load_snapshot",
     "make_backend",
+    "merge_into",
     "merge_states",
     "restore_state",
     "run_detection_task",

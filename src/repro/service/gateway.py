@@ -42,6 +42,7 @@ from repro.exceptions import ProtocolError, ServiceError
 from repro.service import protocol as proto
 from repro.service.publisher import PredictionUpdate
 from repro.service.service import PredictionService
+from repro.trace.msgpack import packb
 
 #: Socket read size of the gateway's per-connection loop.
 _READ_CHUNK = 1 << 16
@@ -61,6 +62,11 @@ class _Connection:
         self.jobs: frozenset[str] | None = None
         self.events: asyncio.Queue[PredictionUpdate] = asyncio.Queue()
         self.sender: asyncio.Task | None = None
+        #: Version negotiated in this connection's Hello (v2 messages are
+        #: only ever sent to — or accepted from — a v2 peer).
+        self.version = proto.PROTOCOL_VERSION
+        #: Reassembles an inbound chunked state transfer (v2 restores).
+        self.assembler = proto.ChunkAssembler()
 
     async def send(self, message: proto.Message) -> None:
         async with self.write_lock:
@@ -248,6 +254,7 @@ class ServiceGateway:
                 proto.Error(message="tenant token mismatch", code="unauthorized")
             )
             raise _CloseConnection
+        connection.version = version
         await connection.send(
             proto.HelloReply(
                 version=version,
@@ -261,13 +268,20 @@ class ServiceGateway:
             reply = await self._dispatch(connection, message)
         except _CloseConnection:
             raise
+        except ProtocolError as exc:
+            # A torn chunk stream cannot be resynchronized mid-connection.
+            await connection.send(proto.Error(message=str(exc), code="protocol"))
+            raise _CloseConnection from exc
         except ServiceError as exc:
             reply = proto.Error(message=str(exc), code="service-error")
         except Exception as exc:  # engine-side failure: report, keep serving
             reply = proto.Error(message=f"{type(exc).__name__}: {exc}", code="internal")
-        await connection.send(reply)
+        for item in reply if isinstance(reply, list) else [reply]:
+            await connection.send(item)
 
-    async def _dispatch(self, connection: _Connection, message: proto.Message) -> proto.Message:
+    async def _dispatch(
+        self, connection: _Connection, message: proto.Message
+    ) -> proto.Message | list[proto.Message]:
         if isinstance(message, proto.SubmitFrames):
             data = message.data
             frames = await self._run_engine(lambda: self._engine.feed_bytes(data))
@@ -283,11 +297,61 @@ class ServiceGateway:
         if isinstance(message, proto.Stats):
             return proto.StatsReply(stats=await self._run_engine(self._engine.stats))
         if isinstance(message, proto.Snapshot):
-            return proto.SnapshotReply(state=await self._run_engine(self._engine.snapshot_state))
+            state = await self._run_engine(self._engine.snapshot_state)
+            if message.max_chunk is not None and connection.version >= 2:
+                max_chunk = message.max_chunk
+
+                def encode_chunks() -> list[proto.Message] | None:
+                    # Encoding a large state is exactly the work chunking
+                    # exists for — keep it off the event loop (no engine
+                    # lock needed; the state is already captured).
+                    packed = packb(state)
+                    if len(packed) <= max_chunk:
+                        return None
+                    return list(
+                        proto.iter_state_chunks(
+                            packed, kind="snapshot", max_chunk=max_chunk
+                        )
+                    )
+
+                assert self._loop is not None
+                chunks = await self._loop.run_in_executor(None, encode_chunks)
+                if chunks is not None:
+                    return chunks
+            return proto.SnapshotReply(state=state)
         if isinstance(message, proto.Restore):
             state = message.state
             await self._run_engine(lambda: self._engine.restore_state(state))
             return proto.RestoreReply(restored=len(state.get("sessions", ())))
+        if isinstance(message, proto.SnapshotChunk):
+            if connection.version < 2:
+                return proto.Error(
+                    message="chunked snapshot transfer requires protocol version >= 2",
+                    code="protocol",
+                )
+            if not connection.assembler.receiving and message.kind != "restore":
+                return proto.Error(
+                    message=f"the gateway only accepts 'restore' chunk streams, "
+                    f"got {message.kind!r}",
+                    code="unsupported",
+                )
+            state = connection.assembler.feed(message)
+            if state is None:
+                return []
+            await self._run_engine(lambda: self._engine.restore_state(state))
+            return proto.RestoreReply(restored=len(state.get("sessions", ())))
+        if isinstance(message, proto.ResizeShards):
+            if connection.version < 2:
+                return proto.Error(
+                    message="ResizeShards requires protocol version >= 2", code="protocol"
+                )
+            n_shards = message.n_shards
+            summary = await self._run_engine(lambda: self._reshard_engine(n_shards))
+            return proto.ResizeShardsReply(
+                n_shards=int(getattr(self._engine, "n_shards", 0)),
+                moved_sessions=int(summary["moved_sessions"]),
+                moved_jobs=tuple(summary["moved_jobs"]),
+            )
         if isinstance(message, proto.FinishJob):
             job = message.job
             await self._run_engine(lambda: self._engine.finish_job(job))
@@ -313,6 +377,19 @@ class ServiceGateway:
         assert self._loop is not None and self._engine_lock is not None
         async with self._engine_lock:
             return await self._loop.run_in_executor(None, fn)
+
+    def _reshard_engine(self, n_shards: int) -> dict:
+        reshard = getattr(self._engine, "reshard", None)
+        if reshard is None:
+            raise ServiceError(
+                "the engine is single-process; live resharding requires a "
+                "sharded deployment (serve with shards >= 1)"
+            )
+        return reshard(n_shards)
+
+    async def resize(self, n_shards: int) -> dict:
+        """Live-reshard the engine to ``n_shards`` (serialized like any call)."""
+        return await self._run_engine(lambda: self._reshard_engine(n_shards))
 
     def _pump_engine(self) -> int:
         if isinstance(self._engine, PredictionService):
@@ -428,6 +505,23 @@ class ThreadedGateway:
         self._ready.set()
         await self._stop.wait()
         await gateway.stop()
+
+    def resize(self, n_shards: int) -> dict:
+        """Live-reshard the served engine to ``n_shards`` worker shards.
+
+        The reshard runs on the gateway's event loop behind the same engine
+        lock every client request takes, so it never interleaves with an
+        in-flight ``pump``/``snapshot`` — in-progress client calls finish,
+        then the topology changes, then traffic resumes.  Returns the
+        :meth:`~repro.service.sharding.ShardedService.reshard` summary.
+        Raises :class:`~repro.exceptions.ServiceError` for a single-process
+        engine (serve with ``shards >= 1`` to make the topology mutable).
+        """
+        assert self._gateway is not None and self._loop is not None, "gateway not started"
+        future = asyncio.run_coroutine_threadsafe(
+            self._gateway.resize(n_shards), self._loop
+        )
+        return future.result()
 
     def close(self) -> None:
         """Stop the server, join the thread, optionally close the engine."""

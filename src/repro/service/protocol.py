@@ -21,7 +21,17 @@ versions it speaks, the serving side picks the highest common one
 (:func:`negotiate_version`) and answers with :class:`HelloReply` — or an
 :class:`Error` when no common version exists, so an incompatible peer is
 rejected cleanly instead of mis-parsed.  :data:`PROTOCOL_VERSION` is the
-current (and so far only) version.
+current version.
+
+Version 2 adds *chunked snapshot transfer* and *elastic resharding*: large
+snapshot states travel as a stream of bounded :class:`SnapshotChunk`
+messages instead of one giant body (:func:`iter_state_chunks` /
+:class:`ChunkAssembler`), a peer can ask a serving side to stream its
+snapshot back chunked (``Snapshot.max_chunk``), per-job session state moves
+between shards via :class:`ExtractJobs`, and :class:`ResizeShards` drives a
+live :meth:`~repro.service.sharding.ShardedService.reshard`.  All of it is
+Hello-negotiated: against a version-1 peer none of the new messages are
+sent, so v1 clients keep working against a v2 server and vice versa.
 
 Data-plane payloads do not travel here: flush frames keep their FTS1 wire
 format (:mod:`repro.trace.framing`) and ride inside :class:`SubmitFrames`
@@ -42,13 +52,19 @@ from repro.trace.msgpack import packb, unpackb
 #: First bytes of every control-plane envelope.
 PROTOCOL_MAGIC = b"FTC1"
 #: Current control-plane protocol version.
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 #: Every version this implementation can speak.
-SUPPORTED_VERSIONS: tuple[int, ...] = (1,)
+SUPPORTED_VERSIONS: tuple[int, ...] = (1, 2)
 #: Upper bound on one message body; a corrupt length field must never make a
 #: reader wait for gigabytes that will not arrive.  Snapshots are the largest
 #: messages (bounded session buffers), far below this.
 MAX_MESSAGE_BYTES = 1 << 30
+#: Default payload size of one v2 :class:`SnapshotChunk`.
+DEFAULT_CHUNK_BYTES = 256 * 1024
+#: Hard upper bound on one chunk's payload — the whole point of chunking is
+#: that no single control message is ever huge, so the bound is enforced at
+#: decode time too.
+MAX_CHUNK_BYTES = 8 * 1024 * 1024
 
 _ENVELOPE = struct.Struct(">4sBI")
 
@@ -70,6 +86,17 @@ class Message:
 
 def _opt_int(value: Any) -> int | None:
     return None if value is None else int(value)
+
+
+def _opt_chunk_bound(value: Any) -> int | None:
+    # A degenerate bound (0, negative) would make the serving side stream a
+    # state as one envelope per byte — reject it at decode time instead.
+    if value is None:
+        return None
+    bound = int(value)
+    if bound < 1:
+        raise ProtocolError(f"max_chunk must be >= 1, got {bound}")
+    return bound
 
 
 def _str_tuple(value: Any) -> tuple[str, ...]:
@@ -282,13 +309,24 @@ class StatsReply(Message):
 
 @dataclass(frozen=True)
 class Snapshot(Message):
-    """Capture the full service state (see :mod:`repro.service.snapshot`)."""
+    """Capture the full service state (see :mod:`repro.service.snapshot`).
+
+    ``max_chunk`` (protocol >= 2) asks the serving side to stream the state
+    back as :class:`SnapshotChunk` messages of at most that many payload
+    bytes when the encoded state exceeds it; a version-1 peer ignores the
+    field (its decoder only reads the keys it knows) and replies with a
+    plain :class:`SnapshotReply`, so the requester must accept both shapes.
+    """
 
     expected_bytes: int | None = None
+    max_chunk: int | None = None
 
     @classmethod
     def from_payload(cls, payload: Mapping) -> "Snapshot":
-        return cls(expected_bytes=_opt_int(payload.get("expected_bytes")))
+        return cls(
+            expected_bytes=_opt_int(payload.get("expected_bytes")),
+            max_chunk=_opt_chunk_bound(payload.get("max_chunk")),
+        )
 
 
 @dataclass(frozen=True)
@@ -365,6 +403,120 @@ class PredictionEvent(Message):
         return cls(update=_require_dict(payload["update"], "update"))
 
 
+# --------------------------------------------------------------------- #
+# protocol version 2: chunked snapshot transfer and elastic resharding
+# --------------------------------------------------------------------- #
+#: Valid ``SnapshotChunk.kind`` discriminators.  ``snapshot`` and ``extract``
+#: flow from the serving side (chunked replies to :class:`Snapshot` /
+#: :class:`ExtractJobs`); ``restore`` and ``merge`` flow *to* it (the final
+#: chunk triggers the apply and is answered with :class:`RestoreReply`) —
+#: ``restore`` replaces the publisher state, ``merge`` folds the carried
+#: sessions into a running service without touching other jobs (the
+#: resharding migration path).
+CHUNK_KINDS: tuple[str, ...] = ("snapshot", "extract", "restore", "merge")
+
+
+@dataclass(frozen=True)
+class SnapshotChunk(Message):
+    """One bounded slice of a msgpack-encoded snapshot state (protocol >= 2).
+
+    A transfer is a ``seq = 0, 1, ...`` ordered run of chunks of one
+    ``kind``; ``last=True`` marks the final chunk, after which the
+    concatenated ``data`` decodes to one snapshot-state map
+    (:class:`ChunkAssembler` does the bookkeeping).  Non-final chunks are
+    never individually acknowledged — the stream rides an ordered,
+    flow-controlled channel, and only the completed transfer gets a reply.
+    """
+
+    kind: str
+    seq: int
+    data: bytes
+    last: bool = False
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "SnapshotChunk":
+        kind = str(payload["kind"])
+        if kind not in CHUNK_KINDS:
+            raise ProtocolError(f"unknown snapshot-chunk kind {kind!r}")
+        data = payload["data"]
+        if not isinstance(data, (bytes, bytearray)):
+            raise ProtocolError(f"chunk data must be binary, got {type(data).__name__}")
+        if len(data) > MAX_CHUNK_BYTES:
+            raise ProtocolError(
+                f"snapshot chunk of {len(data)} bytes exceeds the {MAX_CHUNK_BYTES}-byte bound"
+            )
+        seq = int(payload["seq"])
+        if seq < 0:
+            raise ProtocolError(f"chunk seq must be >= 0, got {seq}")
+        return cls(kind=kind, seq=seq, data=bytes(data), last=bool(payload.get("last", False)))
+
+
+@dataclass(frozen=True)
+class ResizeShards(Message):
+    """Live-reshard the serving engine to ``n_shards`` worker shards."""
+
+    n_shards: int
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "ResizeShards":
+        n_shards = int(payload["n_shards"])
+        if n_shards < 1:
+            raise ProtocolError(f"n_shards must be >= 1, got {n_shards}")
+        return cls(n_shards=n_shards)
+
+
+@dataclass(frozen=True)
+class ResizeShardsReply(Message):
+    """The reshard finished: the new topology plus what the migration moved."""
+
+    n_shards: int
+    moved_sessions: int = 0
+    moved_jobs: tuple[str, ...] = ()
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "ResizeShardsReply":
+        return cls(
+            n_shards=int(payload["n_shards"]),
+            moved_sessions=int(payload.get("moved_sessions", 0)),
+            moved_jobs=_str_tuple(payload.get("moved_jobs", ())),
+        )
+
+
+@dataclass(frozen=True)
+class ExtractJobs(Message):
+    """Capture *and remove* the given jobs' sessions (the migration source).
+
+    The serving side drains its data plane to ``expected_bytes`` first (the
+    same two-plane re-ordering every state-bearing request uses), captures
+    the listed jobs' session + publisher state, forgets them, and replies
+    with :class:`ExtractJobsReply` — or, when ``max_chunk`` is set and the
+    encoded state exceeds it, with a ``kind="extract"`` chunk stream.
+    """
+
+    jobs: tuple[str, ...]
+    expected_bytes: int | None = None
+    max_chunk: int | None = None
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "ExtractJobs":
+        return cls(
+            jobs=_str_tuple(payload["jobs"]),
+            expected_bytes=_opt_int(payload.get("expected_bytes")),
+            max_chunk=_opt_chunk_bound(payload.get("max_chunk")),
+        )
+
+
+@dataclass(frozen=True)
+class ExtractJobsReply(Message):
+    """The extracted (and now removed) per-job state."""
+
+    state: dict
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "ExtractJobsReply":
+        return cls(state=_require_dict(payload["state"], "state"))
+
+
 @dataclass(frozen=True)
 class Close(Message):
     """End the conversation (and, on a shard pipe, shut the shard down)."""
@@ -412,6 +564,12 @@ MESSAGE_TYPES: dict[int, type[Message]] = {
     20: FinishJobReply,
     21: Close,
     22: CloseReply,
+    # --- protocol version 2 ------------------------------------------- #
+    23: SnapshotChunk,
+    24: ResizeShards,
+    25: ResizeShardsReply,
+    26: ExtractJobs,
+    27: ExtractJobsReply,
 }
 _TYPE_CODES: dict[type[Message], int] = {cls: code for code, cls in MESSAGE_TYPES.items()}
 
@@ -447,6 +605,98 @@ def decode_message(data: bytes) -> Message:
     if len(messages) > 1:
         raise ProtocolError(f"expected exactly one message, got {len(messages)}")
     return messages[0]
+
+
+def iter_state_chunks(
+    state: Mapping | bytes,
+    *,
+    kind: str,
+    max_chunk: int = DEFAULT_CHUNK_BYTES,
+) -> Iterator[SnapshotChunk]:
+    """Slice one snapshot state into an ordered :class:`SnapshotChunk` run.
+
+    ``state`` is either the state map itself or its already msgpack-encoded
+    bytes (the callers that must decide *whether* to chunk encode once and
+    pass the bytes).  Yields at least one chunk; the final one has
+    ``last=True``.
+    """
+    if kind not in CHUNK_KINDS:
+        raise ProtocolError(f"unknown snapshot-chunk kind {kind!r}")
+    if not isinstance(state, (bytes, bytearray)):
+        state = packb(dict(state))
+    payload = bytes(state)
+    max_chunk = max(1, min(int(max_chunk), MAX_CHUNK_BYTES))
+    total = len(payload)
+    seq = 0
+    offset = 0
+    while True:
+        piece = payload[offset : offset + max_chunk]
+        offset += len(piece)
+        yield SnapshotChunk(kind=kind, seq=seq, data=piece, last=offset >= total)
+        if offset >= total:
+            return
+        seq += 1
+
+
+class ChunkAssembler:
+    """Reassemble one :class:`SnapshotChunk` run back into a state map.
+
+    Feed chunks in arrival order; :meth:`feed` returns ``None`` until the
+    ``last`` chunk lands, then the decoded state dict.  Out-of-order
+    sequence numbers, a kind change mid-transfer, or an undecodable body all
+    raise :class:`~repro.exceptions.ProtocolError` — a receiver can reject
+    the peer instead of applying a torn state.
+    """
+
+    def __init__(self, *, expected_kind: str | None = None) -> None:
+        self._expected_kind = expected_kind
+        self._kind: str | None = None
+        self._next_seq = 0
+        self._parts: list[bytes] = []
+
+    @property
+    def receiving(self) -> bool:
+        """Whether a transfer is in progress (chunks fed, no ``last`` yet)."""
+        return bool(self._parts)
+
+    @property
+    def kind(self) -> str | None:
+        """Kind of the in-progress transfer (``None`` between transfers)."""
+        return self._kind
+
+    def feed(self, chunk: SnapshotChunk) -> dict | None:
+        """Accept the next chunk; returns the decoded state when complete."""
+        if self._expected_kind is not None and chunk.kind != self._expected_kind:
+            raise ProtocolError(
+                f"expected {self._expected_kind!r} snapshot chunks, got {chunk.kind!r}"
+            )
+        if self._kind is None:
+            self._kind = chunk.kind
+        elif chunk.kind != self._kind:
+            raise ProtocolError(
+                f"snapshot-chunk kind changed mid-transfer ({self._kind!r} -> {chunk.kind!r})"
+            )
+        if chunk.seq != self._next_seq:
+            raise ProtocolError(
+                f"snapshot chunk out of order: expected seq {self._next_seq}, got {chunk.seq}"
+            )
+        self._next_seq += 1
+        self._parts.append(chunk.data)
+        if not chunk.last:
+            return None
+        payload = b"".join(self._parts)
+        self._kind = None
+        self._next_seq = 0
+        self._parts = []
+        try:
+            state = unpackb(payload)
+        except Exception as exc:
+            raise ProtocolError(f"undecodable chunked snapshot state: {exc}") from exc
+        if not isinstance(state, dict):
+            raise ProtocolError(
+                f"chunked snapshot state must be a map, got {type(state).__name__}"
+            )
+        return state
 
 
 class MessageDecoder:

@@ -36,6 +36,18 @@ surfacing during :meth:`ShardedService.pump` or :meth:`~ShardedService.
 drain` triggers :meth:`~ShardedService.revive_shard` from the last snapshot
 taken through :meth:`~ShardedService.snapshot_state` (bounded by
 ``ServiceConfig.revive_budget``), and the pump is retried.
+
+The topology itself is elastic: :meth:`ShardedService.reshard` grows or
+shrinks the shard count *live*.  Because the hash ring is consistent, only
+the jobs whose arc changed owner move; their sessions are extracted from the
+source shards (:class:`~repro.service.protocol.ExtractJobs` — capture and
+remove in one drained step), carried over the protocol-v2 chunked snapshot
+transfer (:class:`~repro.service.protocol.SnapshotChunk`), and merged into
+their new owners, while any frame arriving for a moving job is parked in a
+per-job migration buffer and replayed — in arrival order — once the handover
+finished.  The end state is bit-identical to having ingested the same stream
+at the target shard count from scratch (``tests/service/test_resharding.py``
+asserts this under chaotic interleavings, kill -9 included).
 """
 
 from __future__ import annotations
@@ -47,7 +59,7 @@ import selectors
 import socket
 import warnings
 from bisect import bisect_right
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from hashlib import blake2b
 from pathlib import Path
 from struct import unpack
@@ -58,6 +70,7 @@ import numpy as np
 from repro.exceptions import ProtocolError, ServiceError, ShardCrashedError
 from repro.trace.framing import FrameReader, FrameSplitter, RawFrame, encode_frame
 from repro.trace.jsonl import FlushRecord
+from repro.trace.msgpack import packb
 
 from repro.service import protocol as proto
 from repro.service.broker import BrokerStats
@@ -72,6 +85,8 @@ from repro.service.service import (
 from repro.service.snapshot import (
     apply_state,
     check_snapshot_version,
+    extract_service_jobs,
+    merge_into,
     merge_states,
     snapshot_state,
     split_state,
@@ -107,6 +122,12 @@ class HashRing:
         for shard in range(self.n_shards):
             for replica in range(self.replicas):
                 points.append((self._hash(f"shard-{shard}-replica-{replica}"), shard))
+        # (hash, shard) tuples sort lexicographically: equal hash points
+        # (rare but possible) tie-break on the shard index, so the ring
+        # layout — and therefore every reshard's moved-job set — is
+        # identical across processes, Python hash seeds (PYTHONHASHSEED),
+        # and grow -> shrink -> grow cycles
+        # (tests/service/test_resharding.py pins this in subprocesses).
         points.sort()
         self._hashes = [h for h, _ in points]
         self._owners = [s for _, s in points]
@@ -172,63 +193,120 @@ def _shard_main(index: int, config: ServiceConfig, data_sock: socket.socket, con
             select.select([data_sock], [], [])
             read_available()
 
-    def handle(request: proto.Message) -> tuple[proto.Message, bool]:
+    def state_replies(
+        state: dict, max_chunk: int | None, single: type, kind: str
+    ) -> list[proto.Message]:
+        # One plain reply when it fits (or the peer did not negotiate
+        # chunking); a bounded chunk stream otherwise.
+        packed = packb(state)
+        if max_chunk is None or len(packed) <= max_chunk:
+            return [single(state=state)]
+        return list(proto.iter_state_chunks(packed, kind=kind, max_chunk=max_chunk))
+
+    assembler = proto.ChunkAssembler()
+
+    def handle(request: proto.Message) -> tuple[list[proto.Message], bool]:
         if isinstance(request, proto.Hello):
             version = proto.negotiate_version(request.versions)
             if version is None:
                 return (
-                    proto.Error(
-                        message=(
-                            f"no common protocol version (shard speaks "
-                            f"{proto.SUPPORTED_VERSIONS}, peer offered {request.versions})"
-                        ),
-                        code="unsupported-version",
-                    ),
+                    [
+                        proto.Error(
+                            message=(
+                                f"no common protocol version (shard speaks "
+                                f"{proto.SUPPORTED_VERSIONS}, peer offered {request.versions})"
+                            ),
+                            code="unsupported-version",
+                        )
+                    ],
                     False,
                 )
-            return proto.HelloReply(version=version, server=f"prediction-shard-{index}"), False
+            return (
+                [proto.HelloReply(version=version, server=f"prediction-shard-{index}")],
+                False,
+            )
         if isinstance(request, proto.Pump):
             sync_to(request.expected_bytes)
             submitted = service.pump(wait_for_batch=True)
             service.dispatcher.join()
-            return proto.PumpReply(submitted=submitted, updates=drain_updates()), False
+            return [proto.PumpReply(submitted=submitted, updates=drain_updates())], False
         if isinstance(request, proto.Drain):
             sync_to(request.expected_bytes)
             service.drain()
-            return proto.DrainReply(updates=drain_updates()), False
+            return [proto.DrainReply(updates=drain_updates())], False
         if isinstance(request, proto.Stats):
             broker = service.broker.stats
             dispatch = service.dispatcher.stats
             return (
-                proto.StatsReply(
-                    stats={
-                        "service": service.stats(),
-                        "broker": vars(broker),
-                        "dispatcher": vars(dispatch),
-                        "jobs": list(service.jobs),
-                        "latencies": list(service.dispatcher.latencies()),
-                        "bytes_received": bytes_received,
-                    }
-                ),
+                [
+                    proto.StatsReply(
+                        stats={
+                            "service": service.stats(),
+                            "broker": vars(broker),
+                            "dispatcher": vars(dispatch),
+                            "jobs": list(service.jobs),
+                            "latencies": list(service.dispatcher.latencies()),
+                            "bytes_received": bytes_received,
+                        }
+                    )
+                ],
                 False,
             )
         if isinstance(request, proto.Snapshot):
             sync_to(request.expected_bytes)
-            return proto.SnapshotReply(state=snapshot_state(service)), False
+            return (
+                state_replies(
+                    snapshot_state(service), request.max_chunk, proto.SnapshotReply, "snapshot"
+                ),
+                False,
+            )
+        if isinstance(request, proto.ExtractJobs):
+            # The migration source: drain the data plane up to the router's
+            # mark, then capture-and-remove the moving jobs in one step.
+            sync_to(request.expected_bytes)
+            state = extract_service_jobs(service, request.jobs)
+            return (
+                state_replies(state, request.max_chunk, proto.ExtractJobsReply, "extract"),
+                False,
+            )
+        if isinstance(request, proto.SnapshotChunk):
+            kind = request.kind
+            state = assembler.feed(request)
+            if state is None:
+                # Mid-transfer chunks ride the ordered pipe unacknowledged;
+                # only the completed transfer gets a reply.
+                return [], False
+            if kind == "merge":
+                merge_into(service, state)
+            elif kind == "restore":
+                apply_state(service, state)
+            else:
+                return (
+                    [
+                        proto.Error(
+                            message=f"cannot apply a {kind!r} chunk stream to a shard",
+                            code="protocol",
+                        )
+                    ],
+                    False,
+                )
+            return [proto.RestoreReply(restored=len(state["sessions"]))], False
         if isinstance(request, proto.Restore):
             apply_state(service, request.state)
-            return proto.RestoreReply(restored=len(request.state["sessions"])), False
+            return [proto.RestoreReply(restored=len(request.state["sessions"]))], False
         if isinstance(request, proto.FinishJob):
             service.finish_job(request.job)
-            return proto.FinishJobReply(job=request.job), False
+            return [proto.FinishJobReply(job=request.job)], False
         if isinstance(request, proto.Close):
             service.close()
-            return proto.CloseReply(), True
+            return [proto.CloseReply()], True
         return (
-            proto.Error(
-                message=f"unsupported shard control message {type(request).__name__}",
-                code="unsupported",
-            ),
+            [
+                proto.Error(
+                    message=f"unsupported shard control message {type(request).__name__}",
+                    code="unsupported",
+                )
+            ],
             False,
         )
 
@@ -256,8 +334,9 @@ def _shard_main(index: int, config: ServiceConfig, data_sock: socket.socket, con
                     )
                     continue
                 try:
-                    response, done = handle(request)
-                    control.send_bytes(proto.encode_message(response))
+                    responses, done = handle(request)
+                    for response in responses:
+                        control.send_bytes(proto.encode_message(response))
                 except Exception as exc:  # surface shard-side errors to the router
                     control.send_bytes(
                         proto.encode_message(
@@ -270,6 +349,24 @@ def _shard_main(index: int, config: ServiceConfig, data_sock: socket.socket, con
         selector.close()
         data_sock.close()
         control.close()
+
+
+@dataclass
+class _Migration:
+    """In-flight reshard: the two rings plus the per-job parking buffer.
+
+    While a reshard runs, any frame whose job changes owner between
+    ``old_ring`` and ``new_ring`` is *parked* (in arrival order) instead of
+    routed; after the handover the router replays the buffer against the new
+    topology, so a moving job's stream is never split across two owners.
+    """
+
+    old_ring: HashRing
+    new_ring: HashRing
+    parked: list[RawFrame] = field(default_factory=list)
+
+    def moves(self, job: str) -> bool:
+        return self.old_ring.shard_for(job) != self.new_ring.shard_for(job)
 
 
 @dataclass
@@ -341,6 +438,14 @@ class ShardedService:
         self._last_snapshot: dict | None = None
         self._snapshot_positions: dict[Path, dict] = {}
         self._auto_revives = 0
+        # Jobs routed to each shard so far — the router knows every job id
+        # from the frame headers it forwards, so a reshard can compute the
+        # moving set without a stats round trip (and without trusting a
+        # shard that may still be draining its socket).
+        self._jobs_by_shard: list[set[str]] = [set() for _ in range(n_shards)]
+        self._migration: _Migration | None = None
+        self._reshards = 0
+        self._sessions_moved = 0
         self._shards = [self._spawn(index) for index in range(n_shards)]
 
     # ------------------------------------------------------------------ #
@@ -432,7 +537,8 @@ class ShardedService:
         self._shards[index] = self._spawn(index)
         if state is not None:
             per_shard = split_state(state, self.ring.shard_for, self.n_shards)
-            self._request(self._shards[index], proto.Restore(state=per_shard[index]))
+            self._send_state(self._shards[index], per_shard[index], kind="restore")
+            self._jobs_by_shard[index].update(self._state_jobs(per_shard[index]))
             # Merge (not replace): surviving shards have published past the
             # snapshot, only the revived shard's jobs roll back to it.
             self.publisher.merge_state_dict(per_shard[index]["publisher"])
@@ -531,15 +637,23 @@ class ShardedService:
         self, job: str, flush: FlushRecord, *, payload_format: str = "msgpack"
     ) -> int:
         """Encode one flush as a frame and route it; returns the shard index."""
-        index = self.ring.shard_for(job)
         frame = encode_frame(flush, job=job, payload_format=payload_format, token=self._token)
-        self._send_raw(self._shards[index], frame)
-        return index
+        return self.route_raw(RawFrame(job=job, data=frame, token=self._token))
 
     def route_raw(self, frame: RawFrame) -> int:
-        """Route one already-framed message; returns the shard index."""
+        """Route one already-framed message; returns the shard index.
+
+        During a live reshard, a frame whose job is changing owner is parked
+        in the migration buffer (and replayed after the handover); the
+        returned index is then the job's *new* owner.
+        """
+        migration = self._migration
+        if migration is not None and migration.moves(frame.job):
+            migration.parked.append(frame)
+            return migration.new_ring.shard_for(frame.job)
         index = self.ring.shard_for(frame.job)
         self._send_raw(self._shards[index], frame.data)
+        self._jobs_by_shard[index].add(frame.job)
         return index
 
     def feed_bytes(self, data: bytes) -> int:
@@ -601,21 +715,97 @@ class ShardedService:
     # ------------------------------------------------------------------ #
     # control plane
     # ------------------------------------------------------------------ #
-    def _request(self, shard: _Shard, message: proto.Message) -> proto.Message:
+    def _control_send(self, shard: _Shard, message: proto.Message) -> None:
         if not shard.alive:
             raise ShardCrashedError(shard.index)
         try:
             shard.control.send_bytes(proto.encode_message(message))
-            response = proto.decode_message(shard.control.recv_bytes())
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            shard.dead = True
+            raise ShardCrashedError(shard.index, f"shard {shard.index}: {exc}") from exc
+
+    def _control_recv(self, shard: _Shard) -> proto.Message:
+        try:
+            return proto.decode_message(shard.control.recv_bytes())
         except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
             shard.dead = True
             raise ShardCrashedError(shard.index, f"shard {shard.index}: {exc}") from exc
+
+    def _request(self, shard: _Shard, message: proto.Message) -> proto.Message:
+        self._control_send(shard, message)
+        response = self._control_recv(shard)
         if isinstance(response, proto.Error):
             raise ServiceError(
                 f"shard {shard.index} control request {type(message).__name__} failed: "
                 f"{response.message}"
             )
         return response
+
+    def _collect_state(self, shard: _Shard) -> dict:
+        """Read one state-bearing reply: a plain reply or a v2 chunk stream."""
+        assembler = proto.ChunkAssembler()
+        while True:
+            response = self._control_recv(shard)
+            if isinstance(response, proto.Error):
+                raise ServiceError(
+                    f"shard {shard.index} state request failed: {response.message}"
+                )
+            if isinstance(response, proto.SnapshotChunk):
+                try:
+                    state = assembler.feed(response)
+                except ProtocolError:
+                    # A torn chunk stream cannot be resynchronized on the
+                    # pipe; the shard is unusable from here on.
+                    shard.dead = True
+                    raise
+                if state is not None:
+                    return state
+                continue
+            if isinstance(response, (proto.SnapshotReply, proto.ExtractJobsReply)):
+                if assembler.receiving:
+                    shard.dead = True
+                    raise ProtocolError(
+                        f"shard {shard.index} interleaved a "
+                        f"{type(response).__name__} into a chunk stream"
+                    )
+                return response.state
+            shard.dead = True
+            raise ProtocolError(
+                f"unexpected {type(response).__name__} from shard {shard.index} "
+                f"while collecting a snapshot state"
+            )
+
+    def _request_state(self, shard: _Shard, message: proto.Message) -> dict:
+        """Send one state-returning request and collect its (chunked) reply."""
+        self._control_send(shard, message)
+        return self._collect_state(shard)
+
+    def _send_state(self, shard: _Shard, state: dict, *, kind: str) -> proto.Message:
+        """Push one snapshot state into a shard (chunked on v2 pipes).
+
+        ``kind`` is ``"restore"`` (replace, the revive/restore path) or
+        ``"merge"`` (fold in without touching resident jobs, the migration
+        path).  A version-1 shard only understands the plain
+        :class:`~repro.service.protocol.Restore` form, which has replace
+        semantics — merging into a v1 peer is a protocol error.
+        """
+        if shard.protocol_version >= 2:
+            for chunk in proto.iter_state_chunks(
+                packb(state), kind=kind, max_chunk=proto.DEFAULT_CHUNK_BYTES
+            ):
+                self._control_send(shard, chunk)
+            response = self._control_recv(shard)
+            if isinstance(response, proto.Error):
+                raise ServiceError(
+                    f"shard {shard.index} {kind} transfer failed: {response.message}"
+                )
+            return response
+        if kind != "restore":
+            raise ProtocolError(
+                f"shard {shard.index} negotiated protocol v{shard.protocol_version}, "
+                f"which cannot carry a {kind!r} state transfer"
+            )
+        return self._request(shard, proto.Restore(state=state))
 
     def _broadcast(
         self,
@@ -668,6 +858,44 @@ class ShardedService:
         if op_errors:
             raise ServiceError("; ".join(op_errors))
         return responses
+
+    def _broadcast_states(
+        self, make_message: Callable[[_Shard], proto.Message]
+    ) -> list[dict]:
+        """Send a state-returning request to every live shard, collect states.
+
+        Requests are written before any reply is collected (the shards
+        serialize their states in parallel), and — like :meth:`_broadcast` —
+        every shard that was sent the request gets its reply consumed before
+        anything raises, so surviving pipes stay request/response-aligned.
+        """
+        live = [s for s in self._shards if s.alive]
+        crashes: list[ShardCrashedError] = []
+        op_errors: list[str] = []
+        sent: list[_Shard] = []
+        for shard in live:
+            try:
+                self._control_send(shard, make_message(shard))
+            except ShardCrashedError as crash:
+                crashes.append(crash)
+                continue
+            sent.append(shard)
+        states: list[dict] = []
+        for shard in sent:
+            try:
+                states.append(self._collect_state(shard))
+            except ShardCrashedError as crash:
+                crashes.append(crash)
+            except ServiceError as exc:
+                if shard.alive:
+                    op_errors.append(str(exc))
+                else:
+                    crashes.append(ShardCrashedError(shard.index, str(exc)))
+        if crashes:
+            raise crashes[0]
+        if op_errors:
+            raise ServiceError("; ".join(op_errors))
+        return states
 
     def _publish_updates(self, responses: list[proto.Message]) -> None:
         for response in responses:
@@ -726,6 +954,261 @@ class ShardedService:
     def finish_job(self, job: str) -> None:
         """Mark ``job`` finished on the shard that owns it."""
         self._request(self._shards[self.ring.shard_for(job)], proto.FinishJob(job=job))
+
+    # ------------------------------------------------------------------ #
+    # elastic resharding
+    # ------------------------------------------------------------------ #
+    @property
+    def reshards(self) -> int:
+        """Number of completed live reshards."""
+        return self._reshards
+
+    @property
+    def sessions_moved(self) -> int:
+        """Total sessions migrated across all completed reshards."""
+        return self._sessions_moved
+
+    @property
+    def resharding(self) -> bool:
+        """Whether a live reshard is in progress (frames may be parked)."""
+        return self._migration is not None
+
+    def reshard(
+        self,
+        n_shards: int,
+        *,
+        on_phase: Callable[[str], None] | None = None,
+    ) -> dict:
+        """Live-resize the service to ``n_shards`` worker shards.
+
+        The operation is a minimal-movement migration: thanks to the
+        consistent hash ring, only the jobs whose arc changes owner move.
+        Phase by phase (``on_phase`` receives each name — an observability /
+        fault-injection hook):
+
+        1. ``parked`` — from here on, a frame routed for a moving job is
+           parked in the migration buffer instead of sent.
+        2. ``spawned`` (growing) — the new shard subprocesses are up and
+           handshaken before any state moves.
+        3. ``extracted`` — every moving job's session + publisher state has
+           been captured *and removed* from its source shard
+           (:class:`~repro.service.protocol.ExtractJobs` drains the source's
+           data socket to the router's byte mark first, so no in-flight
+           frame is lost).
+        4. ``switched`` — the hash ring now answers with the new topology.
+        5. ``retired`` (shrinking) — the now-empty trailing shards are shut
+           down and reaped.
+        6. ``transferred`` — the extracted sessions were merged into their
+           new owners over the protocol-v2 chunked snapshot transfer.  A
+           target killed mid-transfer is respawned and the transfer repeated
+           (the state is still in the router's hands) when it held no other
+           sessions; otherwise the crash surfaces as
+           :class:`~repro.exceptions.ShardCrashedError` for the ordinary
+           snapshot-revive path.
+        7. ``replayed`` — the parked frames were routed, in arrival order,
+           against the new topology.
+
+        The end state is bit-identical to having ingested the same stream at
+        ``n_shards`` from scratch.  Returns a summary dict (``from_shards``,
+        ``to_shards``, ``moved_jobs``, ``moved_sessions``,
+        ``replayed_frames``).
+        """
+        if self._closed:
+            raise ServiceError("cannot reshard a closed service")
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if self._migration is not None:
+            raise ServiceError("a reshard is already in progress")
+        notify = on_phase if on_phase is not None else (lambda phase: None)
+        old_count = self.n_shards
+        summary = {
+            "from_shards": old_count,
+            "to_shards": n_shards,
+            "moved_jobs": (),
+            "moved_sessions": 0,
+            "replayed_frames": 0,
+        }
+        if n_shards == old_count:
+            return summary
+        # Migration reads from every source shard: heal (or surface) dead
+        # shards before any state moves.
+        self._revive_or_raise()
+        dead = self.dead_shards()
+        if dead:
+            raise ShardCrashedError(
+                dead[0], f"shard {dead[0]} is dead; revive it before resharding"
+            )
+        migration = _Migration(
+            old_ring=self.ring,
+            new_ring=HashRing(n_shards, replicas=self.ring.replicas),
+        )
+        self._migration = migration
+        moved_sessions = 0
+        moved_jobs: list[str] = []
+        moved_states: list[dict] = []
+        try:
+            notify("parked")
+            for index in range(old_count, n_shards):
+                self._shards.append(self._spawn(index))
+                self._jobs_by_shard.append(set())
+            if n_shards > old_count:
+                notify("spawned")
+            # Extract the moving sessions from their sources.  Consistent
+            # hashing means only one direction actually moves (to the new
+            # shards on a grow, off the retiring shards on a shrink), but
+            # the per-shard predicate needs no case analysis: the moving
+            # set is simply non-empty only where it should be.  sorted()
+            # keeps the extraction order independent of Python's
+            # seed-randomized set iteration order.
+            for index in range(old_count):
+                moving = sorted(
+                    job for job in self._jobs_by_shard[index] if migration.moves(job)
+                )
+                if not moving:
+                    continue
+                shard = self._shards[index]
+                state = self._request_state(
+                    shard,
+                    proto.ExtractJobs(
+                        jobs=tuple(moving),
+                        expected_bytes=shard.bytes_sent,
+                        max_chunk=(
+                            proto.DEFAULT_CHUNK_BYTES
+                            if shard.protocol_version >= 2
+                            else None
+                        ),
+                    ),
+                )
+                moved_states.append(state)
+                moved_jobs.extend(moving)
+                self._jobs_by_shard[index].difference_update(moving)
+            notify("extracted")
+            # Ring first, shard list second: between the two steps the shard
+            # list is a *superset* of what the ring routes to, so a failure
+            # at any point leaves every ring-reachable index valid (the
+            # rollback below reconciles the surplus).
+            self.ring = migration.new_ring
+            notify("switched")
+            if n_shards < old_count:
+                for shard in self._shards[n_shards:]:
+                    if shard.alive:
+                        try:
+                            self._request(shard, proto.Close())
+                        except ShardCrashedError:
+                            pass
+                    self._release(shard)
+                del self._shards[n_shards:]
+                del self._jobs_by_shard[n_shards:]
+                notify("retired")
+            if moved_states:
+                per_target = split_state(
+                    merge_states(moved_states), self.ring.shard_for, n_shards
+                )
+                for target, shard_state in enumerate(per_target):
+                    publisher = shard_state["publisher"]
+                    if not (
+                        shard_state["sessions"]
+                        or publisher["latest"]
+                        or publisher["latest_period"]
+                    ):
+                        continue
+                    self._transfer_state(target, shard_state)
+                    moved_sessions += len(shard_state["sessions"])
+                    self._jobs_by_shard[target].update(self._state_jobs(shard_state))
+            # A shard killed mid-migration while holding nothing (typically a
+            # freshly spawned target whose incoming bucket turned out empty)
+            # is respawned for free — nothing was lost with it, and the
+            # parked replay below must find every owner alive.
+            for index, shard in enumerate(self._shards):
+                if not shard.alive and not self._jobs_by_shard[index]:
+                    self._release(shard)
+                    self._shards[index] = self._spawn(index)
+            notify("transferred")
+        except BaseException:
+            self._migration = None
+            # Reconcile the shard list with whichever ring the failure left
+            # in charge: any shard beyond the ring's range (fresh spawns of
+            # a failed grow, drained sources of a failed shrink) is released
+            # — it owns nothing the ring can still route to, and keeping it
+            # would make n_shards lie and a retried resize short-circuit as
+            # a same-count no-op.
+            surplus = self._shards[self.ring.n_shards :]
+            del self._shards[self.ring.n_shards :]
+            del self._jobs_by_shard[self.ring.n_shards :]
+            for shard in surplus:
+                self._release(shard)
+            # The extracted sessions are still in the router's hands — push
+            # them back to whichever ring the failure left in charge.  A
+            # "merge" transfer is an idempotent overwrite, so states whose
+            # handover already succeeded are simply rewritten in place.
+            if moved_states:
+                per_target = split_state(
+                    merge_states(moved_states),
+                    self.ring.shard_for,
+                    self.ring.n_shards,
+                )
+                for target, shard_state in enumerate(per_target):
+                    if not self._state_jobs(shard_state):
+                        continue
+                    # Per target, not around the loop: one dead target must
+                    # not discard the sessions the live ones can still take.
+                    try:
+                        self._send_state(self._shards[target], shard_state, kind="merge")
+                    except ServiceError:  # pragma: no cover - double fault
+                        continue
+                    self._jobs_by_shard[target].update(self._state_jobs(shard_state))
+            # Park no further; push whatever was parked toward the current
+            # ring so the frames are not silently dropped, then surface the
+            # original failure.
+            for frame in migration.parked:
+                try:
+                    self.route_raw(frame)
+                except Exception:  # pragma: no cover - double fault
+                    break
+            raise
+        self._migration = None
+        replayed = 0
+        for frame in migration.parked:
+            self.route_raw(frame)
+            replayed += 1
+        notify("replayed")
+        self._reshards += 1
+        self._sessions_moved += moved_sessions
+        summary.update(
+            moved_jobs=tuple(moved_jobs),
+            moved_sessions=moved_sessions,
+            replayed_frames=replayed,
+        )
+        return summary
+
+    def _transfer_state(self, index: int, state: dict) -> None:
+        """Merge ``state`` into shard ``index``, surviving a mid-transfer kill."""
+        try:
+            self._send_state(self._shards[index], state, kind="merge")
+            return
+        except ShardCrashedError:
+            # The migrating state is still in the router's hands, so a
+            # target that held nothing else is simply respawned and the
+            # transfer repeated.  One that already owned sessions lost them
+            # with the crash — that is the ordinary crash-recovery path
+            # (snapshot + spool replay), not something to paper over here.
+            if self._jobs_by_shard[index]:
+                raise
+        self._release(self._shards[index])
+        self._shards[index] = self._spawn(index)
+        self._send_state(self._shards[index], state, kind="merge")
+
+    @staticmethod
+    def _state_jobs(state: dict) -> set[str]:
+        """Every job a snapshot state carries — sessions *and* publisher-only
+        entries (a reaped job keeps its last prediction; it must stay tracked
+        so a later reshard still migrates that entry with its owner)."""
+        publisher = state.get("publisher", {})
+        return (
+            {str(session["job"]) for session in state["sessions"]}
+            | {str(job) for job in publisher.get("latest", {})}
+            | {str(job) for job in publisher.get("latest_period", {})}
+        )
 
     def _auto_revive_index(self, index: int) -> bool:
         """Revive one dead shard from the last snapshot, if policy allows.
@@ -858,6 +1341,9 @@ class ShardedService:
             "shards": self.n_shards,
             "dead_shards": len(self.dead_shards()),
             "revived_shards": self._auto_revives,
+            "reshards": self._reshards,
+            "sessions_moved": self._sessions_moved,
+            "resharding_in_progress": self._migration is not None,
         }
         for stats in stats_list:
             for key, value in stats["service"].items():
@@ -887,12 +1373,13 @@ class ShardedService:
         ``ServiceConfig.auto_compact`` every tailed spool is compacted up to
         the position this snapshot covers.
         """
-        responses = self._broadcast(
-            lambda shard: proto.Snapshot(expected_bytes=shard.bytes_sent)
+        states = self._broadcast_states(
+            lambda shard: proto.Snapshot(
+                expected_bytes=shard.bytes_sent,
+                max_chunk=proto.DEFAULT_CHUNK_BYTES if shard.protocol_version >= 2 else None,
+            )
         )
-        merged = merge_states(
-            [response.state for response in responses]  # type: ignore[attr-defined]
-        )
+        merged = merge_states(states)
         merged["sharding"] = {"n_shards": self.n_shards, "replicas": self.ring.replicas}
         self._last_snapshot = merged
         self._snapshot_positions = {
@@ -916,5 +1403,9 @@ class ShardedService:
         check_snapshot_version(state)
         per_shard = split_state(state, self.ring.shard_for, self.n_shards)
         for shard, shard_state in zip(self._shards, per_shard):
-            self._request(shard, proto.Restore(state=shard_state))
+            self._send_state(shard, shard_state, kind="restore")
+            # Update, never replace: apply_state leaves sessions the shard
+            # holds for *other* jobs resident, so those must stay tracked or
+            # a later reshard would silently skip extracting them.
+            self._jobs_by_shard[shard.index].update(self._state_jobs(shard_state))
         self.publisher.load_state_dict(state["publisher"])

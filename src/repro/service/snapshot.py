@@ -133,6 +133,89 @@ def split_state(state: dict, owner: Callable[[str], int], n_shards: int) -> list
     return shards
 
 
+def extract_jobs(state: dict, jobs: Iterable[str]) -> tuple[dict, dict]:
+    """Split one snapshot state into ``(extracted, remaining)`` by job id.
+
+    The per-job complement of :func:`split_state`: instead of partitioning by
+    shard owner, it pulls exactly the named jobs' sessions and publisher
+    entries out.  Both halves are valid snapshot states; resharding uses the
+    extracted half as the unit of migration.
+    """
+    check_snapshot_version(state)
+    wanted = set(jobs)
+
+    def half(selected: bool) -> dict:
+        publisher = state.get("publisher", {})
+        return {
+            "snapshot_version": SNAPSHOT_VERSION,
+            "sessions": [
+                session
+                for session in state["sessions"]
+                if (str(session["job"]) in wanted) == selected
+            ],
+            "publisher": {
+                "latest": {
+                    job: entry
+                    for job, entry in publisher.get("latest", {}).items()
+                    if (str(job) in wanted) == selected
+                },
+                "latest_period": {
+                    job: period
+                    for job, period in publisher.get("latest_period", {}).items()
+                    if (str(job) in wanted) == selected
+                },
+            },
+        }
+
+    return half(True), half(False)
+
+
+def extract_service_jobs(service: PredictionService, jobs: Iterable[str]) -> dict:
+    """Capture *and remove* the given jobs from a live service.
+
+    The migration source of a live reshard: the jobs' full session state and
+    publisher entries are snapshotted, then the sessions are dropped from the
+    broker and the publisher forgets them — the service no longer owns those
+    jobs.  Jobs the service never saw are skipped (their state is empty).
+    """
+    jobs = list(jobs)  # may be a generator; it is iterated twice below
+    present = set(service.broker.jobs)
+    selected = [job for job in jobs if job in present]
+    state = {
+        "snapshot_version": SNAPSHOT_VERSION,
+        "sessions": [service.broker.session(job).state_dict() for job in selected],
+        "publisher": {"latest": {}, "latest_period": {}},
+    }
+    publisher = service.publisher.state_dict()
+    wanted = set(jobs)
+    state["publisher"]["latest"] = {
+        job: entry for job, entry in publisher["latest"].items() if job in wanted
+    }
+    state["publisher"]["latest_period"] = {
+        job: period for job, period in publisher["latest_period"].items() if job in wanted
+    }
+    for job in selected:
+        service.broker.remove(job)
+    for job in wanted:
+        service.publisher.forget(job)
+    return state
+
+
+def merge_into(service: PredictionService, state: dict) -> PredictionService:
+    """Fold a snapshot state into a running service without touching others.
+
+    The migration target of a live reshard: the carried sessions are
+    (re)created and the publisher entries are *merged* (not replaced), so the
+    receiving shard's resident jobs keep their live predictions.
+    """
+    check_snapshot_version(state)
+    for session_state in state["sessions"]:
+        session = service.broker.session(str(session_state["job"]))
+        session.load_state_dict(session_state)
+    service.publisher.merge_state_dict(state["publisher"])
+    return service
+
+
 def save_snapshot(service, path: str | Path) -> Path:
     """Write a snapshot file; returns its path.
 

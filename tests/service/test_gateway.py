@@ -270,6 +270,97 @@ class TestGatewayFeatures:
                 client.drain()
                 assert engine.session(job).finished
 
+    def test_v1_client_interops_with_v2_gateway(self, service_config, job_streams):
+        """A client that only speaks protocol v1 must still be served in full
+        (the v2 server never sends it a chunk stream or any other v2-only
+        message)."""
+        job, flushes = next(iter(job_streams.items()))
+        with ThreadedGateway(PredictionService(service_config), own_engine=True) as gateway:
+            with ServiceClient(gateway.host, gateway.port, versions=(1,)) as v1:
+                assert v1.protocol_version == 1
+                for flush in flushes[:4]:
+                    assert v1.submit_flush(job, flush) == 1
+                    v1.pump()
+                assert v1.stats()["jobs"] == 1
+                # Snapshot arrives as one plain SnapshotReply (v1 shape) ...
+                state = v1.snapshot()
+                assert {s["job"] for s in state["sessions"]} == {job}
+                # ... restore also stays on the v1 message.
+                assert v1.restore(state) == 1
+                # The v2-only surface is refused client-side, typed.
+                with pytest.raises(ServiceError, match="requires v2"):
+                    v1.resize(2)
+
+    def test_chunked_snapshot_and_restore_over_the_wire(
+        self, service_config, job_streams
+    ):
+        job, flushes = next(iter(job_streams.items()))
+        with ThreadedGateway(PredictionService(service_config), own_engine=True) as gateway:
+            with ServiceClient(gateway.host, gateway.port) as client:
+                for flush in flushes:
+                    client.submit_flush(job, flush)
+                    client.pump()
+                plain = client.snapshot()
+                # A tiny chunk bound forces a genuinely multi-chunk stream.
+                assert len(packb(plain)) > 512
+                chunked = client.snapshot(max_chunk=512)
+                assert chunked == unpackb(packb(plain))
+        with ThreadedGateway(PredictionService(service_config), own_engine=True) as gateway:
+            with ServiceClient(gateway.host, gateway.port) as client:
+                assert client.restore(chunked, max_chunk=512) == 1
+                assert client.snapshot() == unpackb(packb(chunked))
+
+    def test_resize_over_the_wire(self, service_config, job_streams):
+        jobs = list(job_streams)[:8]
+        engine = ShardedService(2, service_config)
+        with ThreadedGateway(engine, own_engine=True) as gateway:
+            with ServiceClient(gateway.host, gateway.port) as client:
+                assert client.shards == 2
+                for job in jobs:
+                    client.submit_flush(job, job_streams[job][0])
+                client.pump()
+                summary = client.resize(4)
+                assert summary["n_shards"] == client.shards == engine.n_shards == 4
+                # Retrying the same resize is a no-op (the idempotence the
+                # reconnect path relies on).
+                assert client.resize(4)["moved_sessions"] == 0
+                for job in jobs:
+                    client.submit_flush(job, job_streams[job][1])
+                client.drain()
+                stats = client.stats()
+                assert stats["jobs"] == len(jobs)
+                assert stats["shards"] == 4
+                assert stats["reshards"] == 1
+                summary = client.resize(1)
+                assert client.shards == 1
+                assert summary["moved_sessions"] > 0
+
+    def test_resize_single_process_engine_is_a_typed_error(self, service_config):
+        with ThreadedGateway(PredictionService(service_config), own_engine=True) as gateway:
+            with ServiceClient(gateway.host, gateway.port) as client:
+                with pytest.raises(ServiceError, match="single-process"):
+                    client.resize(2)
+                # The failure was scoped to that request.
+                assert client.stats()["jobs"] == 0
+
+    def test_threaded_gateway_resize_from_the_serving_side(
+        self, service_config, job_streams
+    ):
+        jobs = list(job_streams)[:4]
+        engine = ShardedService(2, service_config)
+        with ThreadedGateway(engine, own_engine=True) as gateway:
+            with ServiceClient(gateway.host, gateway.port) as client:
+                for job in jobs:
+                    client.submit_flush(job, job_streams[job][0])
+                client.pump()
+                summary = gateway.resize(3)
+                assert summary["to_shards"] == engine.n_shards == 3
+                # Clients keep working across the topology change.
+                for job in jobs:
+                    client.submit_flush(job, job_streams[job][1])
+                client.drain()
+                assert client.stats()["jobs"] == len(jobs)
+
     def test_multiple_clients_share_one_engine(self, service_config, job_streams):
         jobs = list(job_streams)[:4]
         with ThreadedGateway(PredictionService(service_config), own_engine=True) as gateway:

@@ -88,6 +88,28 @@ message_st = st.one_of(
     st.builds(proto.FinishJobReply, job=job_st),
     st.builds(proto.Close),
     st.builds(proto.CloseReply, closed=st.booleans()),
+    # --- protocol version 2 ------------------------------------------- #
+    st.builds(
+        proto.SnapshotChunk,
+        kind=st.sampled_from(proto.CHUNK_KINDS),
+        seq=st.integers(0, 2**20),
+        data=st.binary(max_size=256),
+        last=st.booleans(),
+    ),
+    st.builds(proto.ResizeShards, n_shards=st.integers(1, 64)),
+    st.builds(
+        proto.ResizeShardsReply,
+        n_shards=st.integers(1, 64),
+        moved_sessions=st.integers(0, 2**20),
+        moved_jobs=st.lists(job_st, max_size=3).map(tuple),
+    ),
+    st.builds(
+        proto.ExtractJobs,
+        jobs=st.lists(job_st, max_size=4).map(tuple),
+        expected_bytes=expected_bytes_st,
+        max_chunk=st.one_of(st.none(), st.integers(1, proto.MAX_CHUNK_BYTES)),
+    ),
+    st.builds(proto.ExtractJobsReply, state=nested_map_st),
 )
 
 
@@ -153,12 +175,17 @@ class TestVersioning:
         assert proto.PROTOCOL_VERSION in proto.SUPPORTED_VERSIONS
 
     def test_negotiation_picks_highest_common(self):
+        # A v1-only peer (an old ServiceClient) still negotiates 1 against
+        # this v2 implementation; a v2 peer gets 2.
         assert proto.negotiate_version([1]) == 1
         assert proto.negotiate_version([1, 99]) == 1
+        assert proto.negotiate_version([2]) == 2
+        assert proto.negotiate_version([1, 2]) == 2
+        assert proto.negotiate_version(proto.SUPPORTED_VERSIONS) == proto.PROTOCOL_VERSION
 
     def test_negotiation_rejects_unknown_only(self):
         assert proto.negotiate_version([99]) is None
-        assert proto.negotiate_version([0, 2, 255]) is None
+        assert proto.negotiate_version([0, 3, 255]) is None
         assert proto.negotiate_version([]) is None
 
     def test_hello_requires_versions(self):
@@ -230,4 +257,101 @@ class TestCorruption:
         assert proto.MESSAGE_TYPES[1] is proto.Hello
         assert proto.MESSAGE_TYPES[3] is proto.Error
         assert proto.MESSAGE_TYPES[18] is proto.PredictionEvent
-        assert len(set(proto.MESSAGE_TYPES)) == len(proto.MESSAGE_TYPES) == 22
+        # The v2 block is append-only on top of the 22 v1 codes.
+        assert proto.MESSAGE_TYPES[23] is proto.SnapshotChunk
+        assert proto.MESSAGE_TYPES[24] is proto.ResizeShards
+        assert proto.MESSAGE_TYPES[25] is proto.ResizeShardsReply
+        assert proto.MESSAGE_TYPES[26] is proto.ExtractJobs
+        assert proto.MESSAGE_TYPES[27] is proto.ExtractJobsReply
+        assert len(set(proto.MESSAGE_TYPES)) == len(proto.MESSAGE_TYPES) == 27
+
+
+class TestChunkedTransfer:
+    @given(
+        state=nested_map_st,
+        max_chunk=st.integers(min_value=1, max_value=64),
+        kind=st.sampled_from(proto.CHUNK_KINDS),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_chunk_round_trip(self, state, max_chunk, kind):
+        chunks = list(proto.iter_state_chunks(state, kind=kind, max_chunk=max_chunk))
+        # Bounded size, contiguous seq, exactly one terminal chunk.
+        assert all(len(c.data) <= max_chunk for c in chunks)
+        assert [c.seq for c in chunks] == list(range(len(chunks)))
+        assert [c.last for c in chunks].count(True) == 1 and chunks[-1].last
+        assembler = proto.ChunkAssembler()
+        rebuilt = None
+        for chunk in chunks:
+            # ... and every chunk survives the wire codec on the way.
+            decoded = proto.decode_message(proto.encode_message(chunk))
+            result = assembler.feed(decoded)
+            assert (result is not None) == chunk.last
+            if result is not None:
+                rebuilt = result
+        assert rebuilt == _as_lists(state)
+
+    @given(state=nested_map_st, max_chunk=st.integers(1, 32))
+    @settings(max_examples=50, deadline=None)
+    def test_truncated_chunk_stream_never_yields_state(self, state, max_chunk):
+        chunks = list(proto.iter_state_chunks(state, kind="snapshot", max_chunk=max_chunk))
+        assembler = proto.ChunkAssembler()
+        for chunk in chunks[:-1]:
+            assert assembler.feed(chunk) is None
+        assert assembler.receiving == (len(chunks) > 1)
+
+    def test_out_of_order_chunk_raises(self):
+        chunks = list(
+            proto.iter_state_chunks({"k": b"x" * 64}, kind="restore", max_chunk=16)
+        )
+        assert len(chunks) > 2
+        assembler = proto.ChunkAssembler()
+        assembler.feed(chunks[0])
+        with pytest.raises(ProtocolError, match="out of order"):
+            assembler.feed(chunks[2])
+
+    def test_kind_change_mid_transfer_raises(self):
+        assembler = proto.ChunkAssembler()
+        assembler.feed(proto.SnapshotChunk(kind="restore", seq=0, data=b"ab"))
+        with pytest.raises(ProtocolError, match="kind changed"):
+            assembler.feed(proto.SnapshotChunk(kind="merge", seq=1, data=b"cd"))
+
+    def test_unexpected_kind_raises(self):
+        assembler = proto.ChunkAssembler(expected_kind="snapshot")
+        with pytest.raises(ProtocolError, match="expected"):
+            assembler.feed(proto.SnapshotChunk(kind="merge", seq=0, data=b""))
+        with pytest.raises(ProtocolError, match="kind"):
+            proto.SnapshotChunk.from_payload({"kind": "exotic", "seq": 0, "data": b""})
+
+    def test_oversized_chunk_rejected_at_decode(self):
+        payload = {
+            "kind": "snapshot",
+            "seq": 0,
+            "data": b"x" * (proto.MAX_CHUNK_BYTES + 1),
+            "last": True,
+        }
+        with pytest.raises(ProtocolError, match="bound"):
+            proto.SnapshotChunk.from_payload(payload)
+
+    def test_undecodable_reassembled_state_raises(self):
+        assembler = proto.ChunkAssembler()
+        with pytest.raises(ProtocolError, match="undecodable"):
+            assembler.feed(
+                proto.SnapshotChunk(kind="restore", seq=0, data=b"\xc1\xc1", last=True)
+            )
+
+    def test_resize_shards_validates_count(self):
+        with pytest.raises(ProtocolError):
+            proto.ResizeShards.from_payload({"n_shards": 0})
+
+    def test_degenerate_max_chunk_rejected_at_decode(self):
+        # max_chunk=0 would make the serving side emit one envelope per
+        # state byte — a wire-level DoS, refused before it can be acted on.
+        for payload in (
+            {"expected_bytes": None, "max_chunk": 0},
+            {"expected_bytes": None, "max_chunk": -7},
+        ):
+            with pytest.raises(ProtocolError, match="max_chunk"):
+                proto.Snapshot.from_payload(payload)
+            with pytest.raises(ProtocolError, match="max_chunk"):
+                proto.ExtractJobs.from_payload({"jobs": ["a"], **payload})
+        assert proto.Snapshot.from_payload({"max_chunk": 1}).max_chunk == 1

@@ -213,4 +213,7 @@ class TestCompatibility:
         from repro.client import ServiceClient  # noqa: F401
         from repro.service import ServiceGateway, ThreadedGateway, protocol  # noqa: F401
 
-        assert protocol.PROTOCOL_VERSION == 1
+        # v2 added chunked snapshot transfer + resharding; v1 peers still
+        # negotiate (SUPPORTED_VERSIONS is cumulative, never truncated).
+        assert protocol.PROTOCOL_VERSION == 2
+        assert protocol.SUPPORTED_VERSIONS == (1, 2)
