@@ -14,15 +14,20 @@ module provides the small timing utilities the perf-regression benchmark
   across signal sizes and returns a JSON-serializable report;
 * :func:`run_service_benchmark` — throughput and detection latency of the
   streaming prediction service under 100+ concurrent jobs;
+* :func:`run_batch_detect_benchmark` — batched cross-session spectral
+  kernels vs the sequential per-session path at 256 concurrent due jobs;
+* :func:`run_ingest_copies_benchmark` — copy accounting (bytes copied per
+  frame) and throughput of the zero-copy framing + shared-memory-ring hops;
 * :func:`write_report` — persists the report (``BENCH_perf.json`` at the repo
   root by convention).
 
-The report schema (version 5; version 1 lacked the ``service`` section,
+The report schema (version 6; version 1 lacked the ``service`` section,
 version 2 lacked ``service.sharded``, version 3 lacked ``service.gateway``,
-version 4 lacked ``service.reshard``)::
+version 4 lacked ``service.reshard``, version 5 lacked
+``service.batch_detect`` and ``service.ingest_copies``)::
 
     {
-      "schema_version": 5,
+      "schema_version": 6,
       "generated_at": <unix epoch seconds>,
       "environment": {"python": "...", "numpy": "...", "platform": "..."},
       "signal_sizes": [1000, 10000, 100000],
@@ -50,7 +55,24 @@ version 4 lacked ``service.reshard``)::
                                         "sessions_moved_per_second",
                                         "pause_p50_seconds",
                                         "pause_p99_seconds",
-                                        "pause_total_seconds", "cpu_count"}}
+                                        "pause_total_seconds", "cpu_count"},
+                            "batch_detect": {"n_jobs", "window_samples",
+                                             "window_groups",
+                                             "kernel_sequential_seconds",
+                                             "kernel_batched_seconds",
+                                             "kernel_speedup",
+                                             "detect_sequential_seconds",
+                                             "detect_batched_seconds",
+                                             "detect_speedup",
+                                             "n_detections"},
+                            "ingest_copies": {"n_frames", "bytes_total",
+                                              "frame_bytes_mean", "chunk_bytes",
+                                              "whole_chunk_bytes_copied_per_frame",
+                                              "chunked_bytes_copied_per_frame",
+                                              "ring_bytes",
+                                              "ring_bytes_copied_per_frame",
+                                              "ring_mb_per_second",
+                                              "ring_frames_per_second"}}
       }
     }
 
@@ -507,6 +529,272 @@ def run_sharded_scaling_benchmark(
     }
 
 
+def run_batch_detect_benchmark(
+    *,
+    n_jobs: int = 256,
+    flushes_per_job: int = 4,
+    period: float = 4.0,
+    requests_per_flush: int = 8,
+    sampling_frequency: float = 10.0,
+    repeats: int = 5,
+    seed: int = 0,
+) -> dict:
+    """Batched vs sequential detection over ``n_jobs`` concurrent due sessions.
+
+    Every job runs the *same* flush schedule (identical period and phase), so
+    all sessions discretize to one ``(n_samples, fs)`` window group — the
+    dispatcher's best case and the configuration the batched kernels are
+    built for.  Two things are measured:
+
+    * the **kernel stage** (re-runnable, pure): one
+      :func:`~repro.service.batch.compute_batch_kernels` call over the whole
+      fleet vs the exact per-session work it replaces — the
+      ``dft`` + power-spectrum + Z-score + outlier-detect sequence
+      :meth:`~repro.core.ftio.Ftio.analyze_signal` runs when no kernels are
+      supplied — isolating what the 2-D FFT + shared reductions buy;
+    * the **end-to-end detection pass** (single shot on fresh sessions):
+      :func:`~repro.service.batch.detect_sessions_inline` vs a per-session
+      ``backend.detect`` loop, claiming/committing through the same two-phase
+      session protocol the dispatcher uses.
+
+    The ``service.batch_detect`` block of ``BENCH_perf.json`` (schema v6);
+    the kernel-stage speedup is floor-guarded at 5x by
+    ``benchmarks/test_perf_regression.py``.
+    """
+    from repro.freq.outliers import make_detector
+    from repro.freq.spectrum import power_spectrum_from_dft
+    from repro.service import SessionConfig, ThreadBackend, detect_sessions_inline
+    from repro.service.batch import compute_batch_kernels
+    from repro.service.session import JobSession
+    from repro.trace.jsonl import FlushRecord
+    from repro.trace.record import IORequest
+    from repro.utils.stats import zscores
+
+    config = FtioConfig(
+        sampling_frequency=sampling_frequency,
+        use_autocorrelation=False,
+        compute_characterization=False,
+    )
+    session_config = SessionConfig(config=config)
+    rng = np.random.default_rng(seed)
+    burst = period / 16.0
+
+    def build_sessions() -> list[JobSession]:
+        sessions = []
+        for j in range(n_jobs):
+            session = JobSession(f"job-{j:03d}", session_config)
+            for i in range(flushes_per_job):
+                phase_start = i * period
+                starts = phase_start + np.arange(requests_per_flush) * (
+                    burst / requests_per_flush
+                )
+                nbytes = int(rng.integers(1 << 10, 1 << 20))
+                requests = tuple(
+                    IORequest(
+                        rank=int(r % 4),
+                        start=float(starts[r]),
+                        end=float(starts[r] + burst / requests_per_flush),
+                        nbytes=nbytes,
+                    )
+                    for r in range(requests_per_flush)
+                )
+                session.ingest(
+                    FlushRecord(
+                        flush_index=i,
+                        timestamp=float(phase_start + period),
+                        requests=requests,
+                    )
+                )
+            sessions.append(session)
+        return sessions
+
+    # Kernel stage: prepare every window once (outside the timed region),
+    # then time the pure kernel computation both ways.
+    sessions = build_sessions()
+    signals = []
+    configs = []
+    for session in sessions:
+        task = session.begin_batch_detect()
+        if task is None:
+            continue
+        prep = session.predictor.prepare_step(task.trace, now=task.now)
+        session.abort_batch_detect()
+        signals.append(prep.signal)
+        configs.append(config)
+    if not signals or any(signal is None for signal in signals):
+        raise RuntimeError("batch benchmark produced sessions with no window")
+    window_samples = int(signals[0].n_samples)
+    window_groups = len({(s.n_samples, float(s.sampling_frequency)) for s in signals})
+
+    def sequential_kernels() -> list:
+        # Exactly the per-session transforms ``analyze_signal`` runs when it
+        # is handed no kernels (repro/core/ftio.py): single-signal DFT, power
+        # spectrum, Z-scores, then the outlier detector's own pass.
+        out = []
+        for signal, cfg in zip(signals, configs):
+            dft_result = dft(signal.samples, signal.sampling_frequency)
+            spectrum = power_spectrum_from_dft(dft_result)
+            power = spectrum.analysis_power
+            scores = zscores(power)
+            detector = make_detector(cfg.outlier_method, **cfg.outlier_kwargs)
+            out.append((dft_result, scores, detector.detect(power, spectrum.analysis_frequencies)))
+        return out
+
+    batched_timing = time_callable(
+        lambda: compute_batch_kernels(signals, configs),
+        name=f"batch_kernels_{n_jobs}",
+        repeats=repeats,
+    )
+    sequential_timing = time_callable(
+        sequential_kernels,
+        name=f"sequential_kernels_{n_jobs}",
+        repeats=repeats,
+    )
+
+    # End-to-end: one full claim->prepare->kernels->commit pass over fresh
+    # due sessions, through the same entry points the dispatcher uses.
+    backend = ThreadBackend()
+    sequential_sessions = build_sessions()
+    started = time.perf_counter()
+    sequential_steps = [backend.detect(session) for session in sequential_sessions]
+    detect_sequential = time.perf_counter() - started
+
+    batched_sessions = build_sessions()
+    started = time.perf_counter()
+    report = detect_sessions_inline(batched_sessions)
+    detect_batched = time.perf_counter() - started
+    if report.failures or sum(s is not None for s in report.steps) != sum(
+        s is not None for s in sequential_steps
+    ):
+        raise RuntimeError("batched and sequential passes disagreed on detections")
+
+    return {
+        "n_jobs": int(n_jobs),
+        "window_samples": window_samples,
+        "window_groups": int(window_groups),
+        "kernel_sequential_seconds": sequential_timing.best,
+        "kernel_batched_seconds": batched_timing.best,
+        "kernel_speedup": sequential_timing.best / max(batched_timing.best, 1e-12),
+        "detect_sequential_seconds": float(detect_sequential),
+        "detect_batched_seconds": float(detect_batched),
+        "detect_speedup": float(detect_sequential) / max(float(detect_batched), 1e-12),
+        "n_detections": int(sum(step is not None for step in report.steps)),
+    }
+
+
+def run_ingest_copies_benchmark(
+    *,
+    n_jobs: int = 8,
+    flushes_per_job: int = 64,
+    requests_per_flush: int = 16,
+    chunk_bytes: int = 4096,
+    ring_bytes: int = 1 << 16,
+    seed: int = 0,
+) -> dict:
+    """Copy accounting and throughput of the zero-copy ingest path.
+
+    One synthetic FTS1 frame stream is pushed through three hops and each
+    hop's ``bytes_copied_per_frame`` counter is recorded:
+
+    * **whole chunks** — the stream fed to a
+      :class:`~repro.trace.framing.FrameSplitter` in one piece: every frame
+      is emitted as a borrowed view, the counter must read exactly ``0.0``;
+    * **dribbled chunks** — the same stream fed ``chunk_bytes`` at a time:
+      only chunk-spanning frames pay a join, so the counter stays below one
+      frame's worth of bytes;
+    * **shared-memory ring** — the stream written through a
+      :class:`~repro.service.shm_ring.ShmRingWriter` and split out of the
+      reader's borrowed views (detaching between reclaims, as a shard does),
+      with wall-clock MB/s and frames/s for the full hop.
+
+    The ``service.ingest_copies`` block of ``BENCH_perf.json`` (schema v6).
+    """
+    import threading
+
+    from repro.service.shm_ring import ShmRingReader, ShmRingWriter
+    from repro.trace.framing import FrameSplitter, encode_frame
+
+    streams = synthetic_flush_streams(
+        n_jobs,
+        flushes_per_job=flushes_per_job,
+        requests_per_flush=requests_per_flush,
+        seed=seed,
+    )
+    payload = b"".join(
+        encode_frame(flush, job=job)
+        for job, flushes in streams.items()
+        for flush in flushes
+    )
+    n_frames = n_jobs * flushes_per_job
+
+    whole = FrameSplitter()
+    whole.feed(payload)
+    assert sum(1 for _ in whole.raw_frames()) == n_frames
+
+    chunked = FrameSplitter()
+    chunked_frames = 0
+    for offset in range(0, len(payload), chunk_bytes):
+        chunked.feed(payload[offset : offset + chunk_bytes])
+        chunked_frames += sum(1 for _ in chunked.raw_frames())
+    assert chunked_frames == n_frames
+
+    ring_splitter = FrameSplitter()
+    ring_frames = 0
+
+    def consume(reader: ShmRingReader) -> None:
+        nonlocal ring_frames
+        while not reader.eof:
+            reader.pump_doorbell()
+            views = reader.views()
+            for view in views:
+                ring_splitter.feed(view)
+                ring_frames += sum(1 for _ in ring_splitter.raw_frames())
+                # The ring reclaims this span at ack(): materialize any
+                # buffered partial frame before letting go of the view.
+                ring_splitter.detach()
+                view.release()
+            reader.ack()
+
+    import socket
+
+    writer = ShmRingWriter(capacity=ring_bytes)
+    parent_end, shard_end = socket.socketpair()
+    reader = ShmRingReader(writer.handle, shard_end)
+    consumer = threading.Thread(target=consume, args=(reader,))
+    started = time.perf_counter()
+    consumer.start()
+    try:
+        writer.bind(parent_end)
+        writer.write(payload)
+    finally:
+        parent_end.close()
+        consumer.join(timeout=60)
+    elapsed = time.perf_counter() - started
+    reader.close()
+    shard_end.close()
+    writer.close()
+    if consumer.is_alive() or ring_frames != n_frames:
+        raise RuntimeError(
+            f"ring hop delivered {ring_frames}/{n_frames} frames "
+            f"(consumer alive: {consumer.is_alive()})"
+        )
+
+    return {
+        "n_frames": int(n_frames),
+        "bytes_total": int(len(payload)),
+        "frame_bytes_mean": float(len(payload) / n_frames),
+        "chunk_bytes": int(chunk_bytes),
+        "whole_chunk_bytes_copied_per_frame": float(whole.bytes_copied_per_frame),
+        "chunked_bytes_copied_per_frame": float(chunked.bytes_copied_per_frame),
+        "ring_bytes": int(ring_bytes),
+        "ring_bytes_copied_per_frame": float(ring_splitter.bytes_copied_per_frame),
+        "ring_mb_per_second": (
+            float(len(payload) / elapsed / 1e6) if elapsed > 0 else 0.0
+        ),
+        "ring_frames_per_second": float(n_frames / elapsed) if elapsed > 0 else 0.0,
+    }
+
+
 def run_perf_suite(
     sizes: tuple[int, ...] = DEFAULT_SIGNAL_SIZES,
     *,
@@ -619,9 +907,13 @@ def run_perf_suite(
     results["service"]["sharded"] = run_sharded_scaling_benchmark(seed=seed)
     results["service"]["gateway"] = run_gateway_benchmark(seed=seed)
     results["service"]["reshard"] = run_reshard_benchmark(seed=seed)
+    # Batched cross-session kernels vs the sequential path at 256 due jobs,
+    # and the copy accounting of the zero-copy ingest hops (schema v6).
+    results["service"]["batch_detect"] = run_batch_detect_benchmark(seed=seed)
+    results["service"]["ingest_copies"] = run_ingest_copies_benchmark(seed=seed)
 
     return {
-        "schema_version": 5,
+        "schema_version": 6,
         "generated_at": int(time.time()),
         "environment": {
             "python": platform.python_version(),

@@ -11,8 +11,10 @@ growing — and adaptively shrinking — time window.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.constants import MAX_PERIODIC_CANDIDATES
 from repro.core.characterization import characterize
@@ -26,8 +28,8 @@ from repro.core.result import (
 )
 from repro.exceptions import AnalysisError
 from repro.freq.autocorr import detect_period_autocorrelation, similarity_to_candidates
-from repro.freq.dft import dft
-from repro.freq.outliers import make_detector
+from repro.freq.dft import DftResult, dft
+from repro.freq.outliers import OutlierResult, make_detector
 from repro.freq.spectrum import PowerSpectrum, power_spectrum_from_dft
 from repro.trace.bandwidth import BandwidthSignal
 from repro.trace.darshan import DarshanHeatmap, heatmap_to_signal
@@ -37,6 +39,42 @@ from repro.utils.stats import zscores
 
 #: Union of the source types :meth:`Ftio.detect` accepts.
 TraceLike = Trace | BandwidthSignal | DiscreteSignal | DarshanHeatmap
+
+
+@dataclass(frozen=True)
+class SpectralKernels:
+    """Precomputed spectral building blocks for one :meth:`Ftio.analyze_signal` call.
+
+    The batched detection engine (:mod:`repro.service.batch`) evaluates the
+    expensive transforms of many sessions at once — a single 2-D ``rfft``, a
+    batched Wiener–Khinchin ACF, one vectorized Z-score pass — and then feeds
+    each session's slice back into the ordinary pipeline through this
+    container.  Every field must be bit-identical to what the sequential path
+    would have computed from ``signal``; the caller guarantees that, and the
+    equivalence test suite enforces it.
+
+    Attributes
+    ----------
+    signal:
+        The *prepared* signal the kernels were computed from (after the
+        configured ``skip_first_phase`` trimming).
+    dft:
+        Single-sided DFT of ``signal.samples``.
+    scores:
+        Z-scores of the non-DC power bins, or ``None`` to compute them.
+    outliers:
+        Prebuilt outlier decision (only when the configured detector's
+        decision is batchable, e.g. ``"zscore"``), or ``None`` to run the
+        detector per session.
+    acf:
+        Normalized autocorrelation of ``signal.samples``, or ``None``.
+    """
+
+    signal: DiscreteSignal
+    dft: DftResult
+    scores: NDArray[np.float64] | None = None
+    outliers: OutlierResult | None = None
+    acf: NDArray[np.float64] | None = None
 
 
 class Ftio:
@@ -104,18 +142,48 @@ class Ftio:
             metadata=metadata,
         )
 
-    def analyze_signal(self, signal: DiscreteSignal) -> FtioResult:
-        """Run the frequency analysis on an already discretized signal."""
+    def analyze_signal(
+        self,
+        signal: DiscreteSignal,
+        *,
+        kernels: SpectralKernels | None = None,
+        prepared: bool = False,
+    ) -> FtioResult:
+        """Run the frequency analysis on an already discretized signal.
+
+        Parameters
+        ----------
+        signal:
+            The discretized bandwidth signal.
+        kernels:
+            Optional precomputed transforms from the batched engine; every
+            provided field replaces the equivalent per-call computation and
+            must be bit-identical to it.  ``kernels.signal`` is analysed in
+            place of ``signal`` (it already carries the configured trimming).
+        prepared:
+            Set when ``signal`` already went through :meth:`prepare_signal`,
+            so the trimming is not applied a second time.
+        """
         cfg = self.config
-        if cfg.skip_first_phase:
-            signal = _skip_first_phase(signal)
+        if kernels is not None:
+            signal = kernels.signal
+        elif not prepared:
+            signal = self.prepare_signal(signal)
 
-        spectrum = power_spectrum_from_dft(dft(signal.samples, signal.sampling_frequency))
+        dft_result = kernels.dft if kernels is not None else dft(
+            signal.samples, signal.sampling_frequency
+        )
+        spectrum = power_spectrum_from_dft(dft_result)
         power = spectrum.analysis_power
-        scores = zscores(power)
+        scores = kernels.scores if kernels is not None and kernels.scores is not None else (
+            zscores(power)
+        )
 
-        detector = make_detector(cfg.outlier_method, **cfg.outlier_kwargs)
-        outliers = detector.detect(power, spectrum.analysis_frequencies)
+        if kernels is not None and kernels.outliers is not None:
+            outliers = kernels.outliers
+        else:
+            detector = make_detector(cfg.outlier_method, **cfg.outlier_kwargs)
+            outliers = detector.detect(power, spectrum.analysis_frequencies)
 
         candidates = self._select_candidates(spectrum, scores, outliers.is_outlier)
         periodicity, dominant = self._classify(candidates)
@@ -132,6 +200,7 @@ class Ftio:
                 signal.sampling_frequency,
                 peak_threshold=cfg.acf_peak_threshold,
                 zscore_threshold=cfg.zscore_threshold,
+                acf=kernels.acf if kernels is not None else None,
             )
             if dominant is not None and autocorr.period is not None:
                 similarity = similarity_to_candidates(
@@ -164,6 +233,27 @@ class Ftio:
                 "abstraction_error": signal.abstraction_error,
             },
         )
+
+    def prepare_signal(self, signal: DiscreteSignal) -> DiscreteSignal:
+        """Apply the configured pre-analysis trimming (``skip_first_phase``).
+
+        This is the exact preparation :meth:`analyze_signal` performs before
+        its transforms; the batched engine calls it first so the kernels it
+        stacks are computed from the same samples the analysis will see.
+        """
+        if self.config.skip_first_phase:
+            return _skip_first_phase(signal)
+        return signal
+
+    def to_signal(
+        self,
+        source: TraceLike,
+        *,
+        window: tuple[float, float] | None = None,
+        sampling_frequency: float | None = None,
+    ) -> DiscreteSignal:
+        """Discretize ``source`` exactly as :meth:`detect` would (without analysing it)."""
+        return self._to_signal(source, window=window, sampling_frequency=sampling_frequency)
 
     # ------------------------------------------------------------------ #
     # pipeline stages

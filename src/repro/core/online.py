@@ -20,15 +20,17 @@ reproduced without a live MPI application.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.core.config import FtioConfig
-from repro.core.ftio import Ftio
+from repro.core.ftio import Ftio, SpectralKernels
 from repro.core.intervals import FrequencyInterval, merge_predictions
 from repro.core.result import FtioResult
 from repro.exceptions import AnalysisError, EmptyTraceError, InsufficientSamplesError
 from repro.trace.jsonl import FlushRecord, iter_flushes
+from repro.trace.sampling import DiscreteSignal
 from repro.trace.trace import Trace, merge_traces
 
 
@@ -80,6 +82,37 @@ class PredictionStep:
     def window_length(self) -> float:
         """Length Δt of the analysis window."""
         return self.window[1] - self.window[0]
+
+
+@dataclass(frozen=True)
+class PreparedStep:
+    """Phase 1 of one online evaluation: the window and the discretized signal.
+
+    :meth:`OnlinePredictor.prepare_step` computes the adaptive analysis
+    window and discretizes the trace; :meth:`OnlinePredictor.complete_step`
+    then runs the spectral analysis and commits the outcome to the history.
+    The split exists so the batched detection engine can discretize many
+    sessions, stack the resulting windows and evaluate their transforms in
+    one batch between the two phases — ``step()`` is exactly
+    ``complete_step(prepare_step(...))``.
+
+    Attributes
+    ----------
+    time:
+        Trigger time of the evaluation.
+    window:
+        (t0, t1) analysis window that will be recorded for the step.
+    signal:
+        The prepared (trimmed) discrete signal to analyse, or ``None`` when
+        the window held too little data to discretize.
+    trace_metadata:
+        Metadata of the source trace, merged into the result's metadata.
+    """
+
+    time: float
+    window: tuple[float, float]
+    signal: DiscreteSignal | None
+    trace_metadata: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -164,6 +197,16 @@ class OnlinePredictor:
         now:
             Trigger time of the evaluation; defaults to the end of the trace.
         """
+        return self.complete_step(self.prepare_step(trace, now=now))
+
+    def prepare_step(self, trace: Trace, *, now: float | None = None) -> PreparedStep:
+        """Phase 1 of :meth:`step`: pick the adaptive window and discretize.
+
+        Raises :class:`AnalysisError` on an empty trace, exactly like
+        :meth:`step`; a window that holds too little data to discretize
+        yields a prepared step with ``signal=None`` ("no result", not a
+        crash).
+        """
         if trace.is_empty:
             raise AnalysisError("cannot run an online prediction on an empty trace")
         t_end = float(now if now is not None else trace.t_end)
@@ -175,15 +218,52 @@ class OnlinePredictor:
             window_start = t_begin
         window = (window_start, t_end)
 
-        result: FtioResult | None
+        signal: DiscreteSignal | None
         try:
-            result = self._ftio.detect(trace, window=window)
+            signal = self._ftio.prepare_signal(self._ftio.to_signal(trace, window=window))
         except (InsufficientSamplesError, AnalysisError, EmptyTraceError):
             # An analysis window that holds no analysable requests (e.g. only
             # reads under io_kind="write") is "no result", not a crash.
-            result = None
+            signal = None
+        return PreparedStep(
+            time=t_end, window=window, signal=signal, trace_metadata=dict(trace.metadata)
+        )
 
-        step = PredictionStep(index=len(self._history), time=t_end, window=window, result=result)
+    def complete_step(
+        self, prepared: PreparedStep, *, kernels: SpectralKernels | None = None
+    ) -> PredictionStep:
+        """Phase 2 of :meth:`step`: analyse the prepared signal and commit the outcome.
+
+        Parameters
+        ----------
+        prepared:
+            The output of :meth:`prepare_step`.
+        kernels:
+            Optional precomputed transforms (see :class:`SpectralKernels`);
+            they must have been computed from ``prepared.signal``.
+        """
+        result: FtioResult | None = None
+        if prepared.signal is not None:
+            started = time.perf_counter()
+            try:
+                result = self._ftio.analyze_signal(
+                    prepared.signal, kernels=kernels, prepared=True
+                )
+            except (InsufficientSamplesError, AnalysisError, EmptyTraceError):
+                result = None
+            if result is not None:
+                metadata = dict(result.metadata)
+                if prepared.trace_metadata is not None:
+                    metadata.setdefault("trace_metadata", prepared.trace_metadata)
+                result = replace(
+                    result,
+                    analysis_time=time.perf_counter() - started,
+                    metadata=metadata,
+                )
+
+        step = PredictionStep(
+            index=len(self._history), time=prepared.time, window=prepared.window, result=result
+        )
         self._history.append(step)
         self._update_adaptive_state(step)
         if self.compact_history and result is not None:

@@ -14,6 +14,7 @@ the period.  FTIO uses the ACF as a *second opinion* on the DFT result:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,6 +23,7 @@ from scipy.signal import find_peaks
 
 from repro.constants import ACF_PEAK_THRESHOLD, ZSCORE_OUTLIER_THRESHOLD
 from repro.exceptions import InsufficientSamplesError
+from repro.freq import plan
 from repro.utils.stats import coefficient_of_variation, weighted_mean, zscores
 from repro.utils.validation import check_positive
 
@@ -54,12 +56,61 @@ def autocorrelation(samples: ArrayLike) -> NDArray[np.float64]:
     # Power-of-two FFT length >= 2n - 1 avoids circular wrap-around and keeps
     # the transform on the fast radix-2 path.
     nfft = 1 << (2 * n - 1).bit_length()
-    spectrum = np.fft.rfft(centred, n=nfft)
-    lag_products = np.fft.irfft(spectrum * np.conj(spectrum), n=nfft)[:n]
+    spectrum = plan.rfft(centred, n=nfft)
+    lag_products = plan.irfft(spectrum * np.conj(spectrum), n=nfft)[:n]
     acf = lag_products / energy
     # Pin the zero lag: the FFT round-trip leaves it at 1 ± a few ulp only.
     acf[0] = 1.0
     return acf
+
+
+def autocorrelation_batch(rows: Sequence[ArrayLike]) -> list[NDArray[np.float64]]:
+    """Batched :func:`autocorrelation` over same-length signals, bit-identical per row.
+
+    The two O(N log N) transforms of the Wiener–Khinchin evaluation run as
+    single 2-D batched FFTs over the whole stack (``numpy``'s batched rfft and
+    irfft produce bit-identical rows to their 1-D calls).  The steps whose
+    floating-point result is *shape-sensitive* — the complex power product and
+    the energy dot product, where SIMD/FMA contraction differs between 1-D and
+    2-D evaluation — are computed per row on contiguous row views, so every
+    returned row equals ``autocorrelation(rows[i])`` exactly, bit for bit.
+    """
+    k = len(rows)
+    if k == 0:
+        return []
+    first = np.asarray(rows[0], dtype=np.float64)
+    if first.ndim != 1:
+        raise ValueError(f"samples must be one-dimensional, got shape {first.shape}")
+    n = len(first)
+    if n < 2:
+        raise InsufficientSamplesError(f"autocorrelation needs at least 2 samples, got {n}")
+    stacked = plan.workspace((k, n))
+    stacked[0] = first
+    for i in range(1, k):
+        row = np.asarray(rows[i], dtype=np.float64)
+        if row.ndim != 1:
+            raise ValueError(f"samples must be one-dimensional, got shape {row.shape}")
+        if len(row) != n:
+            raise ValueError(f"all rows must share one length, got {len(row)} != {n}")
+        stacked[i] = row
+    means = stacked.mean(axis=1)
+    centred = stacked - means[:, None]
+    energies = [float(np.dot(centred[i], centred[i])) for i in range(k)]
+    nfft = 1 << (2 * n - 1).bit_length()
+    spectra = plan.rfft(centred, n=nfft, axis=1)
+    power = np.empty_like(spectra)
+    for i in range(k):
+        np.multiply(spectra[i], np.conj(spectra[i]), out=power[i])
+    lag_products = plan.irfft(power, n=nfft, axis=1)
+    out: list[NDArray[np.float64]] = []
+    for i in range(k):
+        if energies[i] == 0.0:
+            acf = np.zeros(n)
+        else:
+            acf = lag_products[i, :n] / energies[i]
+        acf[0] = 1.0
+        out.append(acf)
+    return out
 
 
 @dataclass(frozen=True)
@@ -109,6 +160,7 @@ def detect_period_autocorrelation(
     *,
     peak_threshold: float = ACF_PEAK_THRESHOLD,
     zscore_threshold: float = ZSCORE_OUTLIER_THRESHOLD,
+    acf: NDArray[np.float64] | None = None,
 ) -> AutocorrelationResult:
     """Find the period of ``samples`` using the autocorrelation function.
 
@@ -122,9 +174,14 @@ def detect_period_autocorrelation(
         Minimum ACF value for a lag to count as a peak (paper: 0.15).
     zscore_threshold:
         Z-score beyond which a candidate period is discarded as an outlier.
+    acf:
+        Precomputed autocorrelation of ``samples`` (e.g. one row of
+        :func:`autocorrelation_batch`), skipping the per-call transform.  The
+        caller guarantees it equals ``autocorrelation(samples)``.
     """
     fs = check_positive(sampling_frequency, "sampling_frequency")
-    acf = autocorrelation(samples)
+    if acf is None:
+        acf = autocorrelation(samples)
 
     # Peaks of the ACF, excluding the trivial lag-0 peak.
     peak_indices, _ = find_peaks(acf[1:], height=peak_threshold)

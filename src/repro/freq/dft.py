@@ -16,6 +16,7 @@ import numpy as np
 from numpy.typing import ArrayLike, NDArray
 
 from repro.exceptions import InsufficientSamplesError
+from repro.freq import plan
 from repro.utils.validation import check_positive
 
 
@@ -94,8 +95,10 @@ def dft(samples: ArrayLike, sampling_frequency: float) -> DftResult:
     n = len(x)
     if n < 4:
         raise InsufficientSamplesError(f"DFT needs at least 4 samples, got {n}")
-    coefficients = np.fft.rfft(x)
-    frequencies = np.fft.rfftfreq(n, d=1.0 / fs)
+    coefficients = plan.rfft(x)
+    # The frequency grid depends only on (n, fs), which recur on every
+    # evaluation of a steady-state session — served from the shared cache.
+    frequencies = plan.rfftfreq_grid(n, fs)
     return DftResult(
         coefficients=coefficients,
         frequencies=frequencies,
@@ -149,7 +152,7 @@ def reconstruct(
         masked = np.zeros_like(result.coefficients)
         masked[0] = result.coefficients[0]
         masked[selected] = result.coefficients[selected]
-        return np.fft.irfft(masked, n=n_orig)
+        return plan.irfft(masked, n=n_orig)
 
     # Extension/truncation to a different length: evaluate the selected
     # cosines in broadcast expressions over (bins, time) grids, chunked over

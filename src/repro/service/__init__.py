@@ -9,8 +9,9 @@ subscribers and, through :class:`ServicePeriodProvider`, to the Set-10
 scheduler, closing the paper's Figure 17 loop end to end.
 
 Past one process, :class:`ShardedService` consistent-hashes jobs onto N
-worker shards — each a full service in its own subprocess fed over a
-socketpair of FTS1 frames — with a header-only router, aggregated stats,
+worker shards — each a full service in its own subprocess fed FTS1 frames
+through a shared-memory ring (:mod:`repro.service.shm_ring`; the socketpair
+is just its doorbell) — with a header-only router, aggregated stats,
 merged snapshot/restore, crash recovery, and *elastic live resharding*
 (:meth:`ShardedService.reshard` grows or shrinks the topology mid-stream
 with minimal session movement; see :mod:`repro.service.sharding`).  Where an evaluation runs is pluggable:
@@ -30,6 +31,13 @@ from repro.service.backend import (
     ThreadBackend,
     make_backend,
 )
+from repro.service.batch import (
+    BatchReport,
+    compute_batch_kernels,
+    detect_sessions_inline,
+    detect_sessions_remote,
+    run_batch_detection,
+)
 from repro.service.bridge import PhaseFlushBridge
 from repro.service.gateway import ServiceGateway, ThreadedGateway
 from repro.service.broker import BrokerStats, FlushBroker
@@ -46,6 +54,7 @@ from repro.service.session import (
     run_detection_task,
 )
 from repro.service.sharding import HashRing, ShardedService
+from repro.service.shm_ring import RingHandle, ShmRingReader, ShmRingWriter
 from repro.service.snapshot import (
     apply_state,
     extract_jobs,
@@ -60,6 +69,7 @@ from repro.service.snapshot import (
 
 __all__ = [
     "PhaseFlushBridge",
+    "BatchReport",
     "BrokerStats",
     "ServiceGateway",
     "ThreadedGateway",
@@ -76,19 +86,26 @@ __all__ = [
     "PredictionPublisher",
     "PredictionUpdate",
     "PredictionService",
+    "RingHandle",
     "ServiceConfig",
     "ShardedService",
+    "ShmRingReader",
+    "ShmRingWriter",
     "JobSession",
     "RingColumnStore",
     "SessionConfig",
     "ThreadBackend",
     "apply_state",
+    "compute_batch_kernels",
+    "detect_sessions_inline",
+    "detect_sessions_remote",
     "extract_jobs",
     "load_snapshot",
     "make_backend",
     "merge_into",
     "merge_states",
     "restore_state",
+    "run_batch_detection",
     "run_detection_task",
     "save_snapshot",
     "snapshot_state",

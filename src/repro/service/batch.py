@@ -1,0 +1,356 @@
+"""Batched cross-session spectral kernels — the service detection hot path.
+
+When many sessions come due at once the dispatcher no longer evaluates them
+one FFT at a time.  The batch engine claims every due session (two-phase, via
+:meth:`JobSession.begin_batch_detect`), discretizes their adaptive windows,
+groups the prepared signals by effective window length ``(n_samples, fs)``,
+stacks each group into one 2-D array and evaluates the group's transforms as
+single batched kernels — one 2-D ``rfft`` for the power spectra, one
+vectorized Z-score pass, one batched Wiener–Khinchin ACF.  Each session's
+slice is then fed back through the ordinary pipeline via
+:class:`~repro.core.ftio.SpectralKernels`, so the decision logic (candidate
+selection, harmonic rule, classification, confidence) runs unchanged.
+
+**Bit-identity contract.**  Every value a batched evaluation produces equals
+the sequential evaluation bit for bit, on both backends.  The kernels only
+use 2-D evaluation where numpy produces bit-identical rows: the FFT
+transforms, the mean/std axis reductions, and elementwise maps whose every
+output element is one exact IEEE operation of its input element (abs,
+square, divide, subtract — lane position cannot change those).  The
+shape-sensitive steps — complex products like ``x * conj(x)`` and energy dot
+products, where SIMD/FMA contraction makes the 2-D form differ from its 1-D
+rows in the last ulp — stay per row on contiguous views.  The equivalence
+suite asserts the contract across mixed window lengths, ragged NaN-padded
+stacks and both backends.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.core.config import FtioConfig
+from repro.core.ftio import SpectralKernels
+from repro.core.online import OnlinePredictor, PredictionStep, PreparedStep
+from repro.freq import plan
+from repro.freq.autocorr import autocorrelation_batch
+from repro.freq.dft import DftResult
+from repro.freq.outliers import OutlierResult, ZScoreDetector, make_detector
+from repro.service.session import (
+    DetectionOutcome,
+    DetectionTask,
+    JobSession,
+    step_to_entry,
+)
+from repro.trace.sampling import DiscreteSignal
+
+#: Minimum samples for a spectrum (mirrors :func:`repro.freq.dft.dft`); rows
+#: below it fall back to the sequential per-session path, which raises the
+#: same ``InsufficientSamplesError`` the offline pipeline would.
+_MIN_SPECTRUM_SAMPLES = 4
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one batched evaluation over a set of sessions.
+
+    ``steps`` is aligned with the input sessions (``None`` where the session
+    had nothing to evaluate or failed); ``failed`` marks the sessions whose
+    evaluation raised and was dropped.
+    """
+
+    steps: list[PredictionStep | None]
+    failed: list[bool]
+
+    @property
+    def failures(self) -> int:
+        """Number of sessions whose evaluation failed."""
+        return sum(self.failed)
+
+
+# --------------------------------------------------------------------- #
+# stacking + kernels
+# --------------------------------------------------------------------- #
+def stack_windows(
+    samples: Sequence[NDArray[np.float64]],
+) -> tuple[NDArray[np.float64], list[int]]:
+    """Stack variable-length windows into one NaN-padded ragged 2-D array.
+
+    Row ``i`` holds ``samples[i]`` in its first ``lengths[i]`` columns and
+    NaN in the tail; consumers slice ``stack[i, :lengths[i]]`` and never read
+    the padding.  The buffer comes from the shared per-thread workspace
+    cache, so steady-state batches reuse one allocation.
+    """
+    lengths = [int(len(row)) for row in samples]
+    width = max(lengths, default=0)
+    stacked = plan.workspace((len(lengths), width))
+    stacked.fill(np.nan)
+    for i, row in enumerate(samples):
+        stacked[i, : lengths[i]] = row
+    return stacked, lengths
+
+
+def compute_batch_kernels(
+    signals: Sequence[DiscreteSignal | None],
+    configs: Sequence[FtioConfig],
+) -> list[SpectralKernels | None]:
+    """Evaluate the spectral kernels of many prepared signals in batches.
+
+    Signals are grouped by ``(n_samples, sampling_frequency)``; each group
+    runs one 2-D ``rfft``, one vectorized Z-score pass and (where the
+    configuration asks for it) one batched ACF.  Entries that cannot be
+    batched (``None`` signals, fewer than 4 samples, non-batchable outlier
+    detectors fall back partially) get ``None`` / partial kernels, and the
+    per-session pipeline computes the rest exactly as before.
+
+    Every returned kernel is bit-identical to what the sequential pipeline
+    would compute from the same signal.
+    """
+    if len(signals) != len(configs):
+        raise ValueError(f"{len(signals)} signals but {len(configs)} configs")
+    kernels: list[SpectralKernels | None] = [None] * len(signals)
+    # Fleets share a handful of config objects; build each one's detector
+    # once per batch instead of once per session.
+    detectors: dict[int, object] = {}
+
+    def detector_for(cfg: FtioConfig) -> object:
+        detector = detectors.get(id(cfg))
+        if detector is None:
+            detector = make_detector(cfg.outlier_method, **cfg.outlier_kwargs)
+            detectors[id(cfg)] = detector
+        return detector
+
+    groups: dict[tuple[int, float], list[int]] = {}
+    for i, signal in enumerate(signals):
+        if signal is None or signal.n_samples < _MIN_SPECTRUM_SAMPLES:
+            continue
+        groups.setdefault((signal.n_samples, float(signal.sampling_frequency)), []).append(i)
+    if not groups:
+        return kernels
+
+    # One ragged NaN-padded master stack for the whole batch; every group's
+    # contiguous block is extracted up front because the per-group kernels
+    # below reuse the same per-thread workspace buffers.
+    order = [i for indices in groups.values() for i in indices]
+    stacked, _ = stack_windows(
+        [np.asarray(signals[i].samples, dtype=np.float64) for i in order]  # type: ignore[union-attr]
+    )
+    row_of = {index: row for row, index in enumerate(order)}
+    blocks: dict[tuple[int, float], NDArray[np.float64]] = {}
+    for key, indices in groups.items():
+        n = key[0]
+        blocks[key] = stacked[[row_of[i] for i in indices], :n]
+
+    for (n, fs), indices in groups.items():
+        block = blocks[(n, fs)]
+        coefficients = plan.rfft(block, axis=1)
+        frequencies = plan.rfftfreq_grid(n, fs)
+
+        # Power and Z-scores of the whole group in single elementwise passes:
+        # abs, square, divide and subtract map each element independently
+        # through exact IEEE operations, so their 2-D forms equal the 1-D
+        # per-row results bit for bit.  (Products like ``x * conj(x)`` do NOT
+        # qualify — FMA contraction differs across shapes — which is why the
+        # power comes from ``abs`` first.)
+        amplitudes = np.abs(coefficients)
+        np.multiply(amplitudes, amplitudes, out=amplitudes)  # == amplitudes**2
+        np.divide(amplitudes, n, out=amplitudes)
+        analysis_power = amplitudes[:, 1:]
+        means = analysis_power.mean(axis=1)
+        stds = analysis_power.std(axis=1)
+        scores_block = np.abs(analysis_power)
+        np.subtract(scores_block, np.abs(means)[:, None], out=scores_block)
+        np.divide(
+            scores_block, np.where(stds == 0.0, 1.0, stds)[:, None], out=scores_block
+        )
+        scores_block[stds == 0.0] = 0.0
+
+        acf_rows = [
+            row for row, i in enumerate(indices) if configs[i].use_autocorrelation
+        ]
+        acfs = (
+            autocorrelation_batch([signals[indices[row]].samples for row in acf_rows])  # type: ignore[union-attr]
+            if acf_rows
+            else []
+        )
+        acf_of = dict(zip(acf_rows, acfs))
+
+        # One 2-D comparison per distinct threshold instead of one ufunc
+        # call per row (exact comparisons, identical to the per-row form).
+        outlier_masks: dict[float, NDArray[np.bool_]] = {}
+
+        for row, i in enumerate(indices):
+            signal = signals[i]
+            assert signal is not None
+            # Fresh arrays per session: a view would pin the whole group's
+            # score block in memory for as long as any one result lives.
+            scores = scores_block[row].copy()
+            outliers: OutlierResult | None = None
+            detector = detector_for(configs[i])
+            if isinstance(detector, ZScoreDetector):
+                # The Z-score detector recomputes exactly the scores above;
+                # its decision is a pure threshold on them.
+                mask = outlier_masks.get(detector.threshold)
+                if mask is None:
+                    mask = scores_block >= detector.threshold
+                    outlier_masks[detector.threshold] = mask
+                outliers = OutlierResult(
+                    scores=scores,
+                    is_outlier=mask[row].copy(),
+                    method=detector.name,
+                )
+            kernels[i] = SpectralKernels(
+                signal=signal,
+                dft=DftResult(
+                    coefficients=coefficients[row],
+                    frequencies=frequencies,
+                    n_samples=n,
+                    sampling_frequency=fs,
+                ),
+                scores=scores,
+                outliers=outliers,
+                acf=acf_of.get(row),
+            )
+    return kernels
+
+
+# --------------------------------------------------------------------- #
+# batched evaluation of detection tasks (process-safe)
+# --------------------------------------------------------------------- #
+def run_batch_detection(tasks: Sequence[DetectionTask]) -> list[DetectionOutcome | None]:
+    """Evaluate many :class:`DetectionTask` in one batch (pure, process-safe).
+
+    The process-pool backend ships a whole batch to one worker through this
+    function.  Each task's predictor is rebuilt from its state dict, the
+    prepared windows are evaluated through the shared batched kernels, and
+    the updated states come back — a session whose state round-trips through
+    here transitions bit-identically to one that evaluated inline.  A task
+    whose evaluation raises yields ``None`` (dropped, like a failed
+    sequential dispatch) without poisoning the rest of the batch.
+    """
+    predictors: list[OnlinePredictor | None] = []
+    prepared: list[PreparedStep | None] = []
+    for task in tasks:
+        predictor = OnlinePredictor(
+            config=task.config, adaptive_window=task.adaptive_window, compact_history=True
+        )
+        predictor.load_state_dict(task.predictor_state)
+        try:
+            prep = predictor.prepare_step(task.trace, now=task.now)
+        except Exception:
+            predictor, prep = None, None
+        predictors.append(predictor)
+        prepared.append(prep)
+
+    kernels = compute_batch_kernels(
+        [prep.signal if prep is not None else None for prep in prepared],
+        [task.config for task in tasks],
+    )
+
+    outcomes: list[DetectionOutcome | None] = []
+    for predictor, prep, kernel in zip(predictors, prepared, kernels):
+        if predictor is None or prep is None:
+            outcomes.append(None)
+            continue
+        try:
+            step = predictor.complete_step(prep, kernels=kernel)
+            outcomes.append(
+                DetectionOutcome(
+                    predictor_state=predictor.state_dict(), step=step_to_entry(step)
+                )
+            )
+        except Exception:
+            outcomes.append(None)
+    return outcomes
+
+
+# --------------------------------------------------------------------- #
+# batched evaluation of live sessions (backend entry points)
+# --------------------------------------------------------------------- #
+def detect_sessions_inline(sessions: Sequence[JobSession]) -> BatchReport:
+    """Thread-backend batch: evaluate live sessions with shared kernels.
+
+    Claims every session (two-phase), prepares the windows against the live
+    predictors, computes the batched kernels, and commits each session under
+    its own lock.  No predictor state is serialized — the live predictor
+    steps through exactly the same ``prepare_step``/``complete_step`` pair
+    ``step()`` is built from.
+    """
+    steps: list[PredictionStep | None] = [None] * len(sessions)
+    failed = [False] * len(sessions)
+    prepared: list[PreparedStep | None] = [None] * len(sessions)
+    configs: list[FtioConfig] = []
+
+    for i, session in enumerate(sessions):
+        configs.append(session.config.config)
+        task = session.begin_batch_detect()
+        if task is None:
+            continue
+        try:
+            prepared[i] = session.predictor.prepare_step(task.trace, now=task.now)
+        except Exception:
+            session.abort_batch_detect()
+            failed[i] = True
+
+    kernels = compute_batch_kernels(
+        [prep.signal if prep is not None else None for prep in prepared], configs
+    )
+
+    for i, session in enumerate(sessions):
+        prep = prepared[i]
+        if prep is None:
+            continue
+        try:
+            steps[i] = session.complete_batch_detect(prep, kernels=kernels[i])
+        except Exception:
+            session.abort_batch_detect()
+            failed[i] = True
+    return BatchReport(steps=steps, failed=failed)
+
+
+def detect_sessions_remote(
+    sessions: Sequence[JobSession],
+    submit: Callable[[list[DetectionTask]], list[DetectionOutcome | None]],
+) -> BatchReport:
+    """Process-backend batch: ship the claimed tasks to a worker as one unit.
+
+    ``submit`` evaluates a task list via :func:`run_batch_detection` in
+    another process and returns the aligned outcomes.  If the submission
+    itself fails (e.g. a broken pool), every claimed session is released and
+    marked failed — the batch is dropped, ingestion is unaffected.
+    """
+    steps: list[PredictionStep | None] = [None] * len(sessions)
+    failed = [False] * len(sessions)
+    claimed: list[int] = []
+    tasks: list[DetectionTask] = []
+    for i, session in enumerate(sessions):
+        task = session.begin_batch_detect(with_state=True)
+        if task is None:
+            continue
+        claimed.append(i)
+        tasks.append(task)
+    if not tasks:
+        return BatchReport(steps=steps, failed=failed)
+
+    try:
+        outcomes = submit(tasks)
+        if len(outcomes) != len(tasks):
+            raise RuntimeError(
+                f"batch engine returned {len(outcomes)} outcomes for {len(tasks)} tasks"
+            )
+    except Exception:
+        for i in claimed:
+            sessions[i].abort_batch_detect()
+            failed[i] = True
+        return BatchReport(steps=steps, failed=failed)
+
+    for i, outcome in zip(claimed, outcomes):
+        if outcome is None:
+            sessions[i].abort_batch_detect()
+            failed[i] = True
+            continue
+        steps[i] = sessions[i].finish_batch_detect(outcome)
+    return BatchReport(steps=steps, failed=failed)

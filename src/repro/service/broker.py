@@ -164,6 +164,38 @@ class FlushBroker:
             frames = list(self._decoder.frames())
         return self.ingest_frames(frames)
 
+    def feed_borrowed(self, data: memoryview) -> int:
+        """Feed bytes whose memory is reclaimed after this call returns.
+
+        Same as :meth:`feed_bytes`, but ``data`` is a borrowed view (a slice
+        of the shared-memory ring): any undecoded tail is materialized
+        (:meth:`~repro.trace.framing._FrameBuffer.detach`) before returning,
+        so the caller may acknowledge/overwrite the memory immediately.  A
+        frame completed by this call is decoded straight out of the borrowed
+        view — zero copies on the common path.
+        """
+        with self._lock:
+            self._decoder.feed(data)
+            frames = list(self._decoder.frames())
+            self._decoder.detach()
+        return self.ingest_frames(frames)
+
+    @property
+    def copy_stats(self) -> dict[str, float]:
+        """Ingest-path copy counters of the frame decoder.
+
+        ``bytes_copied_per_frame`` is the headline metric: bytes materialized
+        by the decoder per emitted frame (0.0 when every frame was decoded in
+        place from borrowed buffers).
+        """
+        with self._lock:
+            return {
+                "frames_emitted": self._decoder.frames_emitted,
+                "bytes_emitted": self._decoder.bytes_emitted,
+                "bytes_copied": self._decoder.bytes_copied,
+                "bytes_copied_per_frame": self._decoder.bytes_copied_per_frame,
+            }
+
     def tail(self, path: str | Path, *, offset: int = 0) -> FrameReader:
         """Return a :class:`FrameReader` whose polls feed this broker.
 

@@ -14,6 +14,15 @@ rather than ever-slower:
 
 With ``max_workers=0`` evaluations run inline in the pumping thread, which is
 deterministic and what the equivalence tests use.
+
+By default (``batching=True``) a pump that finds several due sessions hands
+them to the backend as **one batch** (:meth:`DetectionBackend.detect_batch`):
+the backend groups the windows by effective length and evaluates each group
+with single vectorized FFT/ACF/outlier kernels (see
+:mod:`repro.service.batch`), bit-identical to evaluating the sessions one by
+one.  The whole batch occupies one pool slot; counters stay in *evaluation*
+units, and per-session latency is reported as the batch wall time divided by
+the batch size.
 """
 
 from __future__ import annotations
@@ -79,6 +88,7 @@ class DetectionDispatcher:
         max_pending: int = 64,
         latency_window: int = 4096,
         backend: DetectionBackend | None = None,
+        batching: bool = True,
     ) -> None:
         if max_workers < 0:
             raise ValueError(f"max_workers must be >= 0, got {max_workers}")
@@ -91,8 +101,13 @@ class DetectionDispatcher:
         self._backend = backend if backend is not None else ThreadBackend()
         self._pool = ThreadPoolExecutor(max_workers=max_workers) if max_workers else None
         self._max_pending = max_pending
+        self._batching = batching
         self._closed = False
         self._futures: set[Future] = set()
+        # In-flight count in *evaluation* units (a batch future counts as
+        # len(batch)); keeps DispatcherStats.pending and the backpressure
+        # capacity independent of how evaluations are packed into futures.
+        self._pending_evals = 0
         self._lock = threading.Lock()
         # Bounded: a long-running service must not accumulate one float per
         # evaluation forever; percentiles are over the most recent window.
@@ -122,7 +137,7 @@ class DetectionDispatcher:
                 completed=self._completed,
                 deferred=self._deferred,
                 failures=self._failures,
-                pending=len(self._futures),
+                pending=self._pending_evals,
             )
 
     def latencies(self) -> tuple[float, ...]:
@@ -146,26 +161,50 @@ class DetectionDispatcher:
         """
         if self._closed:
             raise RuntimeError("cannot pump a closed dispatcher")
-        submitted: list[Future] = []
-        count = 0
-        for session in self._broker.due_sessions():
-            with self._lock:
-                if len(self._futures) >= self._max_pending:
-                    self._deferred += 1
-                    continue
-                self._submitted += 1
-            count += 1
+        due = list(self._broker.due_sessions())
+        if not due:
+            return 0
+        # One lock acquisition for the whole due set: capacity is computed
+        # once, the overflow is deferred in one go, and the counters move
+        # atomically — the old per-session re-locking let concurrent pumps
+        # interleave half-updated counters between sessions.
+        with self._lock:
             if self._pool is None:
-                self._run_one(session)
+                # Inline execution completes before pump returns; nothing is
+                # ever in flight, so backpressure cannot apply.
+                capacity = len(due)
             else:
-                future = self._pool.submit(self._run_one, session)
+                capacity = max(0, self._max_pending - self._pending_evals)
+            selected = due[:capacity]
+            self._deferred += len(due) - len(selected)
+            self._submitted += len(selected)
+            self._pending_evals += len(selected)
+        if not selected:
+            return 0
+
+        submitted: list[Future] = []
+        if self._batching and len(selected) > 1:
+            if self._pool is None:
+                self._run_batch(selected)
+            else:
+                future = self._pool.submit(self._run_batch, selected)
                 with self._lock:
                     self._futures.add(future)
                 future.add_done_callback(self._discard_future)
                 submitted.append(future)
+        else:
+            for session in selected:
+                if self._pool is None:
+                    self._run_one(session)
+                else:
+                    future = self._pool.submit(self._run_one, session)
+                    with self._lock:
+                        self._futures.add(future)
+                    future.add_done_callback(self._discard_future)
+                    submitted.append(future)
         if wait_for_batch and submitted:
             wait(submitted)
-        return count
+        return len(selected)
 
     def join(self) -> None:
         """Block until every in-flight evaluation has completed."""
@@ -201,10 +240,39 @@ class DetectionDispatcher:
         except Exception:
             with self._lock:
                 self._failures += 1
+                self._pending_evals -= 1
             raise
         latency = time.perf_counter() - started
         with self._lock:
             self._completed += 1
+            self._pending_evals -= 1
             self._latencies.append(latency)
         if self._sink is not None:
             self._sink(session, step, latency)
+
+    def _run_batch(self, sessions: list[JobSession]) -> None:
+        started = time.perf_counter()
+        try:
+            report = self._backend.detect_batch(sessions)
+        except Exception:
+            # The batched engines degrade per session (a failed session is
+            # aborted and reported); an exception here means the backend
+            # itself broke, so the whole batch is lost.
+            with self._lock:
+                self._failures += len(sessions)
+                self._pending_evals -= len(sessions)
+            raise
+        # The batch shares one wall-clock span; each session is attributed an
+        # equal slice so the latency window stays in per-evaluation units.
+        latency = (time.perf_counter() - started) / len(sessions)
+        with self._lock:
+            self._failures += report.failures
+            self._completed += len(sessions) - report.failures
+            self._pending_evals -= len(sessions)
+            for ok in report.failed:
+                if not ok:
+                    self._latencies.append(latency)
+        if self._sink is not None:
+            for session, step, failed in zip(sessions, report.steps, report.failed):
+                if not failed:
+                    self._sink(session, step, latency)

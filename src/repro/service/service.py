@@ -57,6 +57,16 @@ class ServiceConfig:
         ``ProcessPoolExecutor`` (see :mod:`repro.service.backend`).
     backend_workers:
         Worker count of a process backend (``None`` = CPU-count default).
+    batching:
+        Evaluate the due sessions of one pump as a single batch with shared
+        vectorized spectral kernels (see :mod:`repro.service.batch`);
+        bit-identical to sequential evaluation, substantially faster with
+        many concurrent jobs.  Disable to force one evaluation per pool task.
+    ring_bytes:
+        Sharded deployments only: capacity of the shared-memory ring carrying
+        frames from the router to each shard (see
+        :mod:`repro.service.shm_ring`).  ``0`` moves frame bytes over the
+        socketpair instead (the legacy two-copy data plane).
     token:
         Wire-level tenant/auth nibble (0..15).  When set, every ingested FTS1
         frame must carry it and every control-plane peer must present it in
@@ -79,6 +89,8 @@ class ServiceConfig:
     latency_window: int = 4096
     backend: str = "thread"
     backend_workers: int | None = None
+    batching: bool = True
+    ring_bytes: int = 1 << 20
     token: int | None = None
     auto_compact: bool = False
     auto_revive: bool = False
@@ -137,6 +149,7 @@ class PredictionService:
             max_pending=self.config.max_pending,
             latency_window=self.config.latency_window,
             backend=backend,
+            batching=self.config.batching,
         )
 
     # ------------------------------------------------------------------ #
@@ -153,6 +166,14 @@ class PredictionService:
     def feed_bytes(self, data: bytes) -> int:
         """Feed raw framed bytes (e.g. socket reads); returns frames routed."""
         return self.broker.feed_bytes(data)
+
+    def feed_borrowed(self, data: memoryview) -> int:
+        """Feed framed bytes from a borrowed buffer (shared-memory ring views).
+
+        The buffer may be reclaimed as soon as this returns; see
+        :meth:`~repro.service.broker.FlushBroker.feed_borrowed`.
+        """
+        return self.broker.feed_borrowed(data)
 
     def tail_file(self, path: str | Path, *, offset: int = 0) -> FrameReader:
         """Tail a framed spool file; each ``poll()`` ingests the new frames.
@@ -275,11 +296,13 @@ class PredictionService:
         broker = self.broker.stats
         dispatch = self.dispatcher.stats
         sessions = self.broker.sessions()
+        copies = self.broker.copy_stats
         return {
             "jobs": broker.jobs,
             "frames": broker.frames,
             "flushes": broker.flushes,
             "requests": broker.requests,
+            "bytes_copied_per_frame": copies["bytes_copied_per_frame"],
             "resident_samples": sum(s.resident_samples for s in sessions),
             "evicted_samples": sum(s.evicted_samples for s in sessions),
             "detections": dispatch.completed,

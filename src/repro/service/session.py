@@ -26,7 +26,8 @@ from numpy.typing import NDArray
 from typing import Callable
 
 from repro.core.config import FtioConfig
-from repro.core.online import OnlinePredictor, PredictionStep, RestoredResult
+from repro.core.ftio import SpectralKernels
+from repro.core.online import OnlinePredictor, PredictionStep, PreparedStep, RestoredResult
 from repro.trace.jsonl import FlushRecord
 from repro.trace.trace import Trace
 from repro.utils.validation import check_non_negative, check_positive_int
@@ -70,6 +71,35 @@ class DetectionOutcome:
 DetectionEngine = Callable[[DetectionTask], DetectionOutcome]
 
 
+def step_to_entry(step: PredictionStep) -> dict:
+    """Compact, picklable record of one evaluation (inverse of ``_step_from_entry``)."""
+    return {
+        "index": step.index,
+        "time": step.time,
+        "window": [step.window[0], step.window[1]],
+        "frequency": step.dominant_frequency,
+        "period": step.period,
+        "confidence": step.confidence,
+    }
+
+
+def _step_from_entry(entry: dict) -> PredictionStep:
+    """Rebuild a compact :class:`PredictionStep` from an outcome's step dict."""
+    result: RestoredResult | None = None
+    if entry["frequency"] is not None or entry["period"] is not None:
+        result = RestoredResult(
+            dominant_frequency=entry["frequency"],
+            period=entry["period"],
+            best_confidence=float(entry["confidence"]),
+        )
+    return PredictionStep(
+        index=int(entry["index"]),
+        time=float(entry["time"]),
+        window=(float(entry["window"][0]), float(entry["window"][1])),
+        result=result,
+    )
+
+
 def run_detection_task(task: DetectionTask) -> DetectionOutcome:
     """Evaluate one :class:`DetectionTask` (pure function, process-safe).
 
@@ -83,17 +113,7 @@ def run_detection_task(task: DetectionTask) -> DetectionOutcome:
     )
     predictor.load_state_dict(task.predictor_state)
     step = predictor.step(task.trace, now=task.now)
-    return DetectionOutcome(
-        predictor_state=predictor.state_dict(),
-        step={
-            "index": step.index,
-            "time": step.time,
-            "window": [step.window[0], step.window[1]],
-            "frequency": step.dominant_frequency,
-            "period": step.period,
-            "confidence": step.confidence,
-        },
-    )
+    return DetectionOutcome(predictor_state=predictor.state_dict(), step=step_to_entry(step))
 
 
 @dataclass(frozen=True)
@@ -302,6 +322,7 @@ class JobSession:
         self._lock = threading.Lock()
         self._pending_time: float | None = None
         self._last_detection_time: float | None = None
+        self._batch_in_flight = False
         self._ingested_flushes = 0
         self._ingested_requests = 0
         self._detections = 0
@@ -371,6 +392,11 @@ class JobSession:
     def due(self) -> bool:
         """Whether an evaluation should be scheduled for this session."""
         with self._lock:
+            # While a batched evaluation is in flight the session must not be
+            # scheduled again: the outcome of the running batch has not been
+            # applied yet, and a second evaluation would race its state.
+            if self._batch_in_flight:
+                return False
             if self._pending_time is None:
                 return False
             if self._last_detection_time is None:
@@ -400,47 +426,108 @@ class JobSession:
         sequentially no matter which engine runs it.
         """
         with self._lock:
-            if now is None:
-                now = self._pending_time
-            if now is None:
+            if self._batch_in_flight:
                 return None
-            self._pending_time = None
-            self._last_detection_time = float(now)
-            if len(self._store) < self.config.min_requests:
-                self._skipped_detections += 1
+            task = self._claim_task_locked(now, with_state=engine is not None)
+            if task is None:
                 return None
-            trace = self._store.trace(metadata=self._metadata)
             if engine is None:
-                step = self.predictor.step(trace, now=float(now))
+                step = self.predictor.step(task.trace, now=task.now)
             else:
-                outcome = engine(
-                    DetectionTask(
-                        job=self.job,
-                        config=self.config.config,
-                        adaptive_window=self.config.adaptive_window,
-                        predictor_state=self.predictor.state_dict(),
-                        trace=trace,
-                        now=float(now),
-                    )
-                )
+                outcome = engine(task)
                 self.predictor.load_state_dict(outcome.predictor_state)
-                entry = outcome.step
-                result: RestoredResult | None = None
-                if entry["frequency"] is not None or entry["period"] is not None:
-                    result = RestoredResult(
-                        dominant_frequency=entry["frequency"],
-                        period=entry["period"],
-                        best_confidence=float(entry["confidence"]),
-                    )
-                step = PredictionStep(
-                    index=int(entry["index"]),
-                    time=float(entry["time"]),
-                    window=(float(entry["window"][0]), float(entry["window"][1])),
-                    result=result,
-                )
+                step = _step_from_entry(outcome.step)
             self._detections += 1
             self._evict_stale()
             return step
+
+    # ------------------------------------------------------------------ #
+    # batched evaluation (two-phase, used by repro.service.batch)
+    # ------------------------------------------------------------------ #
+    def begin_batch_detect(
+        self, *, now: float | None = None, with_state: bool = False
+    ) -> DetectionTask | None:
+        """Phase 1 of a batched evaluation: claim the pending work as a task.
+
+        Performs exactly the bookkeeping :meth:`detect` does before the
+        evaluation (clear the pending mark, stamp the rate limit, skip when
+        below ``min_requests``) and returns the :class:`DetectionTask`, or
+        ``None`` when there is nothing to evaluate.  ``with_state`` controls
+        whether the predictor state dict is serialized into the task (needed
+        only when the batch is shipped to another process).  Until one of
+        :meth:`complete_batch_detect`, :meth:`finish_batch_detect` or
+        :meth:`abort_batch_detect` runs, the session reports not-due, so no
+        second evaluation can race the in-flight batch.
+        """
+        with self._lock:
+            if self._batch_in_flight:
+                return None
+            task = self._claim_task_locked(now, with_state=with_state)
+            if task is None:
+                return None
+            self._batch_in_flight = True
+            return task
+
+    def complete_batch_detect(
+        self, prepared: PreparedStep, kernels: SpectralKernels | None = None
+    ) -> PredictionStep:
+        """Phase 2 (thread backend): commit a locally prepared evaluation.
+
+        Runs the live predictor's :meth:`~OnlinePredictor.complete_step`
+        with the batch-computed kernels under the session lock, then applies
+        the same post-evaluation bookkeeping as :meth:`detect`.
+        """
+        with self._lock:
+            self._batch_in_flight = False
+            step = self.predictor.complete_step(prepared, kernels=kernels)
+            self._detections += 1
+            self._evict_stale()
+            return step
+
+    def finish_batch_detect(self, outcome: DetectionOutcome) -> PredictionStep:
+        """Phase 2 (process backend): apply an outcome computed in a worker."""
+        with self._lock:
+            self._batch_in_flight = False
+            self.predictor.load_state_dict(outcome.predictor_state)
+            step = _step_from_entry(outcome.step)
+            self._detections += 1
+            self._evict_stale()
+            return step
+
+    def abort_batch_detect(self) -> None:
+        """Release a batch claim without applying anything (failed batch).
+
+        The evaluation is dropped, exactly like a failed sequential dispatch.
+        """
+        with self._lock:
+            self._batch_in_flight = False
+
+    def _claim_task_locked(
+        self, now: float | None, *, with_state: bool = True
+    ) -> DetectionTask | None:
+        """Shared pre-evaluation bookkeeping; the caller holds the lock.
+
+        ``with_state=False`` skips serializing the predictor (O(history));
+        the inline sequential path steps the live predictor directly and
+        never reads the task's state dict.
+        """
+        if now is None:
+            now = self._pending_time
+        if now is None:
+            return None
+        self._pending_time = None
+        self._last_detection_time = float(now)
+        if len(self._store) < self.config.min_requests:
+            self._skipped_detections += 1
+            return None
+        return DetectionTask(
+            job=self.job,
+            config=self.config.config,
+            adaptive_window=self.config.adaptive_window,
+            predictor_state=self.predictor.state_dict() if with_state else {},
+            trace=self._store.trace(metadata=self._metadata),
+            now=float(now),
+        )
 
     def _evict_stale(self) -> None:
         cutoff = self.predictor.evictable_before()

@@ -7,12 +7,18 @@ consistent-hashed onto N worker shards, each shard runs a full service
 (broker + dispatcher + publisher) in its own subprocess, and the parent acts
 as a thin router:
 
-* **data plane** — every shard is fed over a ``socketpair`` carrying ordinary
-  FTS1 frames (:mod:`repro.trace.framing`).  The router classifies frames
-  from the header alone (:class:`~repro.trace.framing.FrameSplitter`) and
-  forwards the raw bytes; a payload is decoded exactly once, inside the shard
-  that owns the job — the same header-only property the single-process
-  broker has, preserved across the process boundary.
+* **data plane** — every shard is fed through a shared-memory ring
+  (:mod:`repro.service.shm_ring`) carrying ordinary FTS1 frames
+  (:mod:`repro.trace.framing`): the router copies each frame into the ring
+  once, the shard decodes it straight out of the mapped memory as a borrowed
+  ``memoryview``, and the ``socketpair`` between them is demoted to a
+  doorbell carrying byte totals.  The router classifies frames from the
+  header alone (:class:`~repro.trace.framing.FrameSplitter`) and forwards
+  the raw bytes; a payload is decoded exactly once, inside the shard that
+  owns the job — the same header-only property the single-process broker
+  has, preserved across the process boundary at ≤1 copy per frame per hop
+  (``ServiceConfig.ring_bytes = 0`` restores the two-copy socket data
+  plane).
 * **control plane** — a ``multiprocessing`` pipe per shard carries the typed,
   versioned messages of :mod:`repro.service.protocol` (the same protocol the
   TCP gateway speaks): :class:`~repro.service.protocol.Hello` negotiation at
@@ -74,6 +80,7 @@ from repro.trace.msgpack import packb
 
 from repro.service import protocol as proto
 from repro.service.broker import BrokerStats
+from repro.service.shm_ring import RingHandle, ShmRingReader, ShmRingWriter
 from repro.service.dispatcher import DispatcherStats
 from repro.service.publisher import PredictionPublisher, PredictionUpdate
 from repro.service.service import (
@@ -147,12 +154,20 @@ class HashRing:
 # --------------------------------------------------------------------- #
 # shard worker (runs in the subprocess)
 # --------------------------------------------------------------------- #
-def _shard_main(index: int, config: ServiceConfig, data_sock: socket.socket, control) -> None:
-    """Control loop of one shard: select over the data socket and control pipe.
+def _shard_main(
+    index: int,
+    config: ServiceConfig,
+    data_sock: socket.socket,
+    control,
+    ring_handle: RingHandle | None = None,
+) -> None:
+    """Control loop of one shard: select over the data channel and control pipe.
 
-    Control messages are the typed protocol envelopes of
-    :mod:`repro.service.protocol`, one per ``send_bytes``/``recv_bytes`` pair
-    on the pipe.
+    With ``ring_handle`` set, frame bytes arrive through the shared-memory
+    ring and ``data_sock`` is its doorbell (byte totals only); otherwise
+    ``data_sock`` carries the frame bytes itself.  Control messages are the
+    typed protocol envelopes of :mod:`repro.service.protocol`, one per
+    ``send_bytes``/``recv_bytes`` pair on the pipe.
     """
     service = PredictionService(config)
     updates: list[dict] = []
@@ -163,6 +178,7 @@ def _shard_main(index: int, config: ServiceConfig, data_sock: socket.socket, con
     # selector loop, leaving the loop's readiness event stale — a blocking
     # recv on a stale event would deadlock the shard.
     data_sock.setblocking(False)
+    ring = ShmRingReader(ring_handle, data_sock) if ring_handle is not None else None
 
     def drain_updates() -> tuple[dict, ...]:
         drained = tuple(updates)
@@ -170,8 +186,26 @@ def _shard_main(index: int, config: ServiceConfig, data_sock: socket.socket, con
         return drained
 
     def read_available() -> None:
-        # Ingest whatever the data socket holds right now (never blocks).
+        # Ingest whatever the data channel holds right now (never blocks).
         nonlocal bytes_received, data_eof
+        if ring is not None:
+            while not data_eof:
+                ring.pump_doorbell()
+                views = ring.views()
+                if not views:
+                    if ring.eof:
+                        data_eof = True
+                    return
+                for view in views:
+                    # The view borrows ring memory: the broker decodes frames
+                    # straight out of it and materializes only an undecoded
+                    # tail, so the memory can be released and acknowledged
+                    # (= reused by the router) immediately after.
+                    bytes_received += len(view)
+                    service.feed_borrowed(view)
+                    view.release()
+                ring.ack()
+            return
         while not data_eof:
             try:
                 chunk = data_sock.recv(_RECV_CHUNK)
@@ -347,6 +381,8 @@ def _shard_main(index: int, config: ServiceConfig, data_sock: socket.socket, con
                     break
     finally:
         selector.close()
+        if ring is not None:
+            ring.close()
         data_sock.close()
         control.close()
 
@@ -377,6 +413,7 @@ class _Shard:
     process: multiprocessing.process.BaseProcess
     data_sock: socket.socket
     control: object  # multiprocessing.connection.Connection
+    ring: ShmRingWriter | None = None
     protocol_version: int = proto.PROTOCOL_VERSION
     bytes_sent: int = 0
     dead: bool = False
@@ -454,18 +491,33 @@ class ShardedService:
     def _spawn(self, index: int) -> _Shard:
         parent_sock, child_sock = socket.socketpair()
         parent_conn, child_conn = self._ctx.Pipe()
+        ring = ShmRingWriter(self.config.ring_bytes) if self.config.ring_bytes > 0 else None
         # Not daemonic: a shard may itself host a ProcessPoolBackend (daemonic
         # processes cannot have children).  Orphan safety comes from the shard
         # loop exiting on control-pipe EOF when the router goes away.
         process = self._ctx.Process(
             target=_shard_main,
-            args=(index, self.config, child_sock, child_conn),
+            args=(
+                index,
+                self.config,
+                child_sock,
+                child_conn,
+                ring.handle if ring is not None else None,
+            ),
             name=f"prediction-shard-{index}",
         )
         process.start()
         child_sock.close()
         child_conn.close()
-        shard = _Shard(index=index, process=process, data_sock=parent_sock, control=parent_conn)
+        if ring is not None:
+            ring.bind(parent_sock)
+        shard = _Shard(
+            index=index,
+            process=process,
+            data_sock=parent_sock,
+            control=parent_conn,
+            ring=ring,
+        )
         # Version negotiation before the first real control message: a shard
         # built from an incompatible protocol generation fails loudly at
         # spawn, never by silently mis-parsing a request later.
@@ -600,6 +652,10 @@ class ShardedService:
         if shard.process.is_alive():  # pragma: no cover - defensive
             shard.process.kill()
             shard.process.join()
+        if shard.ring is not None:
+            # Unlink only after the reader process is gone: its mapping stays
+            # valid until then, and nobody else can attach by name anymore.
+            shard.ring.close()
 
     def close(self) -> None:
         """Shut every live shard down and reap the subprocesses."""
@@ -623,11 +679,17 @@ class ShardedService:
     # ------------------------------------------------------------------ #
     # data plane
     # ------------------------------------------------------------------ #
-    def _send_raw(self, shard: _Shard, data: bytes) -> None:
+    def _send_raw(self, shard: _Shard, data: bytes | memoryview) -> None:
         if not shard.alive:
             raise ShardCrashedError(shard.index)
         try:
-            shard.data_sock.sendall(data)
+            if shard.ring is not None:
+                # One copy into the shared segment; the shard decodes it in
+                # place.  Blocks for acknowledgements while the ring is full,
+                # matching sendall's backpressure on a full socket buffer.
+                shard.ring.write(data)
+            else:
+                shard.data_sock.sendall(data)
         except (BrokenPipeError, ConnectionResetError, OSError) as exc:
             shard.dead = True
             raise ShardCrashedError(shard.index, f"shard {shard.index}: {exc}") from exc

@@ -1,0 +1,283 @@
+"""Single-producer single-consumer shared-memory byte ring.
+
+The sharded router used to push every frame through a ``socketpair``, which
+costs two kernel copies per byte (write into the socket buffer, read back
+out).  This ring moves the *data* through a ``multiprocessing.shared_memory``
+segment instead — the router writes each frame into the ring exactly once,
+and the shard reads it as a borrowed ``memoryview`` with **zero** copies on
+the consuming side (the frame splitter slices frames straight out of the
+mapped memory).  The socketpair is demoted to a **doorbell**: it carries only
+8-byte monotonic byte totals — ``written`` announcements from the writer,
+``acked`` (consumed) totals from the reader — so the kernel never touches
+frame payloads again.
+
+Properties the service relies on:
+
+* **flow control** — the writer blocks (in :meth:`ShmRingWriter.write`) when
+  ``written - acked`` reaches the ring capacity, exactly like a full socket
+  buffer used to block ``sendall``; backpressure semantics are unchanged.
+* **crash detection** — either side observing the doorbell closed raises
+  ``BrokenPipeError`` (writer) or reports EOF (reader), the same signals the
+  socket data plane produced, so the sharding layer's crash handling carries
+  over unmodified.
+* **ordered shutdown** — doorbell totals travel on an ordered stream, so by
+  the time the reader sees EOF it has already received the final ``written``
+  mark and can drain the ring completely before reporting end-of-data; no
+  tail is ever lost.
+* **no deadlock** — both directions of the doorbell are non-blocking; a side
+  that cannot send a total immediately waits on ``select`` for readability
+  *or* writability and drains its inbox while waiting, so the two sides can
+  never be stuck sending to each other's full buffers.
+
+The reader's views borrow ring memory that is reclaimed on acknowledgement;
+consumers must materialize whatever they still need (the frame buffer's
+``detach``) before :meth:`ShmRingReader.ack` runs.
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+import struct
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+#: Default ring capacity (bytes); roughly a socket buffer's worth of frames.
+DEFAULT_RING_BYTES = 1 << 20
+
+_WORD = struct.Struct(">Q")
+
+
+@dataclass(frozen=True)
+class RingHandle:
+    """Picklable descriptor of a ring: ships to the child process at spawn."""
+
+    name: str
+    capacity: int
+
+
+def _send_word(sock: socket.socket, value: int, drain_inbox) -> None:
+    """Send one 8-byte total on a non-blocking doorbell, without deadlock.
+
+    While the send would block, waits for the socket to become readable or
+    writable and drains the inbox via ``drain_inbox`` — the peer might be
+    blocked sending totals to *us*, and consuming them is what unblocks it.
+    """
+    payload = _WORD.pack(value)
+    sent = 0
+    while sent < len(payload):
+        try:
+            sent += sock.send(payload[sent:])
+        except BlockingIOError:
+            readable, _, _ = select.select([sock], [sock], [])
+            if readable:
+                drain_inbox()
+
+
+class _WordStream:
+    """Reassembles the 8-byte totals of one doorbell direction.
+
+    Totals are monotonic, so only the newest complete word matters; partial
+    words (a non-blocking send can split one) are buffered across reads.
+    """
+
+    def __init__(self) -> None:
+        self._pending = bytearray()
+        self.latest: int | None = None
+
+    def feed(self, data: bytes) -> None:
+        self._pending += data
+        complete = len(self._pending) // _WORD.size * _WORD.size
+        if complete:
+            self.latest = _WORD.unpack_from(self._pending, complete - _WORD.size)[0]
+            del self._pending[:complete]
+
+
+class ShmRingWriter:
+    """Producer side: owns the shared-memory segment, writes frames in.
+
+    Create in the parent, pass :attr:`handle` to the child, then
+    :meth:`bind` the parent end of the doorbell socketpair.  The writer is
+    responsible for the segment's lifetime: call :meth:`close` (which
+    unlinks) after the reader process has exited.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_RING_BYTES) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._shm = shared_memory.SharedMemory(create=True, size=self.capacity)
+        self._written = 0
+        self._acked = 0
+        self._acks = _WordStream()
+        self._doorbell: socket.socket | None = None
+
+    @property
+    def handle(self) -> RingHandle:
+        """Descriptor the reader attaches with (picklable)."""
+        return RingHandle(name=self._shm.name, capacity=self.capacity)
+
+    @property
+    def written(self) -> int:
+        """Total bytes written into the ring so far."""
+        return self._written
+
+    def bind(self, doorbell: socket.socket) -> None:
+        """Attach the parent end of the doorbell socketpair."""
+        doorbell.setblocking(False)
+        self._doorbell = doorbell
+
+    def _drain_acks(self) -> None:
+        assert self._doorbell is not None
+        while True:
+            try:
+                data = self._doorbell.recv(4096)
+            except BlockingIOError:
+                break
+            if not data:
+                raise BrokenPipeError("ring doorbell closed by the reader")
+            self._acks.feed(data)
+        if self._acks.latest is not None:
+            self._acked = self._acks.latest
+
+    def _wait_for_space(self) -> None:
+        assert self._doorbell is not None
+        while self.capacity - (self._written - self._acked) == 0:
+            select.select([self._doorbell], [], [])
+            self._drain_acks()
+
+    def write(self, data: bytes | memoryview) -> int:
+        """Copy ``data`` into the ring (blocking while full); returns its size.
+
+        Writes larger than the ring capacity are chunked — each chunk is
+        announced and the writer waits for acknowledgements before the next,
+        so a single oversized frame still flows through a small ring.
+        """
+        if self._doorbell is None:
+            raise RuntimeError("ring writer has no doorbell bound")
+        view = memoryview(data)
+        if view.format != "B" or view.ndim != 1:
+            view = view.cast("B")
+        total = len(view)
+        while len(view):
+            self._drain_acks()
+            free = self.capacity - (self._written - self._acked)
+            if free == 0:
+                self._wait_for_space()
+                continue
+            take = min(len(view), free)
+            start = self._written % self.capacity
+            first = min(take, self.capacity - start)
+            self._shm.buf[start : start + first] = view[:first]
+            if take > first:
+                self._shm.buf[: take - first] = view[first:take]
+            self._written += take
+            _send_word(self._doorbell, self._written, self._drain_acks)
+            view = view[take:]
+        return total
+
+    def close(self) -> None:
+        """Release and unlink the shared-memory segment (parent-side cleanup)."""
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+class ShmRingReader:
+    """Consumer side: attaches by name, reads frames as borrowed views.
+
+    The intended loop (the shard's ingestion path)::
+
+        if reader.pump_doorbell():   # drain announcements; True on EOF
+            ...
+        for view in reader.views():  # zero-copy slices of the ring
+            consumer.feed(view)
+        consumer.detach()            # materialize any undecoded tail
+        reader.ack()                 # ring memory may now be overwritten
+
+    ``views()`` advances the read mark; :meth:`ack` publishes it to the
+    writer, releasing the space.  Acknowledge only after every borrowed view
+    has been consumed or materialized.
+    """
+
+    def __init__(self, handle: RingHandle, doorbell: socket.socket) -> None:
+        self.capacity = int(handle.capacity)
+        self._shm = shared_memory.SharedMemory(name=handle.name)
+        # On this Python, attaching re-registers the segment with the resource
+        # tracker.  Shards are multiprocessing children, so they share the
+        # parent's tracker and the duplicate registration collapses in its
+        # cache; the writer's unlink performs the single matching unregister.
+        # (An unrelated process attaching by name would instead need to
+        # unregister here to stop its own tracker destroying the segment.)
+        doorbell.setblocking(False)
+        self._doorbell = doorbell
+        self._announcements = _WordStream()
+        self._written = 0
+        self._read = 0
+        self._acked = 0
+        self._eof_seen = False
+
+    @property
+    def eof(self) -> bool:
+        """True once the writer is gone *and* every announced byte was read."""
+        return self._eof_seen and self._read >= self._written
+
+    def pump_doorbell(self) -> bool:
+        """Drain pending ``written`` announcements; returns True on writer EOF."""
+        while not self._eof_seen:
+            try:
+                data = self._doorbell.recv(4096)
+            except BlockingIOError:
+                break
+            except (ConnectionResetError, OSError):
+                self._eof_seen = True
+                break
+            if not data:
+                self._eof_seen = True
+                break
+            self._announcements.feed(data)
+        if self._announcements.latest is not None:
+            self._written = self._announcements.latest
+        return self._eof_seen
+
+    def views(self) -> list[memoryview]:
+        """Borrowed views of every announced-but-unread byte (0, 1 or 2 slices).
+
+        Advances the read mark; the underlying memory stays valid until
+        :meth:`ack`.  Release the views (or let them go out of scope) before
+        closing the reader.
+        """
+        available = self._written - self._read
+        if available == 0:
+            return []
+        start = self._read % self.capacity
+        first = min(available, self.capacity - start)
+        out = [self._shm.buf[start : start + first]]
+        if available > first:
+            out.append(self._shm.buf[: available - first])
+        self._read += available
+        return out
+
+    def ack(self) -> None:
+        """Publish the read mark to the writer, releasing the ring space."""
+        if self._read == self._acked or self._eof_seen:
+            if self._eof_seen:
+                self._acked = self._read
+            return
+        self._acked = self._read
+        try:
+            _send_word(self._doorbell, self._acked, self.pump_doorbell)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            self._eof_seen = True
+
+    def close(self) -> None:
+        """Detach from the segment (the writer unlinks it)."""
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - a borrowed view is still alive
+            pass

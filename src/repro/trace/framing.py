@@ -44,6 +44,7 @@ import json
 import os
 import shutil
 import struct
+from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
 from typing import BinaryIO, Callable, Iterator
@@ -110,10 +111,14 @@ class RawFrame:
     A demultiplexing front end (the sharded router) classifies frames from
     the header alone and forwards ``data`` verbatim — the payload is decoded
     exactly once, in the shard that owns the job.
+
+    ``data`` is usually a borrowed ``memoryview`` into the splitter's fed
+    chunk (zero-copy); consumers that outlive the chunk (parking a frame
+    across a reshard, pickling) must materialize it with ``bytes(data)``.
     """
 
     job: str
-    data: bytes
+    data: bytes | memoryview
     token: int | None = None
 
 
@@ -151,10 +156,10 @@ def encode_frame(
     return header + job_bytes + payload
 
 
-def _decode_payload(code: int, payload: bytes) -> FlushRecord:
+def _decode_payload(code: int, payload: bytes | memoryview) -> FlushRecord:
     if code == PAYLOAD_JSON:
         try:
-            data = json.loads(payload.decode("utf-8"))
+            data = json.loads(str(payload, "utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise TraceFormatError(f"invalid JSON frame payload: {exc}") from exc
     elif code == PAYLOAD_MSGPACK:
@@ -167,30 +172,156 @@ def _decode_payload(code: int, payload: bytes) -> FlushRecord:
 
 
 class _FrameBuffer:
-    """Shared incremental framing: buffer bytes, slice out complete frames.
+    """Shared incremental framing: buffer byte chunks, slice out complete frames.
 
     Subclasses decide what a "frame" materializes to: :class:`FrameDecoder`
     decodes the payload, :class:`FrameSplitter` hands the raw bytes through.
+
+    The buffer is **zero-copy**: fed chunks are kept as-is in a deque (bytes
+    objects and memoryviews are borrowed, never copied in), and a frame whose
+    bytes lie within a single chunk is emitted as a ``memoryview`` slice of
+    that chunk.  Only a frame that *spans* chunks is joined into a fresh
+    ``bytes`` object; those join-copies are counted (:attr:`bytes_copied`),
+    and :attr:`bytes_copied_per_frame` is the ingest-path copy metric the
+    service exposes — the old implementation copied every byte at least once
+    (``bytearray.extend`` on feed, ``bytes()`` on emit), this one averages
+    well under one copy per frame for any chunk size above the frame size.
+
+    A fed memoryview is only *borrowed*; callers whose underlying buffer gets
+    reclaimed (the shared-memory ring reader) must call :meth:`detach` before
+    releasing it, which materializes the not-yet-consumed tail.
     """
 
     def __init__(self, *, expected_token: int | None = None) -> None:
-        self._buffer = bytearray()
+        self._chunks: deque[bytes | memoryview] = deque()
+        self._offset = 0  # consumed bytes of the first chunk
+        self._length = 0  # unconsumed bytes across all chunks
         self._expected_token = expected_token
+        self._bytes_copied = 0
+        self._frames_emitted = 0
+        self._bytes_emitted = 0
 
     @property
     def buffered_bytes(self) -> int:
         """Number of bytes waiting for the rest of their frame."""
-        return len(self._buffer)
+        return self._length
 
-    def feed(self, data: bytes) -> None:
-        """Append raw bytes received from the stream."""
-        self._buffer.extend(data)
+    @property
+    def bytes_copied(self) -> int:
+        """Bytes materialized by join-copies (frames spanning chunks, detach)."""
+        return self._bytes_copied
+
+    @property
+    def frames_emitted(self) -> int:
+        """Number of complete frames sliced out so far."""
+        return self._frames_emitted
+
+    @property
+    def bytes_emitted(self) -> int:
+        """Total size in bytes of the frames sliced out so far."""
+        return self._bytes_emitted
+
+    @property
+    def bytes_copied_per_frame(self) -> float:
+        """Average bytes copied per emitted frame (0.0 before any frame).
+
+        A value at or below the average frame size means at most one copy per
+        frame through this hop; 0.0 means every frame was handed through as a
+        borrowed view.
+        """
+        if self._frames_emitted == 0:
+            return 0.0
+        return self._bytes_copied / self._frames_emitted
+
+    def feed(self, data: bytes | bytearray | memoryview) -> None:
+        """Append raw bytes received from the stream (borrowed, not copied).
+
+        ``bytes`` and ``memoryview`` chunks are referenced as-is.  A
+        ``bytearray`` is snapshotted (the caller may mutate or resize it,
+        which would corrupt or invalidate a borrowed view).
+        """
+        if isinstance(data, bytearray):
+            data = bytes(data)
+            self._bytes_copied += len(data)
+        elif isinstance(data, memoryview) and (data.format != "B" or data.ndim != 1):
+            data = data.cast("B")
+        if len(data) == 0:
+            return
+        self._chunks.append(data)
+        self._length += len(data)
+
+    def detach(self) -> None:
+        """Materialize borrowed memoryview chunks into owned ``bytes``.
+
+        After this call the buffer references no fed memoryview, so the
+        caller may reclaim the underlying memory (e.g. acknowledge ring
+        bytes).  Only the not-yet-consumed tail is copied, and the copy is
+        counted in :attr:`bytes_copied`.
+        """
+        rebuilt: deque[bytes | memoryview] = deque()
+        for i, chunk in enumerate(self._chunks):
+            if not isinstance(chunk, memoryview):
+                rebuilt.append(chunk)
+                continue
+            view = chunk[self._offset :] if i == 0 else chunk
+            if i == 0:
+                self._offset = 0
+            data = bytes(view)
+            self._bytes_copied += len(data)
+            rebuilt.append(data)
+        self._chunks = rebuilt
 
     def discard_buffered(self) -> int:
         """Drop the buffered partial frame (resync); returns the bytes dropped."""
-        dropped = len(self._buffer)
-        self._buffer.clear()
+        dropped = self._length
+        self._chunks.clear()
+        self._offset = 0
+        self._length = 0
         return dropped
+
+    def _contiguous(self, size: int) -> bytes | memoryview:
+        """The first ``size`` buffered bytes, contiguous; the caller checked size.
+
+        Zero-copy (a memoryview slice) when they lie within the first chunk;
+        a counted join-copy when they span chunks.  A join *coalesces*: the
+        joined bytes replace the prefix chunks in the deque, so polling for
+        the same prefix again (a header re-examined on every feed of a
+        dribbling stream) costs the copy only once, not once per poll.
+        """
+        first = self._chunks[0]
+        if len(first) - self._offset >= size:
+            return memoryview(first)[self._offset : self._offset + size]
+        out = bytearray(size)
+        pos = 0
+        offset = self._offset
+        while pos < size:
+            chunk = self._chunks.popleft()
+            take = min(size - pos, len(chunk) - offset)
+            out[pos : pos + take] = memoryview(chunk)[offset : offset + take]
+            pos += take
+            if offset + take < len(chunk):
+                self._chunks.appendleft(memoryview(chunk)[offset + take :])
+            offset = 0
+        joined = bytes(out)
+        self._chunks.appendleft(joined)
+        self._offset = 0
+        self._bytes_copied += size
+        return joined
+
+    def _consume(self, size: int) -> None:
+        """Advance past the first ``size`` buffered bytes."""
+        self._length -= size
+        self._offset += size
+        while self._chunks and self._offset >= len(self._chunks[0]):
+            self._offset -= len(self._chunks.popleft())
+
+    def _take_frame(self, total: int) -> bytes | memoryview:
+        """Slice out one complete frame of ``total`` bytes and consume it."""
+        view = self._contiguous(total)
+        self._consume(total)
+        self._frames_emitted += 1
+        self._bytes_emitted += total
+        return view
 
     def _check_token(self, token: int | None) -> None:
         if self._expected_token is not None and token != self._expected_token:
@@ -201,10 +332,11 @@ class _FrameBuffer:
 
     def _slice_one(self) -> tuple[int, int | None, int, int] | None:
         """Validate the buffered header; returns (code, token, job_len, total)."""
-        buffer = self._buffer
-        if len(buffer) < _HEADER.size:
+        if self._length < _HEADER.size:
             return None
-        magic, code, flags, job_len, payload_len = _HEADER.unpack_from(buffer)
+        magic, code, flags, job_len, payload_len = _HEADER.unpack_from(
+            self._contiguous(_HEADER.size)
+        )
         if magic != FRAME_MAGIC:
             raise TraceFormatError(
                 f"bad frame magic {bytes(magic)!r}; the stream is not FTS1-framed or is corrupt"
@@ -216,14 +348,15 @@ class _FrameBuffer:
             raise TraceFormatError(f"frame payload length {payload_len} exceeds the limit")
         self._check_token(token)
         total = _HEADER.size + job_len + payload_len
-        if len(buffer) < total:
+        if self._length < total:
             return None
         return code, token, job_len, total
 
-    def _decode_job(self, job_len: int) -> str:
-        raw = bytes(self._buffer[_HEADER.size : _HEADER.size + job_len])
+    @staticmethod
+    def _decode_job(frame: bytes | memoryview, job_len: int) -> str:
+        raw = frame[_HEADER.size : _HEADER.size + job_len]
         try:
-            return raw.decode("utf-8")
+            return str(raw, "utf-8")
         except UnicodeDecodeError as exc:
             raise TraceFormatError(f"frame job id is not valid UTF-8: {exc}") from exc
 
@@ -256,12 +389,11 @@ class FrameDecoder(_FrameBuffer):
         if sliced is None:
             return None
         code, token, job_len, total = sliced
-        job = self._decode_job(job_len)
-        payload = bytes(self._buffer[_HEADER.size + job_len : total])
-        del self._buffer[:total]
+        frame = self._take_frame(total)
+        job = self._decode_job(frame, job_len)
         return FlushFrame(
             job=job,
-            flush=_decode_payload(code, payload),
+            flush=_decode_payload(code, frame[_HEADER.size + job_len : total]),
             payload_format=_FORMAT_NAMES[code],
             token=token,
         )
@@ -277,15 +409,18 @@ class FrameSplitter(_FrameBuffer):
     """
 
     def raw_frames(self) -> Iterator[RawFrame]:
-        """Yield (and consume) every complete raw frame currently buffered."""
+        """Yield (and consume) every complete raw frame currently buffered.
+
+        A frame that lies within one fed chunk is yielded as a borrowed
+        ``memoryview`` of that chunk — the router forwards it without a copy.
+        """
         while True:
             sliced = self._slice_one()
             if sliced is None:
                 return
             _, token, job_len, total = sliced
-            job = self._decode_job(job_len)
-            data = bytes(self._buffer[:total])
-            del self._buffer[:total]
+            data = self._take_frame(total)
+            job = self._decode_job(data, job_len)
             yield RawFrame(job=job, data=data, token=token)
 
     def drain(self) -> list[RawFrame]:

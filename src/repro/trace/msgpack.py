@@ -143,9 +143,14 @@ def _pack_map(mapping: dict, out: bytearray) -> None:
 # decoding
 # --------------------------------------------------------------------- #
 class _Unpacker:
-    """Streaming MessagePack decoder over a bytes buffer."""
+    """Streaming MessagePack decoder over a bytes-like buffer.
 
-    def __init__(self, data: bytes):
+    Accepts any C-contiguous byte buffer (``bytes``, ``memoryview``); a
+    memoryview is decoded in place without materializing a ``bytes`` copy,
+    which is what keeps the framed ingest path zero-copy.
+    """
+
+    def __init__(self, data: bytes | memoryview):
         self._data = data
         self._pos = 0
 
@@ -153,7 +158,7 @@ class _Unpacker:
     def exhausted(self) -> bool:
         return self._pos >= len(self._data)
 
-    def _take(self, n: int) -> bytes:
+    def _take(self, n: int) -> bytes | memoryview:
         if self._pos + n > len(self._data):
             raise TraceFormatError("truncated MessagePack data")
         chunk = self._data[self._pos : self._pos + n]
@@ -176,7 +181,7 @@ class _Unpacker:
         if 0x90 <= code <= 0x9F:
             return self._unpack_array(code & 0x0F)
         if 0xA0 <= code <= 0xBF:
-            return self._take(code & 0x1F).decode("utf-8")
+            return str(self._take(code & 0x1F), "utf-8")
         handlers = {
             0xC0: lambda: None,
             0xC2: lambda: False,
@@ -194,9 +199,9 @@ class _Unpacker:
             0xD1: lambda: self._unpack_fmt(">h"),
             0xD2: lambda: self._unpack_fmt(">i"),
             0xD3: lambda: self._unpack_fmt(">q"),
-            0xD9: lambda: self._take(self._unpack_fmt(">B")).decode("utf-8"),
-            0xDA: lambda: self._take(self._unpack_fmt(">H")).decode("utf-8"),
-            0xDB: lambda: self._take(self._unpack_fmt(">I")).decode("utf-8"),
+            0xD9: lambda: str(self._take(self._unpack_fmt(">B")), "utf-8"),
+            0xDA: lambda: str(self._take(self._unpack_fmt(">H")), "utf-8"),
+            0xDB: lambda: str(self._take(self._unpack_fmt(">I")), "utf-8"),
             0xDC: lambda: self._unpack_array(self._unpack_fmt(">H")),
             0xDD: lambda: self._unpack_array(self._unpack_fmt(">I")),
             0xDE: lambda: self._unpack_map(self._unpack_fmt(">H")),
@@ -215,7 +220,7 @@ class _Unpacker:
         return {self.unpack(): self.unpack() for _ in range(n)}
 
 
-def unpackb(data: bytes) -> Any:
+def unpackb(data: bytes | memoryview) -> Any:
     """Deserialize a single MessagePack object from ``data``."""
     unpacker = _Unpacker(data)
     obj = unpacker.unpack()

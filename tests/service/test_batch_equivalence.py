@@ -1,0 +1,250 @@
+"""Batched detection must be bit-identical to the sequential path.
+
+The batched engines (:mod:`repro.service.batch`) stack the due sessions'
+windows into 2-D arrays and run single vectorized FFT/ACF/outlier kernels
+over the stack.  That is only an *optimization* if nothing observable
+changes: these tests assert bit-identity — not tolerance-based closeness —
+between the batched and sequential paths across mixed window lengths,
+NaN-padded ragged batches, both backends, and the service facade with
+batching on and off.  A property-based sweep (hypothesis) drives randomized
+session populations through both paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import FtioConfig
+from repro.service import (
+    PredictionService,
+    ProcessPoolBackend,
+    ServiceConfig,
+    SessionConfig,
+    ThreadBackend,
+    detect_sessions_inline,
+)
+from repro.service.session import JobSession
+from repro.trace.jsonl import FlushRecord
+from repro.trace.record import IOKind, IORequest
+
+
+# --------------------------------------------------------------------- #
+# session builders
+# --------------------------------------------------------------------- #
+def make_config(*, fs: float = 10.0, use_acf: bool = False) -> FtioConfig:
+    return FtioConfig(
+        sampling_frequency=fs,
+        use_autocorrelation=use_acf,
+        compute_characterization=False,
+    )
+
+
+def make_flushes(seed: int, n_flushes: int, *, period: float = 4.0) -> list[FlushRecord]:
+    """A deterministic periodic flush stream (one burst per period)."""
+    rng = np.random.default_rng(seed)
+    flushes = []
+    t = 0.0
+    for index in range(n_flushes):
+        requests = tuple(
+            IORequest(
+                rank=r,
+                start=t + r * (period / 16),
+                end=t + r * (period / 16) + 0.01,
+                nbytes=int(rng.integers(1 << 10, 1 << 20)),
+                kind=IOKind.WRITE,
+            )
+            for r in range(8)
+        )
+        flushes.append(
+            FlushRecord(flush_index=index, timestamp=t + period, requests=requests)
+        )
+        t += period
+    return flushes
+
+
+def build_session(job: str, spec: dict) -> JobSession:
+    session = JobSession(
+        job, SessionConfig(config=make_config(fs=spec["fs"], use_acf=spec["use_acf"]))
+    )
+    for flush in make_flushes(spec["seed"], spec["n_flushes"], period=spec["period"]):
+        session.ingest(flush)
+    return session
+
+
+def assert_state_equal(a, b, path="state"):
+    """Recursive bit-exact comparison of predictor state dicts."""
+    assert type(a) is type(b), f"{path}: {type(a)} != {type(b)}"
+    if isinstance(a, dict):
+        assert a.keys() == b.keys(), f"{path}: keys differ"
+        for key in a:
+            assert_state_equal(a[key], b[key], f"{path}.{key}")
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b), f"{path}: lengths differ"
+        for i, (x, y) in enumerate(zip(a, b)):
+            assert_state_equal(x, y, f"{path}[{i}]")
+    elif isinstance(a, np.ndarray):
+        assert a.dtype == b.dtype and a.shape == b.shape, f"{path}: array meta differs"
+        assert np.array_equal(a, b, equal_nan=True), f"{path}: array values differ"
+    elif isinstance(a, float):
+        # Bit-exact: NaN must equal NaN, and no tolerance is granted.
+        assert (a == b) or (np.isnan(a) and np.isnan(b)), f"{path}: {a} != {b}"
+    else:
+        assert a == b, f"{path}: {a!r} != {b!r}"
+
+
+def assert_steps_equal(seq_steps, batch_steps):
+    assert len(seq_steps) == len(batch_steps)
+    for seq, bat in zip(seq_steps, batch_steps):
+        if seq is None or bat is None:
+            assert seq is None and bat is None
+            continue
+        assert seq.index == bat.index
+        assert seq.time == bat.time
+        assert seq.window == bat.window
+        assert_state_equal(seq.dominant_frequency, bat.dominant_frequency, "frequency")
+        assert_state_equal(seq.period, bat.period, "period")
+        assert_state_equal(seq.confidence, bat.confidence, "confidence")
+
+
+# --------------------------------------------------------------------- #
+# population strategy: mixed lengths, mixed configs, ragged by design
+# --------------------------------------------------------------------- #
+session_specs = st.lists(
+    st.fixed_dictionaries(
+        {
+            "seed": st.integers(min_value=1, max_value=2**31 - 1),
+            "n_flushes": st.integers(min_value=2, max_value=5),
+            "period": st.sampled_from([2.0, 4.0, 6.5]),
+            "fs": st.sampled_from([5.0, 10.0]),
+            "use_acf": st.booleans(),
+        }
+    ),
+    min_size=2,
+    max_size=6,
+)
+
+
+class TestBatchedEqualsSequential:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(specs=session_specs)
+    def test_inline_batch_bit_identical_across_mixed_windows(self, specs):
+        """Randomized ragged populations: batched == sequential, bit for bit.
+
+        Sessions differ in flush count, period, sampling frequency and ACF
+        setting, so one batch spans several (n_samples, fs) groups and the
+        master stack is NaN-padded — exactly the ragged case the kernels
+        must not let leak into the results.
+        """
+        sequential = [build_session(f"job-{i}", spec) for i, spec in enumerate(specs)]
+        batched = [build_session(f"job-{i}", spec) for i, spec in enumerate(specs)]
+
+        backend = ThreadBackend()
+        seq_steps = [backend.detect(s) for s in sequential]
+        report = detect_sessions_inline(batched)
+        assert not any(report.failed)
+        assert_steps_equal(seq_steps, report.steps)
+        for seq, bat in zip(sequential, batched):
+            assert_state_equal(seq.predictor.state_dict(), bat.predictor.state_dict())
+
+    def test_second_round_carries_state_identically(self):
+        """Adaptive-window state after round 1 feeds round 2 identically."""
+        specs = [
+            {"seed": s, "n_flushes": n, "period": p, "fs": 10.0, "use_acf": acf}
+            for s, n, p, acf in [
+                (11, 3, 4.0, False),
+                (12, 4, 4.0, True),
+                (13, 2, 6.5, False),
+                (14, 5, 2.0, True),
+            ]
+        ]
+        sequential = [build_session(f"job-{i}", spec) for i, spec in enumerate(specs)]
+        batched = [build_session(f"job-{i}", spec) for i, spec in enumerate(specs)]
+        backend = ThreadBackend()
+        for round_index in range(2):
+            seq_steps = [backend.detect(s) for s in sequential]
+            report = detect_sessions_inline(batched)
+            assert not any(report.failed)
+            assert_steps_equal(seq_steps, report.steps)
+            if round_index == 0:
+                # New data between rounds, so round 2 evaluates fresh windows
+                # from the *carried* predictor state.
+                for i, (seq, bat) in enumerate(zip(sequential, batched)):
+                    extra = make_flushes(1000 + i, 2, period=specs[i]["period"])
+                    for flush in extra:
+                        seq.ingest(flush)
+                        bat.ingest(flush)
+        for seq, bat in zip(sequential, batched):
+            assert_state_equal(seq.predictor.state_dict(), bat.predictor.state_dict())
+
+    def test_process_backend_batch_matches_sequential_process_path(self):
+        """The remote batch replays the same state transition as per-session
+        remote detection (both return restored steps)."""
+        specs = [
+            {"seed": s, "n_flushes": n, "period": 4.0, "fs": 10.0, "use_acf": False}
+            for s, n in [(21, 3), (22, 4), (23, 2)]
+        ]
+        sequential = [build_session(f"job-{i}", spec) for i, spec in enumerate(specs)]
+        batched = [build_session(f"job-{i}", spec) for i, spec in enumerate(specs)]
+        backend = ProcessPoolBackend(max_workers=2)
+        try:
+            seq_steps = [backend.detect(s) for s in sequential]
+            report = backend.detect_batch(batched)
+            assert not any(report.failed)
+            assert_steps_equal(seq_steps, report.steps)
+            for seq, bat in zip(sequential, batched):
+                assert_state_equal(seq.predictor.state_dict(), bat.predictor.state_dict())
+        finally:
+            backend.close()
+
+    def test_failed_session_degrades_alone(self):
+        """One sick session must not poison its batchmates."""
+        good_spec = {"seed": 31, "n_flushes": 3, "period": 4.0, "fs": 10.0, "use_acf": False}
+        reference = build_session("good", good_spec)
+        good = build_session("good", good_spec)
+        sick = build_session("sick", {**good_spec, "seed": 32})
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected")
+
+        sick.predictor.prepare_step = boom  # type: ignore[method-assign]
+        report = detect_sessions_inline([good, sick])
+        assert report.failed == [False, True]
+        assert report.steps[1] is None
+        backend = ThreadBackend()
+        assert_steps_equal([backend.detect(reference)], [report.steps[0]])
+        # The sick session was aborted, not wedged: it is evaluable again.
+        assert not sick._batch_in_flight
+
+
+class TestServiceFacadeEquivalence:
+    @pytest.mark.parametrize("max_workers", [0, 2])
+    def test_batching_toggle_is_invisible(self, max_workers):
+        """The service publishes identical predictions batching on or off."""
+
+        def run(batching: bool) -> dict:
+            service = PredictionService(
+                ServiceConfig(
+                    session=SessionConfig(config=make_config()),
+                    max_workers=max_workers,
+                    batching=batching,
+                )
+            )
+            try:
+                for i in range(6):
+                    for flush in make_flushes(100 + i, 4):
+                        service.ingest_flush(f"job-{i}", flush)
+                service.drain()
+                return {
+                    job: service.publisher.latest_period(job) for job in service.jobs
+                }
+            finally:
+                service.close()
+
+        assert run(True) == run(False)
