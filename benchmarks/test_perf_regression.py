@@ -23,7 +23,9 @@ Guarded regressions:
 * the batched cross-session kernel stage must stay >= 5x faster than the
   per-session sequential kernels at 256 concurrent due jobs;
 * the zero-copy ingest path must move whole-chunk frames with exactly zero
-  copies and keep every hop's ``bytes_copied_per_frame`` under one frame.
+  copies and keep every hop's ``bytes_copied_per_frame`` under one frame;
+* the unified metrics layer (counters, latency histograms) must cost < 5 %
+  of service throughput relative to ``ServiceConfig(metrics=False)``.
 """
 
 from __future__ import annotations
@@ -71,6 +73,16 @@ MAX_RESHARD_PAUSE_P99_SECONDS = 30.0
 #: same run on the same data, so runner speed cancels out of the ratio.
 MIN_BATCH_KERNEL_SPEEDUP = 5.0
 MIN_BATCH_JOBS = 256
+#: Observability floor (the issue's acceptance criterion): the metrics layer
+#: is snapshot-time views plus a handful of histogram observes per
+#: evaluation, so its cost should be noise; the floor allows 5 %.  Interleaved
+#: best-of-N keeps runner drift out of the ratio, but on a noisy shared
+#: runner the "overhead" can still measure slightly negative — that is fine.
+#: The measured runs are ~100 ms each, so (like the CI trend line's 1 ms
+#: rule) a small absolute slack keeps one scheduler hiccup from tripping
+#: the relative ceiling.
+MAX_OBS_OVERHEAD_FRACTION = 0.05
+OBS_OVERHEAD_ABS_SLACK_SECONDS = 0.010
 #: Generous absolute budget for one offline detection (seconds); the measured
 #: time at 100k samples is ~10 ms, so a 100x margin still catches an O(N^2)
 #: regression (which lands at seconds).
@@ -155,6 +167,14 @@ def _format_table(report: dict) -> str:
         f"{copies['chunked_bytes_copied_per_frame']:.1f} B, shm ring "
         f"{copies['ring_bytes_copied_per_frame']:.1f} B at "
         f"{copies['ring_mb_per_second']:.0f} MB/s"
+    )
+    overhead = results["obs"]["overhead"]
+    lines.append(
+        f"obs overhead ({overhead['n_jobs']} jobs x "
+        f"{overhead['n_flushes'] // overhead['n_jobs']} flushes): metrics on "
+        f"{overhead['metrics_on_seconds'] * 1e3:.0f} ms vs off "
+        f"{overhead['metrics_off_seconds'] * 1e3:.0f} ms "
+        f"({overhead['overhead_fraction'] * 100:+.1f}%)"
     )
     return "\n".join(lines)
 
@@ -274,10 +294,24 @@ class TestPerfRegression:
             f"(ceiling {ceiling:.1f})"
         )
 
+    def test_obs_overhead_floor(self, perf_report):
+        overhead = perf_report["results"]["obs"]["overhead"]
+        assert overhead["n_jobs"] > 0 and overhead["metrics_off_seconds"] > 0
+        ceiling = (
+            overhead["metrics_off_seconds"] * (1.0 + MAX_OBS_OVERHEAD_FRACTION)
+            + OBS_OVERHEAD_ABS_SLACK_SECONDS
+        )
+        assert overhead["metrics_on_seconds"] <= ceiling, (
+            f"metrics-enabled service throughput fell "
+            f"{overhead['overhead_fraction'] * 100:.1f}% behind the bare run "
+            f"(ceiling {MAX_OBS_OVERHEAD_FRACTION * 100:.0f}% "
+            f"+ {OBS_OVERHEAD_ABS_SLACK_SECONDS * 1e3:.0f} ms slack)"
+        )
+
     def test_report_written_and_valid_json(self, perf_report):
         path = write_report(perf_report, REPO_ROOT / "BENCH_perf.json")
         loaded = json.loads(path.read_text(encoding="utf-8"))
-        assert loaded["schema_version"] == 6
+        assert loaded["schema_version"] == 7
         assert loaded["signal_sizes"] == [1_000, 10_000, 100_000]
         assert set(loaded["results"]["service"]["sharded"]) == set(SHARD_COUNTS)
         assert {"batch_detect", "ingest_copies"} <= set(loaded["results"]["service"])
@@ -289,5 +323,7 @@ class TestPerfRegression:
             "online_replay",
             "sweep_point",
             "service",
+            "obs",
         }
+        assert "overhead" in loaded["results"]["obs"]
         print_report("Perf regression (BENCH_perf.json)", _format_table(perf_report))

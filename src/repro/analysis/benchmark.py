@@ -18,16 +18,19 @@ module provides the small timing utilities the perf-regression benchmark
   kernels vs the sequential per-session path at 256 concurrent due jobs;
 * :func:`run_ingest_copies_benchmark` — copy accounting (bytes copied per
   frame) and throughput of the zero-copy framing + shared-memory-ring hops;
+* :func:`run_obs_overhead_benchmark` — the same service workload with the
+  metrics registry on vs off, proving instrumentation stays cheap;
 * :func:`write_report` — persists the report (``BENCH_perf.json`` at the repo
   root by convention).
 
-The report schema (version 6; version 1 lacked the ``service`` section,
+The report schema (version 7; version 1 lacked the ``service`` section,
 version 2 lacked ``service.sharded``, version 3 lacked ``service.gateway``,
 version 4 lacked ``service.reshard``, version 5 lacked
-``service.batch_detect`` and ``service.ingest_copies``)::
+``service.batch_detect`` and ``service.ingest_copies``, version 6 lacked
+``obs``)::
 
     {
-      "schema_version": 6,
+      "schema_version": 7,
       "generated_at": <unix epoch seconds>,
       "environment": {"python": "...", "numpy": "...", "platform": "..."},
       "signal_sizes": [1000, 10000, 100000],
@@ -72,7 +75,13 @@ version 4 lacked ``service.reshard``, version 5 lacked
                                               "ring_bytes",
                                               "ring_bytes_copied_per_frame",
                                               "ring_mb_per_second",
-                                              "ring_frames_per_second"}}
+                                              "ring_frames_per_second"}},
+        "obs":             {"overhead": {"n_jobs", "n_flushes", "repeats",
+                                         "metrics_on_seconds",
+                                         "metrics_off_seconds",
+                                         "metrics_on_flushes_per_second",
+                                         "metrics_off_flushes_per_second",
+                                         "overhead_fraction"}}
       }
     }
 
@@ -795,6 +804,93 @@ def run_ingest_copies_benchmark(
     }
 
 
+def run_obs_overhead_benchmark(
+    *,
+    n_jobs: int = 64,
+    flushes_per_job: int = 6,
+    requests_per_flush: int = 16,
+    repeats: int = 5,
+    sampling_frequency: float = 10.0,
+    seed: int = 0,
+) -> dict:
+    """Cost of the unified metrics layer: the same workload, registry on vs off.
+
+    Runs the round-robin service workload twice per repeat — once with
+    ``ServiceConfig(metrics=True)`` (the default: counter views plus the
+    dispatcher/kernel latency histograms) and once with ``metrics=False`` —
+    **interleaved**, so thermal or scheduler drift hits both variants alike,
+    and takes the best of ``repeats`` for each.  Inline dispatch
+    (``max_workers=0``) keeps the run deterministic and puts every
+    instrumented hot path on the measured thread, the worst case for
+    instrumentation cost.
+
+    Reports ``overhead_fraction`` — best-instrumented over best-bare, minus
+    one.  The perf-regression floor asserts it stays below 5 %; by design it
+    should be far lower, since counters are snapshot-time views and only
+    histogram ``observe`` calls (per evaluation, not per frame) touch the
+    hot path.  The ``obs.overhead`` block of ``BENCH_perf.json`` (schema v7).
+    """
+    from repro.core.config import FtioConfig
+    from repro.service import PredictionService, ServiceConfig, SessionConfig
+
+    streams = synthetic_flush_streams(
+        n_jobs,
+        flushes_per_job=flushes_per_job,
+        requests_per_flush=requests_per_flush,
+        seed=seed,
+    )
+
+    def run_once(metrics: bool) -> float:
+        config = ServiceConfig(
+            session=SessionConfig(
+                config=FtioConfig(
+                    sampling_frequency=sampling_frequency,
+                    use_autocorrelation=False,
+                    compute_characterization=False,
+                )
+            ),
+            metrics=metrics,
+        )
+        service = PredictionService(config)
+        try:
+            started = time.perf_counter()
+            for round_index in range(flushes_per_job):
+                for job, flushes in streams.items():
+                    service.ingest_flush(job, flushes[round_index])
+                service.pump(wait_for_batch=True)
+            service.drain()
+            return time.perf_counter() - started
+        finally:
+            service.close()
+
+    run_once(True)  # warmup both code paths (imports, numpy caches)
+    run_once(False)
+    enabled: list[float] = []
+    disabled: list[float] = []
+    for _ in range(max(1, repeats)):
+        enabled.append(run_once(True))
+        disabled.append(run_once(False))
+    best_on = min(enabled)
+    best_off = min(disabled)
+    n_flushes = n_jobs * flushes_per_job
+    return {
+        "n_jobs": int(n_jobs),
+        "n_flushes": int(n_flushes),
+        "repeats": int(max(1, repeats)),
+        "metrics_on_seconds": float(best_on),
+        "metrics_off_seconds": float(best_off),
+        "metrics_on_flushes_per_second": (
+            float(n_flushes / best_on) if best_on > 0 else 0.0
+        ),
+        "metrics_off_flushes_per_second": (
+            float(n_flushes / best_off) if best_off > 0 else 0.0
+        ),
+        "overhead_fraction": (
+            float(best_on / best_off - 1.0) if best_off > 0 else 0.0
+        ),
+    }
+
+
 def run_perf_suite(
     sizes: tuple[int, ...] = DEFAULT_SIGNAL_SIZES,
     *,
@@ -911,9 +1007,12 @@ def run_perf_suite(
     # and the copy accounting of the zero-copy ingest hops (schema v6).
     results["service"]["batch_detect"] = run_batch_detect_benchmark(seed=seed)
     results["service"]["ingest_copies"] = run_ingest_copies_benchmark(seed=seed)
+    # Observability cost: the same workload with the metrics registry on vs
+    # off, interleaved — instrumentation must stay within the 5 % floor.
+    results["obs"] = {"overhead": run_obs_overhead_benchmark(seed=seed)}
 
     return {
-        "schema_version": 6,
+        "schema_version": 7,
         "generated_at": int(time.time()),
         "environment": {
             "python": platform.python_version(),

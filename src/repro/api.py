@@ -90,8 +90,20 @@ class ReproConfig:
         Transparently revive crashed shards from the last snapshot.
     revive_budget:
         Maximum automatic revives before crashes surface again.
+    metrics:
+        Maintain the unified metrics registry (counters, gauges, latency
+        histograms; see :mod:`repro.obs`).
+    spans:
+        Record frame-lifecycle spans into a bounded journal (off by default;
+        a debugging aid, not a production counter).
+    span_capacity:
+        Ring-buffer capacity of the span journal.
     host, port:
         TCP listen address of :func:`serve` (port 0 picks a free port).
+    ops_port:
+        When not ``None``, :func:`serve` also exposes the HTTP ops surface
+        (``/healthz``, ``/status``, ``/metrics``) on this port (0 picks a
+        free one; read ``gateway.ops_port`` afterwards).
     """
 
     analysis: FtioConfig = field(default_factory=FtioConfig)
@@ -113,9 +125,14 @@ class ReproConfig:
     auto_compact: bool = False
     auto_revive: bool = False
     revive_budget: int = 3
+    # --- observability ------------------------------------------------------ #
+    metrics: bool = True
+    spans: bool = False
+    span_capacity: int = 2048
     # --- gateway ----------------------------------------------------------- #
     host: str = "127.0.0.1"
     port: int = 0
+    ops_port: int | None = None
 
     # ------------------------------------------------------------------ #
     # builders
@@ -159,6 +176,10 @@ class ReproConfig:
             auto_compact=self.auto_compact,
             auto_revive=self.auto_revive,
             revive_budget=self.revive_budget,
+            metrics=self.metrics,
+            spans=self.spans,
+            span_capacity=self.span_capacity,
+            ops_port=self.ops_port,
         )
 
     def build_service(self) -> "PredictionService | ShardedService":
@@ -230,6 +251,7 @@ def serve(
     service: "PredictionService | ShardedService | None" = None,
     host: str | None = None,
     port: int | None = None,
+    ops_port: int | None = None,
 ) -> "ThreadedGateway":
     """Start a TCP gateway serving the configured prediction service.
 
@@ -262,6 +284,7 @@ def serve(
         host=host if host is not None else config.host,
         port=port if port is not None else config.port,
         token=config.token,
+        ops_port=ops_port if ops_port is not None else config.ops_port,
         own_engine=own_engine,
     )
     return gateway.start()

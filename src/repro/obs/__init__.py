@@ -1,0 +1,32 @@
+"""Observability layer: metrics core, span journal, Prometheus exposition.
+
+Everything here is dependency-free (stdlib only).  See
+``docs/observability.md`` for the metric catalogue and conventions.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    NullHistogram,
+    merge_snapshots,
+    render_prometheus,
+)
+from repro.obs.spans import SPAN_STAGES, SpanJournal
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "NULL_HISTOGRAM",
+    "SPAN_STAGES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NullHistogram",
+    "SpanJournal",
+    "merge_snapshots",
+    "render_prometheus",
+]

@@ -1,0 +1,96 @@
+"""Bounded ring-buffer span journal for frame/job lifecycle tracing.
+
+A span is one timed stage of a frame's life: ``ingest`` (broker decode +
+session append), ``route`` (parent router classification + forward),
+``ring`` (shared-memory write incl. any stall), ``batch_claim`` (dispatcher
+due-sweep), ``kernel`` (a batched spectral stage), ``detect`` (one
+session's evaluation), ``publish`` (prediction fan-out).  Spans carry
+``time.perf_counter`` timestamps — monotonic within a process, meaningful
+only for durations and intra-process ordering, never for cross-host
+comparison.
+
+The journal is a fixed-capacity ring (`collections.deque(maxlen=...)`):
+recording is O(1), memory is bounded, and old spans fall off the back.  It
+is **off by default** (``ServiceConfig.spans=False``); hot paths hold a
+``SpanJournal | None`` and skip the call entirely when tracing is not
+requested, so the disabled cost is one attribute test.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+
+__all__ = ["SPAN_STAGES", "SpanJournal"]
+
+#: Canonical lifecycle stage names, in pipeline order.
+SPAN_STAGES = (
+    "ingest",
+    "route",
+    "ring",
+    "batch_claim",
+    "kernel",
+    "detect",
+    "publish",
+)
+
+
+class SpanJournal:
+    """Fixed-capacity journal of ``(stage, job, started, duration)`` spans."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._spans: deque[tuple[str, str | None, float, float]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._recorded = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def recorded(self) -> int:
+        """Total spans ever recorded (including those evicted from the ring)."""
+        return self._recorded
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def record(
+        self, stage: str, duration: float, *, job: str | None = None,
+        started: float | None = None,
+    ) -> None:
+        """Append one completed span; ``started`` defaults to ``now - duration``."""
+        if started is None:
+            started = time.perf_counter() - duration
+        with self._lock:
+            self._spans.append((stage, job, started, duration))
+            self._recorded += 1
+
+    @contextmanager
+    def span(self, stage: str, *, job: str | None = None):
+        """Time a block and record it as one span."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(
+                stage, time.perf_counter() - started, job=job, started=started
+            )
+
+    def snapshot(self) -> list[dict]:
+        """Plain-type copy of the ring, oldest span first (JSON/msgpack safe)."""
+        with self._lock:
+            spans = list(self._spans)
+        return [
+            {"stage": stage, "job": job, "started": started, "duration": duration}
+            for stage, job, started, duration in spans
+        ]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()

@@ -45,6 +45,13 @@ class DetectionBackend:
     #: Configuration name of the backend (one of :data:`BACKEND_NAMES`).
     name: str = ""
 
+    #: Optional kernel-stage observer ``(stage, group_size, seconds)`` set by
+    #: the dispatcher when metrics are enabled.  Backends that evaluate the
+    #: batched kernels in this process forward it to
+    #: :func:`~repro.service.batch.compute_batch_kernels`; the process-pool
+    #: backend cannot (the kernels run in a worker process) and ignores it.
+    observer = None
+
     def detect(self, session: JobSession, *, now: float | None = None) -> PredictionStep | None:
         """Evaluate ``session`` once; returns the prediction step (or ``None``)."""
         raise NotImplementedError
@@ -87,7 +94,7 @@ class ThreadBackend(DetectionBackend):
         return session.detect(now=now)
 
     def detect_batch(self, sessions: Sequence[JobSession]) -> BatchReport:
-        return detect_sessions_inline(sessions)
+        return detect_sessions_inline(sessions, observer=self.observer)
 
 
 class ProcessPoolBackend(DetectionBackend):

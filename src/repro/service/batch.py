@@ -26,6 +26,7 @@ stacks and both backends.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
@@ -51,6 +52,11 @@ from repro.trace.sampling import DiscreteSignal
 #: below it fall back to the sequential per-session path, which raises the
 #: same ``InsufficientSamplesError`` the offline pipeline would.
 _MIN_SPECTRUM_SAMPLES = 4
+
+#: Signature of the optional kernel-stage observer: ``(stage, group_size,
+#: seconds)``.  The dispatcher plugs a histogram recorder in here; ``None``
+#: (the default everywhere) skips the timing entirely.
+KernelObserver = Callable[[str, int, float], None]
 
 
 @dataclass
@@ -96,6 +102,7 @@ def stack_windows(
 def compute_batch_kernels(
     signals: Sequence[DiscreteSignal | None],
     configs: Sequence[FtioConfig],
+    observer: KernelObserver | None = None,
 ) -> list[SpectralKernels | None]:
     """Evaluate the spectral kernels of many prepared signals in batches.
 
@@ -105,6 +112,9 @@ def compute_batch_kernels(
     batched (``None`` signals, fewer than 4 samples, non-batchable outlier
     detectors fall back partially) get ``None`` / partial kernels, and the
     per-session pipeline computes the rest exactly as before.
+
+    ``observer`` (when given) receives ``(stage, group_size, seconds)`` for
+    each kernel stage of each window-group: ``rfft``, ``zscore``, ``acf``.
 
     Every returned kernel is bit-identical to what the sequential pipeline
     would compute from the same signal.
@@ -146,8 +156,13 @@ def compute_batch_kernels(
 
     for (n, fs), indices in groups.items():
         block = blocks[(n, fs)]
+        stage_started = time.perf_counter() if observer is not None else 0.0
         coefficients = plan.rfft(block, axis=1)
         frequencies = plan.rfftfreq_grid(n, fs)
+        if observer is not None:
+            now = time.perf_counter()
+            observer("rfft", len(indices), now - stage_started)
+            stage_started = now
 
         # Power and Z-scores of the whole group in single elementwise passes:
         # abs, square, divide and subtract map each element independently
@@ -167,6 +182,10 @@ def compute_batch_kernels(
             scores_block, np.where(stds == 0.0, 1.0, stds)[:, None], out=scores_block
         )
         scores_block[stds == 0.0] = 0.0
+        if observer is not None:
+            now = time.perf_counter()
+            observer("zscore", len(indices), now - stage_started)
+            stage_started = now
 
         acf_rows = [
             row for row, i in enumerate(indices) if configs[i].use_autocorrelation
@@ -177,6 +196,8 @@ def compute_batch_kernels(
             else []
         )
         acf_of = dict(zip(acf_rows, acfs))
+        if observer is not None and acf_rows:
+            observer("acf", len(acf_rows), time.perf_counter() - stage_started)
 
         # One 2-D comparison per distinct threshold instead of one ufunc
         # call per row (exact comparisons, identical to the per-row form).
@@ -270,14 +291,18 @@ def run_batch_detection(tasks: Sequence[DetectionTask]) -> list[DetectionOutcome
 # --------------------------------------------------------------------- #
 # batched evaluation of live sessions (backend entry points)
 # --------------------------------------------------------------------- #
-def detect_sessions_inline(sessions: Sequence[JobSession]) -> BatchReport:
+def detect_sessions_inline(
+    sessions: Sequence[JobSession],
+    observer: KernelObserver | None = None,
+) -> BatchReport:
     """Thread-backend batch: evaluate live sessions with shared kernels.
 
     Claims every session (two-phase), prepares the windows against the live
     predictors, computes the batched kernels, and commits each session under
     its own lock.  No predictor state is serialized — the live predictor
     steps through exactly the same ``prepare_step``/``complete_step`` pair
-    ``step()`` is built from.
+    ``step()`` is built from.  ``observer`` is forwarded to
+    :func:`compute_batch_kernels` for per-stage timings.
     """
     steps: list[PredictionStep | None] = [None] * len(sessions)
     failed = [False] * len(sessions)
@@ -296,7 +321,9 @@ def detect_sessions_inline(sessions: Sequence[JobSession]) -> BatchReport:
             failed[i] = True
 
     kernels = compute_batch_kernels(
-        [prep.signal if prep is not None else None for prep in prepared], configs
+        [prep.signal if prep is not None else None for prep in prepared],
+        configs,
+        observer,
     )
 
     for i, session in enumerate(sessions):

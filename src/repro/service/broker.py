@@ -12,10 +12,12 @@ once (by the frame decoder), never per-consumer.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable
 
+from repro.obs import MetricRegistry, SpanJournal
 from repro.trace.framing import FlushFrame, FrameDecoder, FrameReader
 from repro.trace.jsonl import FlushRecord
 
@@ -63,6 +65,10 @@ class FlushBroker:
     expected_token:
         Require every ingested frame to carry this version-1 tenant/auth
         nibble (wire-level auth; ``None`` accepts any frame).
+    journal:
+        Optional :class:`~repro.obs.SpanJournal` recording one ``ingest``
+        span per routed flush (session append included).  ``None`` — the
+        default — keeps the hot path free of any tracing cost.
     """
 
     def __init__(
@@ -71,6 +77,7 @@ class FlushBroker:
         session_config: SessionConfig | None = None,
         session_factory: SessionFactory | None = None,
         expected_token: int | None = None,
+        journal: SpanJournal | None = None,
     ) -> None:
         self._session_config = session_config or SessionConfig()
         self._factory = session_factory
@@ -78,6 +85,7 @@ class FlushBroker:
         self._lock = threading.Lock()
         self._expected_token = expected_token
         self._decoder = FrameDecoder(expected_token=expected_token)
+        self._journal = journal
         self._frames = 0
         self._flushes = 0
         self._requests = 0
@@ -136,11 +144,16 @@ class FlushBroker:
     # ------------------------------------------------------------------ #
     def ingest(self, job: str, flush: FlushRecord) -> JobSession:
         """Ingest one flush for ``job`` directly (no framing involved)."""
+        started = time.perf_counter() if self._journal is not None else 0.0
         with self._lock:
             session = self._session_locked(job)
             self._flushes += 1
             self._requests += len(flush.requests)
         session.ingest(flush)
+        if self._journal is not None:
+            self._journal.record(
+                "ingest", time.perf_counter() - started, job=job, started=started
+            )
         return session
 
     def ingest_frame(self, frame: FlushFrame) -> JobSession:
@@ -195,6 +208,31 @@ class FlushBroker:
                 "bytes_copied": self._decoder.bytes_copied,
                 "bytes_copied_per_frame": self._decoder.bytes_copied_per_frame,
             }
+
+    def register_metrics(self, registry: MetricRegistry) -> None:
+        """Expose the feed and copy counters as snapshot-time metric views.
+
+        Views read the counters the broker already keeps, so ingestion pays
+        nothing extra per frame — see :class:`~repro.obs.MetricRegistry`.
+        """
+        views = (
+            ("repro_broker_jobs", "gauge", lambda: len(self._sessions),
+             "Jobs with a live session"),
+            ("repro_broker_frames_total", "counter", lambda: self._frames,
+             "Framed flushes routed"),
+            ("repro_broker_flushes_total", "counter", lambda: self._flushes,
+             "Flush records ingested"),
+            ("repro_broker_requests_total", "counter", lambda: self._requests,
+             "I/O requests ingested"),
+            ("repro_broker_bytes_emitted_total", "counter",
+             lambda: self._decoder.bytes_emitted,
+             "Payload bytes emitted by the frame decoder"),
+            ("repro_broker_bytes_copied_total", "counter",
+             lambda: self._decoder.bytes_copied,
+             "Payload bytes the frame decoder had to materialize (copies)"),
+        )
+        for name, kind, read, help_text in views:
+            registry.register_view(name, kind, read, help=help_text)
 
     def tail(self, path: str | Path, *, offset: int = 0) -> FrameReader:
         """Return a :class:`FrameReader` whose polls feed this broker.

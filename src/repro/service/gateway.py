@@ -34,11 +34,14 @@ blocking callers (tests, :func:`repro.api.serve`).
 from __future__ import annotations
 
 import asyncio
+import json
 import threading
+import time
 from collections.abc import Callable
 from typing import Any
 
 from repro.exceptions import ProtocolError, ServiceError
+from repro.obs import Histogram, MetricRegistry, merge_snapshots, render_prometheus
 from repro.service import protocol as proto
 from repro.service.publisher import PredictionUpdate
 from repro.service.service import PredictionService
@@ -96,6 +99,12 @@ class ServiceGateway:
     name:
         Server name reported in the :class:`~repro.service.protocol.
         HelloReply`.
+    ops_port:
+        When not ``None``, serve the HTTP ops surface on this port (``0``
+        picks a free one; read :attr:`ops_port` after :meth:`start`):
+        ``GET /healthz`` (liveness), ``GET /status`` (the merged
+        stats/metrics tree as JSON) and ``GET /metrics`` (Prometheus text
+        exposition).  Defaults to the engine's ``ServiceConfig.ops_port``.
     """
 
     def __init__(
@@ -106,6 +115,7 @@ class ServiceGateway:
         port: int = 0,
         token: int | None = None,
         name: str = "repro-gateway",
+        ops_port: int | None = None,
     ) -> None:
         self._engine = engine
         self._requested_host = host
@@ -116,7 +126,16 @@ class ServiceGateway:
                 token = getattr(getattr(engine, "config", None), "token", None)
         self._token = token
         self._name = name
+        if ops_port is None:
+            ops_port = getattr(getattr(engine, "config", None), "ops_port", None)
+        self._requested_ops_port = ops_port
+        # The gateway's own registry (request RTT by message type) follows
+        # the engine's metrics switch so "metrics off" means off everywhere.
+        metrics_on = getattr(getattr(engine, "config", None), "metrics", True)
+        self._metrics: MetricRegistry | None = MetricRegistry() if metrics_on else None
+        self._rtt_hists: dict[str, Histogram] = {}
         self._server: asyncio.Server | None = None
+        self._ops_server: asyncio.Server | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._engine_lock: asyncio.Lock | None = None
         self._connections: set[_Connection] = set()
@@ -144,6 +163,13 @@ class ServiceGateway:
         """``host:port`` of the listening socket."""
         return f"{self.host}:{self.port}"
 
+    @property
+    def ops_port(self) -> int | None:
+        """Bound ops-listener port (``None`` when the ops surface is off)."""
+        if self._ops_server is None or not self._ops_server.sockets:
+            return self._requested_ops_port
+        return int(self._ops_server.sockets[0].getsockname()[1])
+
     async def start(self) -> "ServiceGateway":
         """Bind the listening socket and start accepting clients."""
         self._loop = asyncio.get_running_loop()
@@ -151,6 +177,10 @@ class ServiceGateway:
         self._server = await asyncio.start_server(
             self._serve_client, self._requested_host, self._requested_port
         )
+        if self._requested_ops_port is not None:
+            self._ops_server = await asyncio.start_server(
+                self._serve_ops, self._requested_host, self._requested_ops_port
+            )
         # One engine-side subscription fans published predictions out to every
         # subscribed connection; publisher callbacks may fire on worker
         # threads, so the hop onto the loop is thread-safe.
@@ -165,6 +195,10 @@ class ServiceGateway:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._ops_server is not None:
+            self._ops_server.close()
+            await self._ops_server.wait_closed()
+            self._ops_server = None
         for connection in list(self._connections):
             if connection.sender is not None:
                 connection.sender.cancel()
@@ -264,6 +298,7 @@ class ServiceGateway:
         )
 
     async def _handle(self, connection: _Connection, message: proto.Message) -> None:
+        started = time.perf_counter()
         try:
             reply = await self._dispatch(connection, message)
         except _CloseConnection:
@@ -276,8 +311,23 @@ class ServiceGateway:
             reply = proto.Error(message=str(exc), code="service-error")
         except Exception as exc:  # engine-side failure: report, keep serving
             reply = proto.Error(message=f"{type(exc).__name__}: {exc}", code="internal")
+        finally:
+            self._observe_rtt(type(message).__name__, time.perf_counter() - started)
         for item in reply if isinstance(reply, list) else [reply]:
             await connection.send(item)
+
+    def _observe_rtt(self, message_type: str, seconds: float) -> None:
+        if self._metrics is None:
+            return
+        hist = self._rtt_hists.get(message_type)
+        if hist is None:
+            hist = self._metrics.histogram(
+                "repro_gateway_request_seconds",
+                {"type": message_type},
+                help="Gateway request handling time by control-message type",
+            )
+            self._rtt_hists[message_type] = hist
+        hist.observe(seconds)
 
     async def _dispatch(
         self, connection: _Connection, message: proto.Message
@@ -410,6 +460,98 @@ class ServiceGateway:
             self._engine.publisher.unsubscribe(subscription)
         return result, tuple(captured)
 
+    # ------------------------------------------------------------------ #
+    # ops HTTP surface (/healthz, /status, /metrics)
+    # ------------------------------------------------------------------ #
+    def _merged_metrics(self) -> dict:
+        """Engine metrics (cross-shard merged) + the gateway's own registry."""
+        snapshots: list[dict] = []
+        collect = getattr(self._engine, "metrics_snapshot", None)
+        if collect is not None:
+            snapshots.append(collect())
+        if self._metrics is not None:
+            snapshots.append(self._metrics.collect())
+        return merge_snapshots(snapshots)
+
+    def _status_document(self) -> dict:
+        """The ``/status`` body: full stats tree, merged metrics, spans."""
+        document: dict[str, Any] = {
+            "server": self._name,
+            "healthy": True,
+            "shards": int(getattr(self._engine, "n_shards", 0)),
+            "stats": self._engine.stats(),
+            "metrics": self._merged_metrics(),
+        }
+        details = getattr(self._engine, "shard_details", None)
+        if details is not None:
+            document["shards_detail"] = details()
+        spans = getattr(self._engine, "spans_snapshot", None)
+        if spans is not None:
+            document["spans"] = spans()
+        return document
+
+    async def _ops_body(self, path: str) -> tuple[int, str, str]:
+        """Resolve an ops route to ``(http_status, content_type, body)``."""
+        if path == "/healthz":
+            return 200, "text/plain; charset=utf-8", "ok\n"
+        if path == "/status":
+            document = await self._run_engine(self._status_document)
+            return 200, "application/json", json.dumps(document) + "\n"
+        if path == "/metrics":
+            snapshot = await self._run_engine(self._merged_metrics)
+            exposition = render_prometheus(snapshot)
+            return 200, "text/plain; version=0.0.4; charset=utf-8", exposition
+        return 404, "text/plain; charset=utf-8", f"unknown ops path {path!r}\n"
+
+    async def _serve_ops(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Minimal HTTP/1.1 responder for scrapers and health checks.
+
+        One request per connection (``Connection: close``) — ops traffic is a
+        poll every few seconds, not a hot path, and closing keeps the parser
+        trivial and stdlib-only.
+        """
+        try:
+            request_line = await reader.readline()
+            while True:  # drain headers up to the blank line
+                header = await reader.readline()
+                if header in (b"", b"\r\n", b"\n"):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            if len(parts) < 2 or parts[0] != "GET":
+                status, content_type, body = (
+                    405,
+                    "text/plain; charset=utf-8",
+                    "only GET is supported\n",
+                )
+            else:
+                path = parts[1].split("?", 1)[0]
+                try:
+                    status, content_type, body = await self._ops_body(path)
+                except Exception as exc:  # engine trouble must not kill the listener
+                    status, content_type, body = (
+                        500,
+                        "text/plain; charset=utf-8",
+                        f"{type(exc).__name__}: {exc}\n",
+                    )
+            reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}.get(
+                status, "Internal Server Error"
+            )
+            payload = body.encode("utf-8")
+            head = (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            writer.close()
+
 
 class ThreadedGateway:
     """A :class:`ServiceGateway` running its own event loop in a thread.
@@ -432,6 +574,7 @@ class ThreadedGateway:
         port: int = 0,
         token: int | None = None,
         name: str = "repro-gateway",
+        ops_port: int | None = None,
         own_engine: bool = False,
     ) -> None:
         self._engine = engine
@@ -440,6 +583,7 @@ class ThreadedGateway:
             "port": port,
             "token": token,
             "name": name,
+            "ops_port": ops_port,
         }
         self._own_engine = own_engine
         self._gateway: ServiceGateway | None = None
@@ -471,6 +615,12 @@ class ThreadedGateway:
         """``host:port`` of the listening socket."""
         assert self._gateway is not None, "gateway not started"
         return self._gateway.address
+
+    @property
+    def ops_port(self) -> int | None:
+        """Bound ops-listener port (``None`` when the ops surface is off)."""
+        assert self._gateway is not None, "gateway not started"
+        return self._gateway.ops_port
 
     def start(self) -> "ThreadedGateway":
         """Start the server thread; returns once the socket is bound."""

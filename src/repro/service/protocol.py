@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import struct
 from collections.abc import Iterable, Iterator, Mapping
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from typing import Any, TypeVar
 
 from repro.exceptions import ProtocolError
@@ -518,6 +518,24 @@ class ExtractJobsReply(Message):
 
 
 @dataclass(frozen=True)
+class MetricsReport(Message):
+    """Metric registry snapshot, or a poll for one (empty ``metrics``).
+
+    The router polls each shard with an empty report over the control pipe;
+    the shard replies with its :meth:`~repro.obs.MetricRegistry.collect`
+    tree.  The tree is plain msgpack types and merges across shards with
+    :func:`repro.obs.merge_snapshots` — histograms merge bucket-wise, so
+    cross-shard quantiles survive aggregation.
+    """
+
+    metrics: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "MetricsReport":
+        return cls(metrics=_require_dict(payload.get("metrics", {}), "metrics"))
+
+
+@dataclass(frozen=True)
 class Close(Message):
     """End the conversation (and, on a shard pipe, shut the shard down)."""
 
@@ -570,6 +588,7 @@ MESSAGE_TYPES: dict[int, type[Message]] = {
     25: ResizeShardsReply,
     26: ExtractJobs,
     27: ExtractJobsReply,
+    28: MetricsReport,
 }
 _TYPE_CODES: dict[type[Message], int] = {cls: code for code, cls in MESSAGE_TYPES.items()}
 

@@ -23,6 +23,7 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs import MetricRegistry, SpanJournal
 from repro.trace.framing import FlushFrame, FrameReader, compact_spool
 from repro.trace.jsonl import FlushRecord
 
@@ -81,6 +82,23 @@ class ServiceConfig:
         last snapshot instead of raising ``ShardCrashedError``.
     revive_budget:
         Maximum number of automatic revives before crashes surface again.
+    metrics:
+        Keep the metric registry on (counters, latency/kernel histograms,
+        Prometheus exposition via the gateway's ops listener).  On by
+        default — the hot-path cost is bounded by the ``obs.overhead``
+        benchmark floor (< 5%); disable only to shave the last percent off a
+        closed-box deployment.
+    spans:
+        Record frame-lifecycle spans into a bounded ring-buffer journal
+        (see :mod:`repro.obs.spans`).  **Off by default**; tracing is an
+        explicit opt-in.
+    span_capacity:
+        Ring capacity of the span journal (spans retained).
+    ops_port:
+        Gateway deployments only: when not ``None``, the gateway serves a
+        plaintext HTTP ops surface on this port — ``/healthz``, ``/status``
+        (merged stats/metrics JSON) and ``/metrics`` (Prometheus text
+        exposition).  ``0`` picks a free port.
     """
 
     session: SessionConfig = field(default_factory=SessionConfig)
@@ -95,6 +113,10 @@ class ServiceConfig:
     auto_compact: bool = False
     auto_revive: bool = False
     revive_budget: int = 3
+    metrics: bool = True
+    spans: bool = False
+    span_capacity: int = 2048
+    ops_port: int | None = None
 
 
 def tail_positions(tails: dict[Path, FrameReader]) -> dict[str, dict]:
@@ -137,9 +159,15 @@ class PredictionService:
         self.config = config or ServiceConfig()
         if backend is None:
             backend = make_backend(self.config.backend, workers=self.config.backend_workers)
+        self.metrics = MetricRegistry() if self.config.metrics else None
+        self.journal = (
+            SpanJournal(self.config.span_capacity) if self.config.spans else None
+        )
         self.publisher = PredictionPublisher()
         self.broker = FlushBroker(
-            session_config=self.config.session, expected_token=self.config.token
+            session_config=self.config.session,
+            expected_token=self.config.token,
+            journal=self.journal,
         )
         self._tails: dict[Path, FrameReader] = {}
         self.dispatcher = DetectionDispatcher(
@@ -150,7 +178,20 @@ class PredictionService:
             latency_window=self.config.latency_window,
             backend=backend,
             batching=self.config.batching,
+            metrics=self.metrics,
+            journal=self.journal,
         )
+        if self.metrics is not None:
+            self.broker.register_metrics(self.metrics)
+            self.metrics.register_view(
+                "repro_published_total", "counter", lambda: self.publisher.published,
+                help="Prediction updates published",
+            )
+            self.metrics.register_view(
+                "repro_resident_samples", "gauge",
+                lambda: sum(s.resident_samples for s in self.broker.sessions()),
+                help="Samples resident across all session windows",
+            )
 
     # ------------------------------------------------------------------ #
     # ingestion
@@ -292,7 +333,13 @@ class PredictionService:
         return self.dispatcher.stats
 
     def stats(self) -> dict:
-        """One JSON-friendly dict of service-wide counters."""
+        """One JSON-friendly dict of service-wide counters.
+
+        The key set is part of the service's observability contract: it is
+        identical for single-process and sharded deployments (modulo the
+        sharding-only keys) and pinned by ``tests/service/test_stats_schema``
+        so dashboards and autoscalers can rely on it.
+        """
         broker = self.broker.stats
         dispatch = self.dispatcher.stats
         sessions = self.broker.sessions()
@@ -309,9 +356,33 @@ class PredictionService:
             "deferred": dispatch.deferred,
             "failures": dispatch.failures,
             "published": self.publisher.published,
+            "p50_detection_latency_seconds": self.dispatcher.latency_percentile(50),
+            "p99_detection_latency_seconds": self.dispatcher.latency_percentile(99),
         }
+
+    def metrics_snapshot(self) -> dict:
+        """Plain-type snapshot of the metric registry (empty when disabled).
+
+        The tree is msgpack/JSON-safe: shards ship it to the router inside a
+        :class:`~repro.service.protocol.MetricsReport` and the gateway's
+        ``/metrics`` endpoint renders the merged result (see
+        :func:`repro.obs.merge_snapshots`).
+        """
+        if self.metrics is None:
+            return {}
+        return self.metrics.collect()
+
+    def spans_snapshot(self) -> list[dict]:
+        """Recent frame-lifecycle spans (empty unless ``ServiceConfig.spans``)."""
+        if self.journal is None:
+            return []
+        return self.journal.snapshot()
 
     # ------------------------------------------------------------------ #
     def _on_detection(self, session: JobSession, step, latency: float) -> None:
         if step is not None:
-            self.publisher.publish_step(session.job, step, latency=latency)
+            if self.journal is not None:
+                with self.journal.span("publish", job=session.job):
+                    self.publisher.publish_step(session.job, step, latency=latency)
+            else:
+                self.publisher.publish_step(session.job, step, latency=latency)

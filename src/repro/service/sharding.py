@@ -63,6 +63,7 @@ import os
 import select
 import selectors
 import socket
+import time
 import warnings
 from bisect import bisect_right
 from dataclasses import dataclass, field
@@ -74,6 +75,7 @@ from typing import Callable
 import numpy as np
 
 from repro.exceptions import ProtocolError, ServiceError, ShardCrashedError
+from repro.obs import MetricRegistry, SpanJournal, merge_snapshots
 from repro.trace.framing import FrameReader, FrameSplitter, RawFrame, encode_frame
 from repro.trace.jsonl import FlushRecord
 from repro.trace.msgpack import packb
@@ -286,6 +288,10 @@ def _shard_main(
                 ],
                 False,
             )
+        if isinstance(request, proto.MetricsReport):
+            # An (empty) report is the poll; the reply carries this shard's
+            # registry snapshot for the router to merge.
+            return [proto.MetricsReport(metrics=service.metrics_snapshot())], False
         if isinstance(request, proto.Snapshot):
             sync_to(request.expected_bytes)
             return (
@@ -483,6 +489,23 @@ class ShardedService:
         self._migration: _Migration | None = None
         self._reshards = 0
         self._sessions_moved = 0
+        # Router-side observability: the registry holds what only the parent
+        # can see (ring occupancy/stalls, reshard phase durations, revives);
+        # shard-side registries are polled and merged in metrics_snapshot().
+        self.metrics = MetricRegistry() if self.config.metrics else None
+        self.journal = (
+            SpanJournal(self.config.span_capacity) if self.config.spans else None
+        )
+        self._ring_views_registered: set[int] = set()
+        if self.metrics is not None:
+            self.metrics.register_view(
+                "repro_shard_revives_total", "counter", lambda: self._auto_revives,
+                help="Automatic shard revives performed",
+            )
+            self.metrics.register_view(
+                "repro_reshards_total", "counter", lambda: self._reshards,
+                help="Completed live reshard operations",
+            )
         self._shards = [self._spawn(index) for index in range(n_shards)]
 
     # ------------------------------------------------------------------ #
@@ -529,7 +552,41 @@ class ShardedService:
                 f"shard {index} handshake returned {type(reply).__name__}, expected HelloReply"
             )
         shard.protocol_version = reply.version
+        self._register_ring_views(index)
         return shard
+
+    def _register_ring_views(self, index: int) -> None:
+        """Expose shard ``index``'s ring counters as labelled metric views.
+
+        Registered once per index (revives and reshard respawns reuse the
+        registration — the closures read whatever shard currently holds the
+        slot).  A slot that has no ring, is dead, or was shrunk away raises
+        inside the closure, which drops the series from that scrape.
+        """
+        if self.metrics is None or index in self._ring_views_registered:
+            return
+        self._ring_views_registered.add(index)
+        labels = {"shard": str(index)}
+
+        def ring(idx: int = index) -> ShmRingWriter:
+            shard = self._shards[idx]
+            if shard.ring is None or not shard.alive:
+                raise ValueError(f"shard {idx} has no live ring")
+            return shard.ring
+
+        self.metrics.register_view(
+            "repro_ring_occupancy_bytes", "gauge", lambda: ring().occupancy, labels,
+            help="Bytes written to the shard's shm ring but not yet acknowledged",
+        )
+        self.metrics.register_view(
+            "repro_ring_stalls_total", "counter", lambda: ring().stalls, labels,
+            help="Writes that found the ring full and blocked for space",
+        )
+        self.metrics.register_view(
+            "repro_ring_doorbell_sends_total", "counter",
+            lambda: ring().doorbell_sends, labels,
+            help="Doorbell announcements sent (one per written chunk)",
+        )
 
     @property
     def n_shards(self) -> int:
@@ -682,6 +739,7 @@ class ShardedService:
     def _send_raw(self, shard: _Shard, data: bytes | memoryview) -> None:
         if not shard.alive:
             raise ShardCrashedError(shard.index)
+        started = time.perf_counter() if self._journal_enabled else 0.0
         try:
             if shard.ring is not None:
                 # One copy into the shared segment; the shard decodes it in
@@ -694,6 +752,18 @@ class ShardedService:
             shard.dead = True
             raise ShardCrashedError(shard.index, f"shard {shard.index}: {exc}") from exc
         shard.bytes_sent += len(data)
+        if self._journal_enabled:
+            assert self.journal is not None
+            self.journal.record(
+                "ring",
+                time.perf_counter() - started,
+                job=f"shard:{shard.index}",
+                started=started,
+            )
+
+    @property
+    def _journal_enabled(self) -> bool:
+        return self.journal is not None
 
     def ingest_flush(
         self, job: str, flush: FlushRecord, *, payload_format: str = "msgpack"
@@ -713,9 +783,15 @@ class ShardedService:
         if migration is not None and migration.moves(frame.job):
             migration.parked.append(frame)
             return migration.new_ring.shard_for(frame.job)
+        started = time.perf_counter() if self._journal_enabled else 0.0
         index = self.ring.shard_for(frame.job)
         self._send_raw(self._shards[index], frame.data)
         self._jobs_by_shard[index].add(frame.job)
+        if self._journal_enabled:
+            assert self.journal is not None
+            self.journal.record(
+                "route", time.perf_counter() - started, job=frame.job, started=started
+            )
         return index
 
     def feed_bytes(self, data: bytes) -> int:
@@ -1081,7 +1157,24 @@ class ShardedService:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         if self._migration is not None:
             raise ServiceError("a reshard is already in progress")
-        notify = on_phase if on_phase is not None else (lambda phase: None)
+        user_notify = on_phase if on_phase is not None else (lambda phase: None)
+        if self.metrics is not None:
+            # Each phase's duration is the gap since the previous boundary;
+            # the labelled histogram makes slow phases visible per name.
+            phase_clock = [time.perf_counter()]
+
+            def notify(phase: str) -> None:
+                now = time.perf_counter()
+                assert self.metrics is not None
+                self.metrics.histogram(
+                    "repro_reshard_phase_seconds",
+                    {"phase": phase},
+                    help="Duration of each live-reshard phase",
+                ).observe(now - phase_clock[0])
+                phase_clock[0] = now
+                user_notify(phase)
+        else:
+            notify = user_notify
         old_count = self.n_shards
         summary = {
             "from_shards": old_count,
@@ -1415,6 +1508,57 @@ class ShardedService:
         totals["p50_detection_latency_seconds"] = self._percentile(stats_list, 50.0)
         totals["p99_detection_latency_seconds"] = self._percentile(stats_list, 99.0)
         return totals
+
+    def shard_details(self) -> list[dict]:
+        """Per-shard view for dashboards: liveness, session count, bytes routed.
+
+        Unlike :meth:`stats` this never raises on a dead shard — the dead
+        entry simply reports ``alive: False`` with the router-side counters
+        it still knows (jobs routed, bytes sent).
+        """
+        details = []
+        for shard in self._shards:
+            entry: dict = {
+                "shard": shard.index,
+                "alive": shard.alive,
+                "jobs": len(self._jobs_by_shard[shard.index]),
+                "bytes_sent": shard.bytes_sent,
+            }
+            if shard.ring is not None:
+                entry["ring_occupancy_bytes"] = shard.ring.occupancy
+                entry["ring_stalls"] = shard.ring.stalls
+            details.append(entry)
+        return details
+
+    def metrics_snapshot(self) -> dict:
+        """Merged metric tree: router registry + every live shard's registry.
+
+        Shards are polled with an empty :class:`~repro.service.protocol.
+        MetricsReport` on the control pipe and reply with their
+        :meth:`~repro.obs.MetricRegistry.collect` trees; histograms merge
+        bucket-wise (:func:`repro.obs.merge_snapshots`), so cross-shard
+        quantiles are as good as single-process ones.  A shard that died is
+        skipped — a scrape must never take the router down.  Empty when
+        ``ServiceConfig.metrics`` is off.
+        """
+        if self.metrics is None:
+            return {}
+        snapshots = [self.metrics.collect()]
+        try:
+            responses = self._broadcast(lambda shard: proto.MetricsReport())
+        except ShardCrashedError as crash:
+            responses = list(getattr(crash, "partial_responses", []))
+        for response in responses:
+            metrics = getattr(response, "metrics", None)
+            if metrics:
+                snapshots.append(metrics)
+        return merge_snapshots(snapshots)
+
+    def spans_snapshot(self) -> list[dict]:
+        """Recent router-side spans (empty unless ``ServiceConfig.spans``)."""
+        if self.journal is None:
+            return []
+        return self.journal.snapshot()
 
     def period_provider(self, *, bootstrap: bool = True):
         """A Set-10 ``PeriodProvider`` backed by the merged parent publisher."""

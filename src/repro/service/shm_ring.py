@@ -111,6 +111,8 @@ class ShmRingWriter:
         self._acked = 0
         self._acks = _WordStream()
         self._doorbell: socket.socket | None = None
+        self._stalls = 0
+        self._doorbell_sends = 0
 
     @property
     def handle(self) -> RingHandle:
@@ -121,6 +123,21 @@ class ShmRingWriter:
     def written(self) -> int:
         """Total bytes written into the ring so far."""
         return self._written
+
+    @property
+    def occupancy(self) -> int:
+        """Bytes currently in flight (written but not yet acknowledged)."""
+        return self._written - self._acked
+
+    @property
+    def stalls(self) -> int:
+        """Times a write found the ring full and had to block for space."""
+        return self._stalls
+
+    @property
+    def doorbell_sends(self) -> int:
+        """``written`` announcements sent on the doorbell (one per chunk)."""
+        return self._doorbell_sends
 
     def bind(self, doorbell: socket.socket) -> None:
         """Attach the parent end of the doorbell socketpair."""
@@ -163,6 +180,7 @@ class ShmRingWriter:
             self._drain_acks()
             free = self.capacity - (self._written - self._acked)
             if free == 0:
+                self._stalls += 1
                 self._wait_for_space()
                 continue
             take = min(len(view), free)
@@ -173,6 +191,7 @@ class ShmRingWriter:
                 self._shm.buf[: take - first] = view[first:take]
             self._written += take
             _send_word(self._doorbell, self._written, self._drain_acks)
+            self._doorbell_sends += 1
             view = view[take:]
         return total
 

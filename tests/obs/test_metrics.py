@@ -1,0 +1,288 @@
+"""Property and unit tests of the dependency-free metrics core.
+
+The load-bearing guarantee is the one the sharded service relies on:
+histogram state merges by elementwise addition, so cross-shard quantile
+estimates are exactly as accurate as a single-process histogram would have
+been — pooling per-shard snapshots in any order or grouping changes nothing.
+The hypothesis suites pin that algebra (associativity, commutativity,
+pooled-equivalence) plus the one-bucket accuracy bound of the quantile
+estimator; the unit tests pin the registry, view and exposition contracts
+the gateway's ``/metrics`` endpoint depends on.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_HISTOGRAM,
+    SPAN_STAGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    SpanJournal,
+    merge_snapshots,
+    render_prometheus,
+)
+from repro.service import protocol as proto
+
+# Small bounds keep shrunk counterexamples readable.
+BOUNDS = (0.001, 0.01, 0.1, 1.0)
+
+samples_st = st.lists(
+    st.floats(min_value=0.0, max_value=5.0, allow_nan=False, allow_infinity=False),
+    max_size=40,
+)
+
+
+def hist_of(samples: list[float]) -> Histogram:
+    hist = Histogram(BOUNDS)
+    for sample in samples:
+        hist.observe(sample)
+    return hist
+
+
+def bucket_index(value: float) -> int:
+    """Index of the bucket a value lands in (len(BOUNDS) = overflow)."""
+    return bisect.bisect_left(BOUNDS, value)
+
+
+def assert_pooled_equal(left: Histogram, right: Histogram) -> None:
+    """Equality up to float-addition order in the running sum.
+
+    Bucket counts and the observed maximum merge exactly; the running sum is
+    a float accumulation whose grouping differs between `merge` and
+    sequential observation, so it is compared to within rounding.
+    """
+    assert left.bounds == right.bounds
+    assert left.to_dict()["counts"] == right.to_dict()["counts"]
+    assert left.max == right.max
+    assert left.sum == pytest.approx(right.sum, rel=1e-12, abs=1e-12)
+
+
+class TestHistogramAlgebra:
+    @given(a=samples_st, b=samples_st)
+    @settings(max_examples=200, deadline=None)
+    def test_merge_is_commutative(self, a, b):
+        assert hist_of(a).merge(hist_of(b)) == hist_of(b).merge(hist_of(a))
+
+    @given(a=samples_st, b=samples_st, c=samples_st)
+    @settings(max_examples=200, deadline=None)
+    def test_merge_is_associative(self, a, b, c):
+        ha, hb, hc = hist_of(a), hist_of(b), hist_of(c)
+        assert_pooled_equal(ha.merge(hb).merge(hc), ha.merge(hb.merge(hc)))
+
+    @given(a=samples_st, b=samples_st)
+    @settings(max_examples=200, deadline=None)
+    def test_merge_equals_pooled_observation(self, a, b):
+        # Sharding transparency: observing everything in one histogram is
+        # identical to merging per-shard histograms.
+        assert_pooled_equal(hist_of(a).merge(hist_of(b)), hist_of(a + b))
+
+    @given(samples=samples_st, q=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=300, deadline=None)
+    def test_quantile_within_one_bucket_of_truth(self, samples, q):
+        hist = hist_of(samples)
+        if not samples:
+            assert hist.quantile(q) == 0.0
+            return
+        ordered = sorted(samples)
+        # The estimator picks the first bucket whose cumulative count reaches
+        # q * n, i.e. the ceil(q * n)-th order statistic.
+        rank = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
+        truth = ordered[rank]
+        estimate = hist.quantile(q)
+        assert abs(bucket_index(estimate) - bucket_index(truth)) <= 1
+        assert estimate <= hist.max
+
+    @given(samples=samples_st)
+    @settings(max_examples=100, deadline=None)
+    def test_state_round_trips_through_plain_types(self, samples):
+        hist = hist_of(samples)
+        assert Histogram.from_dict(hist.to_dict()) == hist
+
+    def test_merge_rejects_mismatched_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram((1.0, 2.0)).merge(Histogram((1.0, 3.0)))
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram((1.0, float("inf")))
+
+    def test_null_histogram_is_inert(self):
+        NULL_HISTOGRAM.observe(1.0)  # must not raise, must not keep state
+
+
+class TestScalars:
+    def test_counter_only_goes_up(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+
+class TestRegistry:
+    def test_same_name_and_labels_return_same_instrument(self):
+        registry = MetricRegistry()
+        one = registry.histogram("h", {"stage": "rfft"})
+        two = registry.histogram("h", {"stage": "rfft"})
+        other = registry.histogram("h", {"stage": "acf"})
+        assert one is two
+        assert one is not other
+
+    def test_kind_conflicts_are_rejected(self):
+        registry = MetricRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.register_view("x", "gauge", lambda: 0)
+
+    def test_views_read_at_collect_time_and_raising_views_drop(self):
+        registry = MetricRegistry()
+        state = {"frames": 0}
+        registry.register_view("frames_total", "counter", lambda: state["frames"])
+        registry.register_view("dead_ring", "gauge", lambda: 1 / 0)
+        state["frames"] = 7
+        snapshot = registry.collect()
+        assert snapshot["frames_total"]["series"][0]["value"] == 7
+        # A raising view (e.g. a ring whose shard died) drops its series
+        # instead of failing the whole scrape.
+        assert "dead_ring" not in snapshot
+
+    def test_merge_snapshots_pools_counters_gauges_and_hists(self):
+        shards = []
+        for observations in ((0.002, 0.02), (0.2, 2.0)):
+            registry = MetricRegistry()
+            registry.counter("jobs_total").inc(3)
+            registry.gauge("occupancy").set(10)
+            hist = registry.histogram("latency", buckets=BOUNDS)
+            for value in observations:
+                hist.observe(value)
+            shards.append(registry.collect())
+        merged = merge_snapshots(shards)
+        assert merged["jobs_total"]["series"][0]["value"] == 6
+        assert merged["occupancy"]["series"][0]["value"] == 20
+        pooled = Histogram.from_dict(merged["latency"]["series"][0]["hist"])
+        assert_pooled_equal(pooled, hist_of([0.002, 0.02, 0.2, 2.0]))
+
+    @given(a=samples_st, b=samples_st)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_snapshots_matches_histogram_merge(self, a, b):
+        snaps = []
+        for samples in (a, b):
+            registry = MetricRegistry()
+            hist = registry.histogram("latency", buckets=BOUNDS)
+            for value in samples:
+                hist.observe(value)
+            snaps.append(registry.collect())
+        merged = merge_snapshots(snaps)
+        assert_pooled_equal(
+            Histogram.from_dict(merged["latency"]["series"][0]["hist"]), hist_of(a + b)
+        )
+
+
+class TestPrometheusRendering:
+    def test_exposition_shape(self):
+        registry = MetricRegistry()
+        registry.counter("repro_frames_total", help="Frames decoded").inc(5)
+        hist = registry.histogram("repro_latency_seconds", {"stage": "rfft"}, buckets=BOUNDS)
+        hist.observe(0.005)
+        hist.observe(3.0)
+        text = render_prometheus(registry.collect())
+        assert text.endswith("\n")
+        assert "# HELP repro_frames_total Frames decoded" in text
+        assert "# TYPE repro_frames_total counter" in text
+        assert "repro_frames_total 5" in text
+        assert "# TYPE repro_latency_seconds histogram" in text
+        assert 'repro_latency_seconds_bucket{stage="rfft",le="0.01"} 1' in text
+        assert 'repro_latency_seconds_bucket{stage="rfft",le="+Inf"} 2' in text
+        assert 'repro_latency_seconds_count{stage="rfft"} 2' in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricRegistry()
+        registry.counter("c", {"job": 'a"b\\c\nd'}).inc()
+        text = render_prometheus(registry.collect())
+        assert 'job="a\\"b\\\\c\\nd"' in text
+
+    def test_bucket_counts_are_cumulative(self):
+        hist = hist_of([0.0005, 0.005, 0.05, 0.5, 5.0])
+        registry = MetricRegistry()
+        registry.histogram("h", buckets=BOUNDS)  # register the name
+        snapshot = {"h": {"kind": "histogram", "help": "", "series": [
+            {"labels": {}, "hist": hist.to_dict()}]}}
+        lines = [
+            line for line in render_prometheus(snapshot).splitlines()
+            if line.startswith("h_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+
+
+class TestSpanJournal:
+    def test_ring_is_bounded_and_counts_evictions(self):
+        journal = SpanJournal(capacity=4)
+        for index in range(10):
+            journal.record("detect", 0.001, job=f"job-{index}")
+        assert len(journal) == 4
+        assert journal.recorded == 10
+        snapshot = journal.snapshot()
+        assert [span["job"] for span in snapshot] == [f"job-{i}" for i in range(6, 10)]
+        assert all(span["duration"] == 0.001 for span in snapshot)
+
+    def test_span_context_manager_times_the_block(self):
+        journal = SpanJournal()
+        with journal.span("kernel", job="batch[3]"):
+            pass
+        (span,) = journal.snapshot()
+        assert span["stage"] == "kernel"
+        assert span["job"] == "batch[3]"
+        assert span["duration"] >= 0.0
+
+    def test_stage_catalogue_is_pinned(self):
+        assert SPAN_STAGES == (
+            "ingest", "route", "ring", "batch_claim", "kernel", "detect", "publish",
+        )
+
+
+class TestMetricsReportMessage:
+    def test_round_trip_carries_a_collected_snapshot(self):
+        registry = MetricRegistry()
+        registry.counter("repro_frames_total").inc(3)
+        registry.histogram("repro_latency_seconds", buckets=BOUNDS).observe(0.02)
+        report = proto.MetricsReport(metrics=registry.collect())
+        decoded = proto.decode_message(proto.encode_message(report))
+        assert isinstance(decoded, proto.MetricsReport)
+        assert decoded.metrics["repro_frames_total"]["series"][0]["value"] == 3
+        restored = Histogram.from_dict(
+            decoded.metrics["repro_latency_seconds"]["series"][0]["hist"]
+        )
+        assert restored.count == 1
+
+    def test_registry_code_is_pinned(self):
+        assert proto.MESSAGE_TYPES[28] is proto.MetricsReport
+
+    def test_empty_report_is_the_poll_request(self):
+        decoded = proto.decode_message(proto.encode_message(proto.MetricsReport()))
+        assert decoded.metrics == {}

@@ -110,6 +110,7 @@ message_st = st.one_of(
         max_chunk=st.one_of(st.none(), st.integers(1, proto.MAX_CHUNK_BYTES)),
     ),
     st.builds(proto.ExtractJobsReply, state=nested_map_st),
+    st.builds(proto.MetricsReport, metrics=nested_map_st),
 )
 
 
@@ -263,7 +264,8 @@ class TestCorruption:
         assert proto.MESSAGE_TYPES[25] is proto.ResizeShardsReply
         assert proto.MESSAGE_TYPES[26] is proto.ExtractJobs
         assert proto.MESSAGE_TYPES[27] is proto.ExtractJobsReply
-        assert len(set(proto.MESSAGE_TYPES)) == len(proto.MESSAGE_TYPES) == 27
+        assert proto.MESSAGE_TYPES[28] is proto.MetricsReport
+        assert len(set(proto.MESSAGE_TYPES)) == len(proto.MESSAGE_TYPES) == 28
 
 
 class TestChunkedTransfer:

@@ -1,0 +1,120 @@
+"""Pins the merged stats-tree key schema across topologies.
+
+``PredictionService.stats()`` and ``ShardedService.stats()`` are scraped by
+dashboards and the gateway's ``/status`` endpoint, so their key sets are a
+public contract: a sharded deployment must expose exactly the single-process
+keys plus a pinned set of topology counters — at any shard count, and
+unchanged by a live reshard.  A new key is fine (add it to the pin below); a
+key that appears only at some shard counts, or vanishes during a reshard, is
+a dashboard-breaking bug.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.benchmark import synthetic_flush_streams
+from repro.core import FtioConfig
+from repro.service import (
+    PredictionService,
+    ServiceConfig,
+    SessionConfig,
+    ShardedService,
+)
+from repro.trace.framing import encode_frame
+
+#: The single-process stats schema (the merged tree sums these over shards).
+SERVICE_KEYS = frozenset(
+    {
+        "jobs",
+        "frames",
+        "flushes",
+        "requests",
+        "detections",
+        "failures",
+        "deferred",
+        "published",
+        "evicted_samples",
+        "resident_samples",
+        "bytes_copied_per_frame",
+        "p50_detection_latency_seconds",
+        "p99_detection_latency_seconds",
+    }
+)
+
+#: Keys only a sharded deployment reports (topology and migration counters).
+SHARDED_ONLY_KEYS = frozenset(
+    {
+        "shards",
+        "dead_shards",
+        "revived_shards",
+        "reshards",
+        "sessions_moved",
+        "resharding_in_progress",
+    }
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ServiceConfig(
+        session=SessionConfig(
+            config=FtioConfig(
+                sampling_frequency=10.0,
+                use_autocorrelation=False,
+                compute_characterization=False,
+            )
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def streams():
+    return synthetic_flush_streams(4, flushes_per_job=2, requests_per_flush=8, seed=11)
+
+
+def feed_and_pump(service, streams) -> None:
+    for round_index in range(2):
+        for job, flushes in streams.items():
+            if round_index < len(flushes):
+                service.feed_bytes(encode_frame(flushes[round_index], job=job))
+        if isinstance(service, PredictionService):
+            service.pump(wait_for_batch=True)
+        else:
+            service.pump()
+    service.drain()
+
+
+def test_single_process_stats_schema_is_pinned(config, streams):
+    service = PredictionService(config)
+    try:
+        assert set(service.stats()) == SERVICE_KEYS  # idle schema
+        feed_and_pump(service, streams)
+        assert set(service.stats()) == SERVICE_KEYS  # active schema
+    finally:
+        service.close()
+
+
+@pytest.mark.parametrize("n_shards", [1, 4])
+def test_sharded_stats_schema_matches_single_plus_topology(config, streams, n_shards):
+    service = ShardedService(n_shards, config)
+    try:
+        assert set(service.stats()) == SERVICE_KEYS | SHARDED_ONLY_KEYS
+        feed_and_pump(service, streams)
+        assert set(service.stats()) == SERVICE_KEYS | SHARDED_ONLY_KEYS
+    finally:
+        service.close()
+
+
+def test_stats_schema_survives_reshard(config, streams):
+    service = ShardedService(2, config)
+    try:
+        feed_and_pump(service, streams)
+        before = set(service.stats())
+        service.reshard(4)
+        after_grow = set(service.stats())
+        service.reshard(1)
+        after_shrink = set(service.stats())
+        assert before == after_grow == after_shrink == SERVICE_KEYS | SHARDED_ONLY_KEYS
+    finally:
+        service.close()

@@ -80,7 +80,12 @@ class TestAutoCompaction:
         assert compacted["spool_size"] == 0
         assert control["spool_size"] > 0
         # ... and every prediction and counter is untouched by compaction.
-        assert compacted["stats"] == control["stats"]
+        # (The latency percentiles are wall-clock measurements — identical in
+        # shape, never in value, across two runs — so compare around them.)
+        def counters(stats: dict) -> dict:
+            return {k: v for k, v in stats.items() if not k.endswith("_seconds")}
+
+        assert counters(compacted["stats"]) == counters(control["stats"])
         assert sessions_by_job(compacted["state"]) == sessions_by_job(control["state"])
         assert compacted["state"]["publisher"] == control["state"]["publisher"]
 
