@@ -1052,6 +1052,12 @@ NOISE_TOLERANCE = 1.0 / 3.0
 NOISE_ABS_SECONDS = 1e-3
 
 
+def _within_noise(new: float, old: float, *, tolerance: float) -> bool:
+    if abs(new - old) < NOISE_ABS_SECONDS:
+        return True
+    return old != 0 and abs(new / old - 1.0) <= tolerance
+
+
 def _stable_merge(new, old, *, tolerance: float):
     """Prefer ``old`` values whenever ``new`` only moved within noise.
 
@@ -1059,19 +1065,41 @@ def _stable_merge(new, old, *, tolerance: float):
     previously written value when the relative change is under ``tolerance``
     or the absolute change is tiny — so a rerun with no real perf change
     rewrites nothing.
+
+    Float siblings in one dict are a single measurement group from a single
+    run: derived values live next to their inputs (``speedup`` next to
+    ``direct_seconds``/``fft_seconds``, ``jobs_per_second`` next to
+    ``n_jobs``/``elapsed_seconds``), so keeping some old and some new would
+    write a file whose numbers contradict each other — e.g. a sub-millisecond
+    FFT timing frozen by the absolute slack while the speedup ratio moved
+    beyond tolerance and was refreshed.  The old floats survive only when the
+    *entire* group is within noise; one real move refreshes them all.
     """
     if isinstance(new, dict) and isinstance(old, dict):
-        return {
-            key: _stable_merge(value, old[key], tolerance=tolerance) if key in old else value
+        merged = {
+            key: _stable_merge(value, old[key], tolerance=tolerance)
+            if key in old and isinstance(value, dict)
+            else value
             for key, value in new.items()
         }
-    # Floats only: floats are *measurements* (noisy by nature); ints are
-    # facts (counts, cpu_count, schema versions) and must always be current —
-    # a 30% drop in n_detections is a real signal, not jitter.
+        # Floats only: floats are *measurements* (noisy by nature); ints are
+        # facts (counts, cpu_count, schema versions) and must always be
+        # current — a 30% drop in n_detections is a real signal, not jitter.
+        floats = {
+            key: value for key, value in new.items() if isinstance(value, float)
+        }
+        if floats and all(
+            key in old
+            and isinstance(old[key], (int, float))
+            and not isinstance(old[key], bool)
+            and _within_noise(value, old[key], tolerance=tolerance)
+            for key, value in floats.items()
+        ):
+            for key in floats:
+                merged[key] = old[key]
+        return merged
     if isinstance(new, float) and isinstance(old, (int, float)) and not isinstance(old, bool):
-        if abs(new - old) < NOISE_ABS_SECONDS:
-            return old
-        if old != 0 and abs(new / old - 1.0) <= tolerance:
+        if _within_noise(new, old, tolerance=tolerance):
             return old
     return new
 
@@ -1083,10 +1111,11 @@ def write_report(
 
     Stability is deliberate (reruns used to rewrite every line of
     ``BENCH_perf.json`` as pure noise): keys are sorted, floats are rounded
-    to 6 significant digits, and any float that only moved within
-    ``noise_tolerance`` of the previously written value keeps the old value.
-    When nothing at all changed, the previous file — ``generated_at``
-    included — is left byte-identical.
+    to 6 significant digits, and a dict whose float entries all moved within
+    ``noise_tolerance`` of the previously written values keeps the old
+    values (whole groups only, never field-by-field, so derived ratios stay
+    consistent with their inputs).  When nothing at all changed, the
+    previous file — ``generated_at`` included — is left byte-identical.
     """
     path = Path(path)
     payload = _round_floats(report)

@@ -37,6 +37,29 @@ class TestStableMerge:
         )
         assert merged == {"kept": 1.0, "added": 2.0}
 
+    def test_sibling_floats_update_atomically(self):
+        # Derived values live next to their inputs (speedup = direct/fft).
+        # fft moved under the 1 ms absolute slack and direct moved beyond
+        # tolerance: a field-by-field merge would keep the old fft next to
+        # the new direct and speedup, writing speedup != direct/fft.  One
+        # real move must refresh the whole group.
+        old = {"direct_seconds": 0.026, "fft_seconds": 0.00095, "speedup": 27.4}
+        new = {"direct_seconds": 0.016, "fft_seconds": 0.00054, "speedup": 29.6}
+        assert _stable_merge(new, old, tolerance=NOISE_TOLERANCE) == new
+
+    def test_whole_group_within_noise_keeps_old_floats(self):
+        old = {"direct_seconds": 0.026, "fft_seconds": 0.00095, "speedup": 27.4}
+        new = {"direct_seconds": 0.028, "fft_seconds": 0.00101, "speedup": 27.7}
+        assert _stable_merge(new, old, tolerance=NOISE_TOLERANCE) == old
+
+    def test_sub_dicts_are_independent_groups(self):
+        # A real move in one benchmark section must not drag a neighbouring
+        # section's stable measurements along with it.
+        old = {"acf": {"seconds": 0.5}, "rec": {"seconds": 0.5}}
+        new = {"acf": {"seconds": 2.0}, "rec": {"seconds": 0.52}}
+        merged = _stable_merge(new, old, tolerance=NOISE_TOLERANCE)
+        assert merged == {"acf": {"seconds": 2.0}, "rec": {"seconds": 0.5}}
+
 
 class TestWriteReport:
     @staticmethod
