@@ -25,7 +25,11 @@ Guarded regressions:
 * the zero-copy ingest path must move whole-chunk frames with exactly zero
   copies and keep every hop's ``bytes_copied_per_frame`` under one frame;
 * the unified metrics layer (counters, latency histograms) must cost < 5 %
-  of service throughput relative to ``ServiceConfig(metrics=False)``.
+  of service throughput relative to ``ServiceConfig(metrics=False)``;
+* a frame double-routed during a live handover must be ingested with a
+  p50 pause <= 10 ms (vs the parked baseline, which holds frames until the
+  reshard ends), and the scripted-clock autoscaler ramp must reproduce its
+  pinned grow-then-shrink shard-count trajectory exactly.
 """
 
 from __future__ import annotations
@@ -67,6 +71,25 @@ MAX_GATEWAY_RTT_P99_SECONDS = 1.0
 #: that would stall live ingestion.
 MIN_RESHARD_MOVED_PER_SECOND = 2.0
 MAX_RESHARD_PAUSE_P99_SECONDS = 30.0
+#: Autoscale floors (the issue's acceptance criteria): a frame submitted for
+#: a moving job during an autoscaler-style handover is double-routed — the
+#: old owner ingests it immediately, so its pause is one route call
+#: (measured p50 ~0.2 ms).  The parked baseline holds the same frame until
+#: the handover replays it, so its pause runs to the end of the reshard
+#: (~16 ms at this 32-job scale, ~90 ms at the 64-job reshard scale).  The
+#: p50 ceiling pins the issue's "<= 10 ms" claim on the stable statistic
+#: (with ~17 samples the p99 is the max and one scheduler hiccup away from
+#: noise); the p99 ceiling and the p50-ratio floor keep loose headroom for
+#: noisy shared runners while still catching double-routing degrading back
+#: into a parked migration.
+MAX_AUTOSCALE_DOUBLE_ROUTE_PAUSE_P50_SECONDS = 0.010
+MAX_AUTOSCALE_DOUBLE_ROUTE_PAUSE_P99_SECONDS = 1.0
+MIN_AUTOSCALE_PAUSE_IMPROVEMENT_P50 = 2.0
+#: The scripted-clock ramp is fully deterministic (hysteresis bands, streaks
+#: and cooldown over an exact session-count trajectory), so the shard counts
+#: are pinned verbatim: climb 1 -> 2 -> 3, hold at the ceiling, descend
+#: 3 -> 2 -> 1 once the load drains.
+AUTOSCALE_RAMP_SHARD_COUNTS = [1, 2, 2, 3, 3, 3, 2, 2, 1, 1]
 #: Batched-kernel floor (the issue's acceptance criterion): one vectorized
 #: kernel pass over 256 due sessions must beat 256 sequential kernel passes
 #: by >= 5x.  The measured ratio is ~6.5-8x; both sides are timed in the
@@ -147,6 +170,16 @@ def _format_table(report: dict) -> str:
         f"{reshard['sessions_moved_per_second']:.0f}/s, pause p50 "
         f"{reshard['pause_p50_seconds'] * 1e3:.1f} ms / p99 "
         f"{reshard['pause_p99_seconds'] * 1e3:.1f} ms"
+    )
+    autoscale = service["autoscale"]
+    ramp_path = " -> ".join(str(count) for count in autoscale["ramp"]["shard_counts"])
+    lines.append(
+        f"autoscale: double-routed pause p50 "
+        f"{autoscale['double_route']['pause_p50_seconds'] * 1e3:.2f} ms / p99 "
+        f"{autoscale['double_route']['pause_p99_seconds'] * 1e3:.2f} ms vs parked "
+        f"{autoscale['parked_baseline']['pause_p50_seconds'] * 1e3:.1f} ms / "
+        f"{autoscale['parked_baseline']['pause_p99_seconds'] * 1e3:.1f} ms "
+        f"({autoscale['moving_jobs']} moving jobs); ramp {ramp_path}"
     )
     batch = service["batch_detect"]
     lines.append(
@@ -255,6 +288,40 @@ class TestPerfRegression:
             f"live-reshard p99 ingest pause rose to {reshard['pause_p99_seconds']:.3f} s"
         )
 
+    def test_autoscale_pause_and_ramp_floor(self, perf_report):
+        autoscale = perf_report["results"]["service"]["autoscale"]
+        double = autoscale["double_route"]
+        parked = autoscale["parked_baseline"]
+        assert double["frames"] > 0
+        assert double["double_routed_frames"] == double["frames"], (
+            "every migration-window frame must take the double-routed path"
+        )
+        assert parked["double_routed_frames"] == 0, (
+            "the parked baseline must not double-route"
+        )
+        assert double["pause_p50_seconds"] <= MAX_AUTOSCALE_DOUBLE_ROUTE_PAUSE_P50_SECONDS, (
+            f"double-routed ingest pause p50 rose to "
+            f"{double['pause_p50_seconds'] * 1e3:.2f} ms"
+        )
+        assert double["pause_p99_seconds"] <= MAX_AUTOSCALE_DOUBLE_ROUTE_PAUSE_P99_SECONDS, (
+            f"double-routed ingest pause p99 rose to "
+            f"{double['pause_p99_seconds'] * 1e3:.1f} ms"
+        )
+        improvement = parked["pause_p50_seconds"] / double["pause_p50_seconds"]
+        assert improvement >= MIN_AUTOSCALE_PAUSE_IMPROVEMENT_P50, (
+            f"double-routing is only {improvement:.1f}x faster than parking "
+            f"(p50 {double['pause_p50_seconds'] * 1e3:.2f} ms vs "
+            f"{parked['pause_p50_seconds'] * 1e3:.2f} ms)"
+        )
+        ramp = autoscale["ramp"]
+        assert ramp["shard_counts"] == AUTOSCALE_RAMP_SHARD_COUNTS, (
+            f"autoscaler ramp diverged from the scripted trajectory: "
+            f"{ramp['shard_counts']} != {AUTOSCALE_RAMP_SHARD_COUNTS}"
+        )
+        assert ramp["peak_shards"] == max(AUTOSCALE_RAMP_SHARD_COUNTS)
+        assert ramp["final_shards"] == min(AUTOSCALE_RAMP_SHARD_COUNTS)
+        assert ramp["decisions"]["grow"] == 2 and ramp["decisions"]["shrink"] == 2
+
     def test_batched_kernel_speedup_floor(self, perf_report):
         batch = perf_report["results"]["service"]["batch_detect"]
         assert batch["n_jobs"] >= MIN_BATCH_JOBS, (
@@ -311,10 +378,12 @@ class TestPerfRegression:
     def test_report_written_and_valid_json(self, perf_report):
         path = write_report(perf_report, REPO_ROOT / "BENCH_perf.json")
         loaded = json.loads(path.read_text(encoding="utf-8"))
-        assert loaded["schema_version"] == 7
+        assert loaded["schema_version"] == 8
         assert loaded["signal_sizes"] == [1_000, 10_000, 100_000]
         assert set(loaded["results"]["service"]["sharded"]) == set(SHARD_COUNTS)
-        assert {"batch_detect", "ingest_copies"} <= set(loaded["results"]["service"])
+        assert {"batch_detect", "ingest_copies", "autoscale"} <= set(
+            loaded["results"]["service"]
+        )
         assert set(loaded["results"]) == {
             "autocorrelation",
             "reconstruct",

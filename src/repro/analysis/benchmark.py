@@ -18,19 +18,21 @@ module provides the small timing utilities the perf-regression benchmark
   kernels vs the sequential per-session path at 256 concurrent due jobs;
 * :func:`run_ingest_copies_benchmark` — copy accounting (bytes copied per
   frame) and throughput of the zero-copy framing + shared-memory-ring hops;
+* :func:`run_autoscale_benchmark` — double-routed migration pause vs the
+  parked baseline, plus a scripted-clock autoscaler grow-then-shrink ramp;
 * :func:`run_obs_overhead_benchmark` — the same service workload with the
   metrics registry on vs off, proving instrumentation stays cheap;
 * :func:`write_report` — persists the report (``BENCH_perf.json`` at the repo
   root by convention).
 
-The report schema (version 7; version 1 lacked the ``service`` section,
+The report schema (version 8; version 1 lacked the ``service`` section,
 version 2 lacked ``service.sharded``, version 3 lacked ``service.gateway``,
 version 4 lacked ``service.reshard``, version 5 lacked
 ``service.batch_detect`` and ``service.ingest_copies``, version 6 lacked
-``obs``)::
+``obs``, version 7 lacked ``service.autoscale``)::
 
     {
-      "schema_version": 7,
+      "schema_version": 8,
       "generated_at": <unix epoch seconds>,
       "environment": {"python": "...", "numpy": "...", "platform": "..."},
       "signal_sizes": [1000, 10000, 100000],
@@ -59,6 +61,19 @@ version 4 lacked ``service.reshard``, version 5 lacked
                                         "pause_p50_seconds",
                                         "pause_p99_seconds",
                                         "pause_total_seconds", "cpu_count"},
+                            "autoscale": {"n_jobs", "moving_jobs",
+                                          "double_route": {"frames",
+                                                           "double_routed_frames",
+                                                           "pause_p50_seconds",
+                                                           "pause_p99_seconds"},
+                                          "parked_baseline": <same fields>,
+                                          "pause_improvement",
+                                          "ramp": {"tick_seconds",
+                                                   "shard_counts", "actions",
+                                                   "peak_shards",
+                                                   "final_shards",
+                                                   "decisions"},
+                                          "cpu_count"},
                             "batch_detect": {"n_jobs", "window_samples",
                                              "window_groups",
                                              "kernel_sequential_seconds",
@@ -508,6 +523,165 @@ def run_reshard_benchmark(
         "pause_p50_seconds": float(np.percentile(pause_array, 50.0)),
         "pause_p99_seconds": float(np.percentile(pause_array, 99.0)),
         "pause_total_seconds": total_pause,
+        "cpu_count": int(os.cpu_count() or 1),
+    }
+
+
+def run_autoscale_benchmark(
+    *,
+    n_jobs: int = 32,
+    flushes_per_job: int = 2,
+    requests_per_flush: int = 16,
+    max_workers: int = 2,
+    sampling_frequency: float = 10.0,
+    seed: int = 0,
+) -> dict:
+    """Measure the zero-pause double-routed handover and the autoscaler ramp.
+
+    Two sections, the ``service.autoscale`` block of ``BENCH_perf.json``
+    (schema v8):
+
+    * **Pause** — ingest ``n_jobs`` warm sessions at 2 shards, then grow to 4
+      while submitting one fresh flush for every *moving* job during the
+      migration window (the ``parked`` phase callback).  With
+      ``double_route=True`` the frame is delivered to the old owner
+      immediately, so its pause is just the route call; with
+      ``double_route=False`` the frame is parked until the handover replays
+      it, so its pause runs to the end of the reshard.  Both distributions
+      are reported; their ratio is the headline improvement.
+    * **Ramp** — a scripted-clock :class:`~repro.service.autoscaler.Autoscaler`
+      driven over a deterministic load ramp (all sessions up, then all but
+      two finished and reaped).  The shard count must climb to the configured
+      ceiling and descend back to the floor: grow twice, shrink twice.
+    """
+    from repro.core.config import FtioConfig
+    from repro.service import (
+        AutoscaleConfig,
+        Autoscaler,
+        HashRing,
+        ServiceConfig,
+        SessionConfig,
+        ShardedService,
+    )
+
+    streams = synthetic_flush_streams(
+        n_jobs,
+        flushes_per_job=flushes_per_job,
+        requests_per_flush=requests_per_flush,
+        seed=seed,
+    )
+    config = ServiceConfig(
+        session=SessionConfig(
+            config=FtioConfig(
+                sampling_frequency=sampling_frequency,
+                use_autocorrelation=False,
+                compute_characterization=False,
+            )
+        ),
+        max_workers=max_workers,
+    )
+
+    def measure_pause(double_route: bool) -> dict:
+        moving = [
+            job
+            for job in streams
+            if HashRing(2).shard_for(job) != HashRing(4).shard_for(job)
+        ]
+        service = ShardedService(2, config)
+        pauses: list[float] = []
+        submit_at: dict[str, float] = {}
+
+        def on_phase(phase: str) -> None:
+            if phase != "parked":
+                return
+            for job in moving:
+                started = time.perf_counter()
+                service.ingest_flush(job, streams[job][1])
+                if double_route:
+                    pauses.append(time.perf_counter() - started)
+                else:
+                    submit_at[job] = started
+
+        try:
+            for job, flushes in streams.items():
+                service.ingest_flush(job, flushes[0])
+            service.pump()
+            summary = service.reshard(4, on_phase=on_phase, double_route=double_route)
+            ended = time.perf_counter()
+            if not double_route:
+                pauses.extend(ended - started for started in submit_at.values())
+            service.pump()
+            service.drain()
+        finally:
+            service.close()
+        pause_array = np.asarray(pauses)
+        return {
+            "frames": len(pauses),
+            "double_routed_frames": int(summary["double_routed_frames"]),
+            "pause_p50_seconds": float(np.percentile(pause_array, 50.0)),
+            "pause_p99_seconds": float(np.percentile(pause_array, 99.0)),
+        }
+
+    double = measure_pause(True)
+    parked = measure_pause(False)
+
+    # Deterministic load ramp under a scripted clock: offered load saturates
+    # one shard, the autoscaler climbs to the ceiling, the load drains and it
+    # descends to the floor (cooldown and hysteresis streaks included).
+    ramp_config = AutoscaleConfig(
+        min_shards=1,
+        max_shards=3,
+        cooldown_seconds=5.0,
+        high_sessions_per_shard=5.0,
+        low_sessions_per_shard=2.0,
+        low_pending_per_shard=4.0,
+        high_p99_latency_seconds=2000.0,
+        low_p99_latency_seconds=1000.0,
+        up_consecutive=1,
+        down_consecutive=2,
+        step_shards=1,
+    )
+    tick_seconds = (0.0, 2.0, 6.0, 12.0, 18.0, 20.0, 22.0, 26.0, 28.0)
+    service = ShardedService(1, config)
+    shard_counts = [service.n_shards]
+    actions: list[str] = []
+    try:
+        scaler = Autoscaler(service, ramp_config)
+        for job, flushes in streams.items():
+            service.ingest_flush(job, flushes[0])
+        service.pump()
+        for now in tick_seconds[:4]:
+            actions.append(scaler.tick(now).action)
+            shard_counts.append(service.n_shards)
+        for job in sorted(streams)[:-2]:
+            service.finish_job(job)
+        service.drain()
+        service.reap_finished()
+        for now in tick_seconds[4:]:
+            actions.append(scaler.tick(now).action)
+            shard_counts.append(service.n_shards)
+        decisions = dict(scaler.decision_counts)
+    finally:
+        service.close()
+
+    return {
+        "n_jobs": int(n_jobs),
+        "moving_jobs": int(double["frames"]),
+        "double_route": double,
+        "parked_baseline": parked,
+        "pause_improvement": (
+            float(parked["pause_p99_seconds"] / double["pause_p99_seconds"])
+            if double["pause_p99_seconds"] > 0
+            else 0.0
+        ),
+        "ramp": {
+            "tick_seconds": [float(t) for t in tick_seconds],
+            "shard_counts": [int(count) for count in shard_counts],
+            "actions": actions,
+            "peak_shards": int(max(shard_counts)),
+            "final_shards": int(shard_counts[-1]),
+            "decisions": decisions,
+        },
         "cpu_count": int(os.cpu_count() or 1),
     }
 
@@ -1003,6 +1177,9 @@ def run_perf_suite(
     results["service"]["sharded"] = run_sharded_scaling_benchmark(seed=seed)
     results["service"]["gateway"] = run_gateway_benchmark(seed=seed)
     results["service"]["reshard"] = run_reshard_benchmark(seed=seed)
+    # Autoscaler: zero-pause double-routed handover vs the parked baseline,
+    # and the scripted grow-then-shrink ramp (schema v8).
+    results["service"]["autoscale"] = run_autoscale_benchmark(seed=seed)
     # Batched cross-session kernels vs the sequential path at 256 due jobs,
     # and the copy accounting of the zero-copy ingest hops (schema v6).
     results["service"]["batch_detect"] = run_batch_detect_benchmark(seed=seed)
@@ -1012,7 +1189,7 @@ def run_perf_suite(
     results["obs"] = {"overhead": run_obs_overhead_benchmark(seed=seed)}
 
     return {
-        "schema_version": 7,
+        "schema_version": 8,
         "generated_at": int(time.time()),
         "environment": {
             "python": platform.python_version(),

@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.client import ServiceClient
     from repro.core.ftio import FtioResult
     from repro.core.online import PredictionStep
+    from repro.service.autoscaler import AutoscaleConfig
     from repro.service.gateway import ThreadedGateway
     from repro.service.service import PredictionService, ServiceConfig
     from repro.service.session import SessionConfig
@@ -104,6 +105,12 @@ class ReproConfig:
         When not ``None``, :func:`serve` also exposes the HTTP ops surface
         (``/healthz``, ``/status``, ``/metrics``) on this port (0 picks a
         free one; read ``gateway.ops_port`` afterwards).
+    autoscale:
+        When not ``None`` (and ``shards > 0``), :func:`serve` runs an
+        :class:`~repro.service.autoscaler.Autoscaler` with this
+        :class:`~repro.service.autoscaler.AutoscaleConfig`, growing and
+        shrinking the shard topology with the offered load (zero-pause
+        double-routed migrations; decisions on ``/status``).
     """
 
     analysis: FtioConfig = field(default_factory=FtioConfig)
@@ -133,6 +140,7 @@ class ReproConfig:
     host: str = "127.0.0.1"
     port: int = 0
     ops_port: int | None = None
+    autoscale: "AutoscaleConfig | None" = None
 
     # ------------------------------------------------------------------ #
     # builders
@@ -180,6 +188,7 @@ class ReproConfig:
             spans=self.spans,
             span_capacity=self.span_capacity,
             ops_port=self.ops_port,
+            autoscale=self.autoscale,
         )
 
     def build_service(self) -> "PredictionService | ShardedService":
@@ -252,6 +261,7 @@ def serve(
     host: str | None = None,
     port: int | None = None,
     ops_port: int | None = None,
+    autoscale: "AutoscaleConfig | None" = None,
 ) -> "ThreadedGateway":
     """Start a TCP gateway serving the configured prediction service.
 
@@ -273,6 +283,9 @@ def serve(
         with api.serve(api.ReproConfig(shards=2)) as gateway:
             client = api.connect(gateway.address)
             client.resize(4)          # grow the live service to 4 shards
+
+    Pass ``autoscale=AutoscaleConfig(...)`` (or set it on the config) to let
+    the service drive those resizes itself from its own load signals.
     """
     from repro.service.gateway import ThreadedGateway
 
@@ -286,6 +299,7 @@ def serve(
         token=config.token,
         ops_port=ops_port if ops_port is not None else config.ops_port,
         own_engine=own_engine,
+        autoscale=autoscale if autoscale is not None else config.autoscale,
     )
     return gateway.start()
 

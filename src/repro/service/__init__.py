@@ -25,6 +25,13 @@ message layer of :mod:`repro.service.protocol`.
 """
 
 from repro.service import protocol
+from repro.service.autoscaler import (
+    AutoscaleConfig,
+    AutoscaleDecision,
+    AutoscaleSignals,
+    Autoscaler,
+    HysteresisPolicy,
+)
 from repro.service.backend import (
     DetectionBackend,
     ProcessPoolBackend,
@@ -68,6 +75,11 @@ from repro.service.snapshot import (
 )
 
 __all__ = [
+    "AutoscaleConfig",
+    "AutoscaleDecision",
+    "AutoscaleSignals",
+    "Autoscaler",
+    "HysteresisPolicy",
     "PhaseFlushBridge",
     "BatchReport",
     "BrokerStats",

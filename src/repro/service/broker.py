@@ -89,6 +89,11 @@ class FlushBroker:
         self._frames = 0
         self._flushes = 0
         self._requests = 0
+        # Handover staging (zero-pause migration): while a predicate is
+        # armed, decoded frames whose job matches it are buffered in arrival
+        # order instead of ingested — see begin_staging()/end_staging().
+        self._staging: Callable[[str], bool] | None = None
+        self._staged: list[tuple[str, FlushRecord]] = []
 
     # ------------------------------------------------------------------ #
     @property
@@ -156,9 +161,21 @@ class FlushBroker:
             )
         return session
 
-    def ingest_frame(self, frame: FlushFrame) -> JobSession:
-        """Route one decoded frame to its job's session."""
+    def ingest_frame(self, frame: FlushFrame) -> JobSession | None:
+        """Route one decoded frame to its job's session.
+
+        During an armed handover (:meth:`begin_staging`), a frame whose job
+        matches the staging predicate is buffered instead of ingested and
+        ``None`` is returned; it will be ingested (or deduplicated away) by
+        :meth:`end_staging`.
+        """
         with self._lock:
+            if self._staging is not None and self._staging(frame.job):
+                # Not counted in _frames yet: a staged frame is either a
+                # duplicate of one the old owner already counted, or will be
+                # counted when end_staging() actually ingests it.
+                self._staged.append((frame.job, frame.flush))
+                return None
             self._frames += 1
         return self.ingest(frame.job, frame.flush)
 
@@ -169,6 +186,62 @@ class FlushBroker:
             self.ingest_frame(frame)
             count += 1
         return count
+
+    # ------------------------------------------------------------------ #
+    # zero-pause handover staging
+    # ------------------------------------------------------------------ #
+    @property
+    def staged_frames(self) -> int:
+        """Frames currently buffered by an armed handover staging."""
+        with self._lock:
+            return len(self._staged)
+
+    def begin_staging(self, predicate: Callable[[str], bool]) -> None:
+        """Arm handover staging: buffer frames whose job matches ``predicate``.
+
+        Matching frames are kept in arrival order (never ingested) until
+        :meth:`end_staging` replays them or :meth:`abort_staging` discards
+        them.  Re-arming replaces the predicate and drops any leftover buffer
+        — a new handover supersedes a torn one (the router re-sends the
+        frames a respawned target lost).
+        """
+        with self._lock:
+            self._staging = predicate
+            self._staged = []
+
+    def end_staging(self, drop_counts: dict[str, int] | None = None) -> tuple[int, int]:
+        """Disarm staging; dedup and ingest the buffer.
+
+        Per job, the first ``drop_counts[job]`` staged frames are dropped —
+        they were double-delivered and their effect already arrived inside
+        the merged session state — and every surviving frame is ingested in
+        arrival order.  Returns ``(replayed, dropped)``.
+        """
+        with self._lock:
+            staged = self._staged
+            self._staging = None
+            self._staged = []
+        remaining = dict(drop_counts or {})
+        replayed = 0
+        dropped = 0
+        for job, flush in staged:
+            if remaining.get(job, 0) > 0:
+                remaining[job] -= 1
+                dropped += 1
+                continue
+            with self._lock:
+                self._frames += 1
+            self.ingest(job, flush)
+            replayed += 1
+        return replayed, dropped
+
+    def abort_staging(self) -> int:
+        """Disarm staging and discard the buffer; returns frames discarded."""
+        with self._lock:
+            discarded = len(self._staged)
+            self._staging = None
+            self._staged = []
+        return discarded
 
     def feed_bytes(self, data: bytes) -> int:
         """Feed raw framed bytes (socket reads); returns completed frames routed."""

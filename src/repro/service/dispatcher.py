@@ -188,6 +188,18 @@ class DetectionDispatcher:
                 pending=self._pending_evals,
             )
 
+    @property
+    def detect_histogram(self) -> Histogram | None:
+        """The full detection-latency histogram (``None`` with metrics off).
+
+        Unlike :meth:`latencies` — a bounded recent window — the histogram
+        counts every completed evaluation, and merges bucket-wise across
+        shards, so aggregated percentiles weigh shards by their actual
+        detection volume.
+        """
+        hist = self._detect_hist
+        return hist if isinstance(hist, Histogram) else None
+
     def latencies(self) -> tuple[float, ...]:
         """Durations of the most recent completed evaluations (seconds)."""
         with self._lock:

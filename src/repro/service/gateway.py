@@ -134,6 +134,10 @@ class ServiceGateway:
         metrics_on = getattr(getattr(engine, "config", None), "metrics", True)
         self._metrics: MetricRegistry | None = MetricRegistry() if metrics_on else None
         self._rtt_hists: dict[str, Histogram] = {}
+        #: Optional :class:`~repro.service.autoscaler.Autoscaler` attached by
+        #: the serving wrapper (:class:`ThreadedGateway`); surfaced on
+        #: ``/status`` when present.  The gateway does not own its lifecycle.
+        self.autoscaler = None
         self._server: asyncio.Server | None = None
         self._ops_server: asyncio.Server | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -488,6 +492,8 @@ class ServiceGateway:
         spans = getattr(self._engine, "spans_snapshot", None)
         if spans is not None:
             document["spans"] = spans()
+        if self.autoscaler is not None:
+            document["autoscale"] = self.autoscaler.status()
         return document
 
     async def _ops_body(self, path: str) -> tuple[int, str, str]:
@@ -564,6 +570,11 @@ class ThreadedGateway:
             client = ServiceClient(gateway.host, gateway.port)
 
     With ``own_engine=True`` closing the gateway also closes the engine.
+    With ``autoscale=AutoscaleConfig(...)`` (sharded engines only) the
+    gateway owns an :class:`~repro.service.autoscaler.Autoscaler` whose
+    resizes go through :meth:`resize` — i.e. behind the same engine lock
+    every client request takes — and whose decision timeline shows up in
+    the ``/status`` document under ``"autoscale"``.
     """
 
     def __init__(
@@ -576,6 +587,7 @@ class ThreadedGateway:
         name: str = "repro-gateway",
         ops_port: int | None = None,
         own_engine: bool = False,
+        autoscale=None,
     ) -> None:
         self._engine = engine
         self._kwargs: dict[str, Any] = {
@@ -586,6 +598,8 @@ class ThreadedGateway:
             "ops_port": ops_port,
         }
         self._own_engine = own_engine
+        self._autoscale = autoscale
+        self._autoscaler = None
         self._gateway: ServiceGateway | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop: asyncio.Event | None = None
@@ -636,6 +650,23 @@ class ThreadedGateway:
             self._thread.join()
             self._thread = None
             raise error
+        if self._autoscale is not None:
+            if getattr(self._engine, "reshard", None) is None:
+                raise ServiceError(
+                    "autoscaling requires a sharded engine; serve with "
+                    "shards >= 1 to make the topology mutable"
+                )
+            from repro.service.autoscaler import Autoscaler
+
+            # Resizes go through the gateway so they take the engine lock —
+            # an autoscaler-initiated reshard never interleaves with an
+            # in-flight client pump/snapshot.
+            self._autoscaler = Autoscaler(
+                self._engine, self._autoscale, resize=self.resize
+            )
+            assert self._gateway is not None
+            self._gateway.autoscaler = self._autoscaler
+            self._autoscaler.start()
         return self
 
     def _run(self) -> None:
@@ -673,8 +704,17 @@ class ThreadedGateway:
         )
         return future.result()
 
+    @property
+    def autoscaler(self):
+        """The gateway-owned autoscaler (``None`` unless serving with one)."""
+        return self._autoscaler
+
     def close(self) -> None:
         """Stop the server, join the thread, optionally close the engine."""
+        if self._autoscaler is not None:
+            # Stop the control loop before the event loop it resizes through.
+            self._autoscaler.stop()
+            self._autoscaler = None
         thread = self._thread
         if thread is not None and thread.is_alive():
             assert self._loop is not None and self._stop is not None

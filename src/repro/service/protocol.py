@@ -116,6 +116,17 @@ def _dict_tuple(value: Any) -> tuple[dict, ...]:
     return tuple(out)
 
 
+def _opt_float_tuple(value: Any) -> tuple[float, ...] | None:
+    if value is None:
+        return None
+    if not isinstance(value, (list, tuple)):
+        raise ProtocolError(f"expected a number list, got {type(value).__name__}")
+    out = tuple(float(item) for item in value)
+    if any(weight <= 0 for weight in out):
+        raise ProtocolError("ring weights must be > 0")
+    return out
+
+
 def _require_dict(value: Any, field: str) -> dict:
     if not isinstance(value, dict):
         raise ProtocolError(f"field {field!r} must be a map, got {type(value).__name__}")
@@ -535,6 +546,165 @@ class MetricsReport(Message):
         return cls(metrics=_require_dict(payload.get("metrics", {}), "metrics"))
 
 
+# --------------------------------------------------------------------- #
+# zero-pause handover (double-routed migration)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BeginHandover(Message):
+    """Arm a migration target: stage incoming frames for moving jobs.
+
+    Carries both ring parameterizations (shard counts, replica budget,
+    optional per-shard weights) plus the receiving shard's own index, so the
+    shard rebuilds the two rings locally and computes its *own* staging
+    predicate — a frame is staged iff its job changes owner between the two
+    rings **and** the new owner is this shard.  Shipping the rings instead of
+    a job list makes the predicate correct even for job ids the router has
+    never seen (a brand-new job submitted mid-migration) and independent of
+    control/data channel ordering.
+
+    From the reply until :class:`CompleteHandover` (or
+    :class:`AbortHandover`), matching frames are buffered in arrival order
+    instead of ingested; everything else flows normally — this is what turns
+    the old park-and-replay pause into a zero-pause double-routed handover.
+    """
+
+    shard: int
+    old_shards: int
+    new_shards: int
+    replicas: int
+    old_weights: tuple[float, ...] | None = None
+    new_weights: tuple[float, ...] | None = None
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "BeginHandover":
+        old_shards = int(payload["old_shards"])
+        new_shards = int(payload["new_shards"])
+        replicas = int(payload["replicas"])
+        if old_shards < 1 or new_shards < 1:
+            raise ProtocolError(
+                f"handover shard counts must be >= 1, got {old_shards} -> {new_shards}"
+            )
+        if replicas < 1:
+            raise ProtocolError(f"replicas must be >= 1, got {replicas}")
+        return cls(
+            shard=int(payload["shard"]),
+            old_shards=old_shards,
+            new_shards=new_shards,
+            replicas=replicas,
+            old_weights=_opt_float_tuple(payload.get("old_weights")),
+            new_weights=_opt_float_tuple(payload.get("new_weights")),
+        )
+
+
+@dataclass(frozen=True)
+class BeginHandoverReply(Message):
+    """Staging is armed; double-routing may start."""
+
+    shard: int
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "BeginHandoverReply":
+        return cls(shard=int(payload["shard"]))
+
+
+@dataclass(frozen=True)
+class CompleteHandover(Message):
+    """Finish a handover: dedup the staged frames, ingest the remainder.
+
+    The shard first drains its data plane to ``expected_bytes`` (so every
+    double-routed frame has been staged), then — per job — drops the first
+    ``drop_counts[job]`` staged frames: those were *also* delivered to the
+    old owner before its state was extracted, so their effect already arrived
+    inside the merged session state.  The surviving staged frames (delivered
+    only here) are ingested in arrival order, which keeps the whole handover
+    exactly-once.
+    """
+
+    expected_bytes: int | None = None
+    drop_counts: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "CompleteHandover":
+        drops = _require_dict(payload.get("drop_counts", {}), "drop_counts")
+        return cls(
+            expected_bytes=_opt_int(payload.get("expected_bytes")),
+            drop_counts={str(job): int(count) for job, count in drops.items()},
+        )
+
+
+@dataclass(frozen=True)
+class CompleteHandoverReply(Message):
+    """Handover done: staged frames deduplicated and ingested."""
+
+    replayed: int = 0
+    dropped: int = 0
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "CompleteHandoverReply":
+        return cls(
+            replayed=int(payload.get("replayed", 0)),
+            dropped=int(payload.get("dropped", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class AbortHandover(Message):
+    """Roll a handover back: discard the staged frames, stop staging.
+
+    Sent when a failed reshard leaves the *old* ring in charge — the router
+    re-routes its own parked copies of the undelivered frames toward the old
+    owners, so the staged copies here must be dropped, not ingested.  The
+    shard drains its data plane to ``expected_bytes`` before disarming, so a
+    double-routed frame still in flight lands in the buffer (and is
+    discarded with it) instead of surviving as a stray ingest.
+    """
+
+    expected_bytes: int | None = None
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "AbortHandover":
+        return cls(expected_bytes=_opt_int(payload.get("expected_bytes")))
+
+
+@dataclass(frozen=True)
+class AbortHandoverReply(Message):
+    """Staging is disarmed; ``discarded`` staged frames were dropped."""
+
+    discarded: int = 0
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "AbortHandoverReply":
+        return cls(discarded=int(payload.get("discarded", 0)))
+
+
+@dataclass(frozen=True)
+class ReapFinished(Message):
+    """Release the sessions of finished, fully evaluated jobs on a shard.
+
+    The sharded mirror of :meth:`~repro.service.service.PredictionService.
+    reap_finished` — without it a long-running sharded deployment can mark
+    jobs finished but never free their sessions, so resident load (and the
+    autoscaler's sessions-per-shard signal) only ever grows.
+    """
+
+    forget_predictions: bool = False
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "ReapFinished":
+        return cls(forget_predictions=bool(payload.get("forget_predictions", False)))
+
+
+@dataclass(frozen=True)
+class ReapFinishedReply(Message):
+    """The job identifiers this shard reaped."""
+
+    jobs: tuple = ()
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "ReapFinishedReply":
+        return cls(jobs=tuple(str(job) for job in payload.get("jobs", ())))
+
+
 @dataclass(frozen=True)
 class Close(Message):
     """End the conversation (and, on a shard pipe, shut the shard down)."""
@@ -589,6 +759,14 @@ MESSAGE_TYPES: dict[int, type[Message]] = {
     26: ExtractJobs,
     27: ExtractJobsReply,
     28: MetricsReport,
+    29: BeginHandover,
+    30: BeginHandoverReply,
+    31: CompleteHandover,
+    32: CompleteHandoverReply,
+    33: AbortHandover,
+    34: AbortHandoverReply,
+    35: ReapFinished,
+    36: ReapFinishedReply,
 }
 _TYPE_CODES: dict[type[Message], int] = {cls: code for code, cls in MESSAGE_TYPES.items()}
 

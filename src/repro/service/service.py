@@ -27,6 +27,7 @@ from repro.obs import MetricRegistry, SpanJournal
 from repro.trace.framing import FlushFrame, FrameReader, compact_spool
 from repro.trace.jsonl import FlushRecord
 
+from repro.service.autoscaler import AutoscaleConfig
 from repro.service.backend import DetectionBackend, make_backend
 from repro.service.broker import FlushBroker
 from repro.service.dispatcher import DetectionDispatcher, DispatcherStats
@@ -99,6 +100,13 @@ class ServiceConfig:
         plaintext HTTP ops surface on this port — ``/healthz``, ``/status``
         (merged stats/metrics JSON) and ``/metrics`` (Prometheus text
         exposition).  ``0`` picks a free port.
+    autoscale:
+        Sharded gateway deployments only: when set, the gateway runs an
+        :class:`~repro.service.autoscaler.Autoscaler` supervision thread
+        that watches the service's own stats (sessions, queue depth, p99
+        detection latency) and drives ``reshard()`` / ``revive_shard()``
+        with hysteresis, a cooldown and min/max shard clamps.  ``None``
+        (the default) keeps the topology fixed.
     """
 
     session: SessionConfig = field(default_factory=SessionConfig)
@@ -117,6 +125,7 @@ class ServiceConfig:
     spans: bool = False
     span_capacity: int = 2048
     ops_port: int | None = None
+    autoscale: "AutoscaleConfig | None" = None
 
 
 def tail_positions(tails: dict[Path, FrameReader]) -> dict[str, dict]:
@@ -355,6 +364,7 @@ class PredictionService:
             "detections": dispatch.completed,
             "deferred": dispatch.deferred,
             "failures": dispatch.failures,
+            "pending_evaluations": dispatch.pending,
             "published": self.publisher.published,
             "p50_detection_latency_seconds": self.dispatcher.latency_percentile(50),
             "p99_detection_latency_seconds": self.dispatcher.latency_percentile(99),

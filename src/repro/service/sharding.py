@@ -75,7 +75,7 @@ from typing import Callable
 import numpy as np
 
 from repro.exceptions import ProtocolError, ServiceError, ShardCrashedError
-from repro.obs import MetricRegistry, SpanJournal, merge_snapshots
+from repro.obs import Histogram, MetricRegistry, SpanJournal, merge_snapshots
 from repro.trace.framing import FrameReader, FrameSplitter, RawFrame, encode_frame
 from repro.trace.jsonl import FlushRecord
 from repro.trace.msgpack import packb
@@ -118,18 +118,48 @@ class HashRing:
     count moves only the jobs whose arc changed owner — the property that
     lets a snapshot taken at one shard count restore onto another with
     minimal data movement.
+
+    ``weights`` makes the ring heterogeneous: shard ``i`` places
+    ``round(replicas * weights[i])`` points (at least one), so its expected
+    arc share is proportional to its weight — a beefy ProcessPoolBackend
+    shard can take a double arc.  Replica keys are a per-shard prefix
+    (``shard-i-replica-0..k``), so changing *only* the weights adds or
+    removes points at each shard's tail: jobs move only into a shard whose
+    weight grew or out of one whose weight shrank — minimal movement holds
+    for weight changes exactly as it does for count changes
+    (``tests/service/test_weighted_ring.py`` pins both properties).
     """
 
-    def __init__(self, n_shards: int, *, replicas: int = 64) -> None:
+    def __init__(
+        self,
+        n_shards: int,
+        *,
+        replicas: int = 64,
+        weights: tuple[float, ...] | list[float] | None = None,
+    ) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
         self.n_shards = int(n_shards)
         self.replicas = int(replicas)
+        if weights is None:
+            self.weights: tuple[float, ...] | None = None
+            counts = [self.replicas] * self.n_shards
+        else:
+            if len(weights) != self.n_shards:
+                raise ValueError(
+                    f"weights must have one entry per shard "
+                    f"({self.n_shards}), got {len(weights)}"
+                )
+            if any(w <= 0 for w in weights):
+                raise ValueError(f"weights must be > 0, got {tuple(weights)}")
+            self.weights = tuple(float(w) for w in weights)
+            counts = [max(1, round(self.replicas * w)) for w in self.weights]
+        self.replica_counts: tuple[int, ...] = tuple(counts)
         points: list[tuple[int, int]] = []
-        for shard in range(self.n_shards):
-            for replica in range(self.replicas):
+        for shard, count in enumerate(counts):
+            for replica in range(count):
                 points.append((self._hash(f"shard-{shard}-replica-{replica}"), shard))
         # (hash, shard) tuples sort lexicographically: equal hash points
         # (rare but possible) tie-break on the shard index, so the ring
@@ -151,6 +181,22 @@ class HashRing:
         if position == len(self._hashes):
             position = 0
         return self._owners[position]
+
+    def arc_shares(self) -> tuple[float, ...]:
+        """Exact fraction of the 64-bit keyspace each shard owns.
+
+        A point at hash ``h`` owns the arc ``(previous_h, h]`` (plus the
+        wraparound arc for the first point), which is precisely the keyspace
+        :meth:`shard_for` sends to it — the measure the weighted-arc property
+        tests assert against, with no sampling noise.
+        """
+        span = 1 << 64
+        shares = [0.0] * self.n_shards
+        previous = self._hashes[-1] - span  # wraparound arc of the first point
+        for point, owner in zip(self._hashes, self._owners):
+            shares[owner] += (point - previous) / span
+            previous = point
+        return tuple(shares)
 
 
 # --------------------------------------------------------------------- #
@@ -273,6 +319,7 @@ def _shard_main(
         if isinstance(request, proto.Stats):
             broker = service.broker.stats
             dispatch = service.dispatcher.stats
+            detect_hist = service.dispatcher.detect_histogram
             return (
                 [
                     proto.StatsReply(
@@ -282,6 +329,14 @@ def _shard_main(
                             "dispatcher": vars(dispatch),
                             "jobs": list(service.jobs),
                             "latencies": list(service.dispatcher.latencies()),
+                            # Full mergeable latency distribution (None with
+                            # metrics off): the router merges these bucket-wise
+                            # instead of pooling the bounded windows, so the
+                            # aggregated p99 weighs every detection, not just
+                            # each shard's last `latency_window` of them.
+                            "detect_hist": (
+                                None if detect_hist is None else detect_hist.to_dict()
+                            ),
                             "bytes_received": bytes_received,
                         }
                     )
@@ -334,9 +389,49 @@ def _shard_main(
         if isinstance(request, proto.Restore):
             apply_state(service, request.state)
             return [proto.RestoreReply(restored=len(request.state["sessions"]))], False
+        if isinstance(request, proto.BeginHandover):
+            # Rebuild both rings locally and stage exactly the frames whose
+            # job is moving *to this shard* — correct even for job ids first
+            # seen mid-migration, and independent of how data-plane bytes
+            # interleave with this control message (frames already buffered
+            # for jobs this shard owned under the old ring never match).
+            old_ring = HashRing(
+                request.old_shards,
+                replicas=request.replicas,
+                weights=request.old_weights,
+            )
+            new_ring = HashRing(
+                request.new_shards,
+                replicas=request.replicas,
+                weights=request.new_weights,
+            )
+            me = request.shard
+
+            def moving_here(job: str) -> bool:
+                owner = new_ring.shard_for(job)
+                return owner == me and old_ring.shard_for(job) != owner
+
+            service.broker.begin_staging(moving_here)
+            return [proto.BeginHandoverReply(shard=index)], False
+        if isinstance(request, proto.CompleteHandover):
+            sync_to(request.expected_bytes)
+            replayed, dropped = service.broker.end_staging(request.drop_counts)
+            return (
+                [proto.CompleteHandoverReply(replayed=replayed, dropped=dropped)],
+                False,
+            )
+        if isinstance(request, proto.AbortHandover):
+            sync_to(request.expected_bytes)
+            discarded = service.broker.abort_staging()
+            return [proto.AbortHandoverReply(discarded=discarded)], False
         if isinstance(request, proto.FinishJob):
             service.finish_job(request.job)
             return [proto.FinishJobReply(job=request.job)], False
+        if isinstance(request, proto.ReapFinished):
+            reaped = service.reap_finished(
+                forget_predictions=request.forget_predictions
+            )
+            return [proto.ReapFinishedReply(jobs=reaped)], False
         if isinstance(request, proto.Close):
             service.close()
             return [proto.CloseReply()], True
@@ -394,17 +489,45 @@ def _shard_main(
 
 
 @dataclass
-class _Migration:
-    """In-flight reshard: the two rings plus the per-job parking buffer.
+class _RoutedCopy:
+    """Router-side copy of one double-routed frame (handover replay/rollback).
 
-    While a reshard runs, any frame whose job changes owner between
-    ``old_ring`` and ``new_ring`` is *parked* (in arrival order) instead of
-    routed; after the handover the router replays the buffer against the new
-    topology, so a moving job's stream is never split across two owners.
+    ``delivered_old`` records whether the frame also reached the old owner
+    before its state was extracted: such frames travel inside the extracted
+    session state (their staged twin is deduplicated away), while frames
+    delivered only to the staging target must be replayed by the router if
+    the target dies or the migration rolls back to the old ring.
+    """
+
+    frame: RawFrame
+    target: int
+    delivered_old: bool
+
+
+@dataclass
+class _Migration:
+    """In-flight reshard: the two rings plus the in-flight frame bookkeeping.
+
+    With ``staging`` armed (every target shard acknowledged
+    :class:`~repro.service.protocol.BeginHandover`), a frame whose job
+    changes owner between ``old_ring`` and ``new_ring`` is *double-routed*:
+    delivered to the old owner for immediate evaluation (zero ingest pause)
+    and to the new owner's staging buffer, with per-job duplicate counts so
+    the receiving shard can deduplicate at
+    :class:`~repro.service.protocol.CompleteHandover` — the stream stays
+    exactly-once.  Without staging (``double_route=False``, or a target that
+    negotiated protocol v1), the frame is *parked* in arrival order and
+    replayed by the router after the handover — the pre-handover behavior,
+    kept as the measured baseline.
     """
 
     old_ring: HashRing
     new_ring: HashRing
+    staging: bool = False
+    extracted: bool = False
+    handover_targets: set[int] = field(default_factory=set)
+    dup_counts: dict[str, int] = field(default_factory=dict)
+    routed: list[_RoutedCopy] = field(default_factory=list)
     parked: list[RawFrame] = field(default_factory=list)
 
     def moves(self, job: str) -> bool:
@@ -448,6 +571,10 @@ class ShardedService:
         byte streams whose frames do not carry it (wire-level auth).
     replicas:
         Virtual nodes per shard on the hash ring.
+    weights:
+        Optional per-shard ring weights: shard ``i`` takes an arc share
+        proportional to ``weights[i]`` (``None`` = uniform), so a shard on
+        bigger hardware can own proportionally more jobs.
     start_method:
         ``multiprocessing`` start method (``None`` = platform default).
     """
@@ -459,6 +586,7 @@ class ShardedService:
         *,
         token: object = _UNSET,
         replicas: int = 64,
+        weights: tuple[float, ...] | list[float] | None = None,
         start_method: str | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
@@ -472,7 +600,7 @@ class ShardedService:
             self._token: int | None = int(token)  # type: ignore[arg-type]
         else:
             self._token = self.config.token
-        self.ring = HashRing(n_shards, replicas=replicas)
+        self.ring = HashRing(n_shards, replicas=replicas, weights=weights)
         self.publisher = PredictionPublisher()
         self._splitter = FrameSplitter(expected_token=self._token)
         self._ctx = multiprocessing.get_context(start_method)
@@ -489,6 +617,7 @@ class ShardedService:
         self._migration: _Migration | None = None
         self._reshards = 0
         self._sessions_moved = 0
+        self._double_routed = 0
         # Router-side observability: the registry holds what only the parent
         # can see (ring occupancy/stalls, reshard phase durations, revives);
         # shard-side registries are polled and merged in metrics_snapshot().
@@ -505,6 +634,11 @@ class ShardedService:
             self.metrics.register_view(
                 "repro_reshards_total", "counter", lambda: self._reshards,
                 help="Completed live reshard operations",
+            )
+            self.metrics.register_view(
+                "repro_double_routed_frames_total", "counter",
+                lambda: self._double_routed,
+                help="Frames double-routed to old and new owners during handovers",
             )
         self._shards = [self._spawn(index) for index in range(n_shards)]
 
@@ -775,14 +909,15 @@ class ShardedService:
     def route_raw(self, frame: RawFrame) -> int:
         """Route one already-framed message; returns the shard index.
 
-        During a live reshard, a frame whose job is changing owner is parked
-        in the migration buffer (and replayed after the handover); the
-        returned index is then the job's *new* owner.
+        During a live reshard, a frame whose job is changing owner is
+        double-routed — delivered to the old owner (ingested immediately,
+        zero pause) and to the new owner's staging buffer — or, on the
+        fallback path, parked and replayed after the handover.  The returned
+        index is the job's *new* owner either way.
         """
         migration = self._migration
         if migration is not None and migration.moves(frame.job):
-            migration.parked.append(frame)
-            return migration.new_ring.shard_for(frame.job)
+            return self._route_moving(migration, frame)
         started = time.perf_counter() if self._journal_enabled else 0.0
         index = self.ring.shard_for(frame.job)
         self._send_raw(self._shards[index], frame.data)
@@ -793,6 +928,40 @@ class ShardedService:
                 "route", time.perf_counter() - started, job=frame.job, started=started
             )
         return index
+
+    def _route_moving(self, migration: _Migration, frame: RawFrame) -> int:
+        """Route one frame whose job changes owner under ``migration``."""
+        new = migration.new_ring.shard_for(frame.job)
+        if not migration.staging:
+            migration.parked.append(frame)
+            return new
+        # Materialize: the copy outlives this call (replayed if the staging
+        # target dies or the migration rolls back), so it must not borrow
+        # ring/splitter memory (see RawFrame).
+        data = frame.data if isinstance(frame.data, bytes) else bytes(frame.data)
+        copy = RawFrame(job=frame.job, data=data, token=frame.token)
+        if not migration.extracted:
+            # Pre-extraction: the old owner ingests the frame immediately
+            # (and its effect travels inside the extracted state), the new
+            # owner stages a twin that CompleteHandover deduplicates away.
+            old = migration.old_ring.shard_for(frame.job)
+            self._send_raw(self._shards[old], data)
+            self._jobs_by_shard[old].add(frame.job)
+            migration.dup_counts[frame.job] = migration.dup_counts.get(frame.job, 0) + 1
+            migration.routed.append(_RoutedCopy(copy, new, delivered_old=True))
+        else:
+            # Post-extraction the old owner no longer holds the session —
+            # the frame goes to the staging target only, ingested in order
+            # at CompleteHandover.
+            migration.routed.append(_RoutedCopy(copy, new, delivered_old=False))
+        try:
+            self._send_raw(self._shards[new], data)
+        except ShardCrashedError:
+            # The staging target died; the routed copy above is re-sent when
+            # the target is respawned and re-armed (_rearm_handover_target).
+            pass
+        self._double_routed += 1
+        return new
 
     def feed_bytes(self, data: bytes) -> int:
         """Route a shared framed byte stream (socket reads); returns frames routed.
@@ -1093,6 +1262,32 @@ class ShardedService:
         """Mark ``job`` finished on the shard that owns it."""
         self._request(self._shards[self.ring.shard_for(job)], proto.FinishJob(job=job))
 
+    def reap_finished(self, *, forget_predictions: bool = False) -> tuple[str, ...]:
+        """Release finished, fully evaluated sessions on every shard.
+
+        The sharded mirror of :meth:`~repro.service.service.PredictionService.
+        reap_finished`.  By default a reaped job keeps its last prediction,
+        so it stays tracked for future migrations (the publisher entry still
+        has an owner); with ``forget_predictions=True`` the job disappears
+        entirely and is dropped from the routing bookkeeping too.  Returns
+        the reaped job identifiers, all shards pooled, sorted.
+        """
+        replies = self._broadcast(lambda shard: proto.ReapFinished(
+            forget_predictions=forget_predictions
+        ))
+        reaped: list[str] = []
+        for reply in replies:
+            if not isinstance(reply, proto.ReapFinishedReply):
+                raise ServiceError(
+                    f"expected ReapFinishedReply, got {type(reply).__name__}"
+                )
+            reaped.extend(reply.jobs)
+        if forget_predictions:
+            for job in reaped:
+                for jobs in self._jobs_by_shard:
+                    jobs.discard(job)
+        return tuple(sorted(reaped))
+
     # ------------------------------------------------------------------ #
     # elastic resharding
     # ------------------------------------------------------------------ #
@@ -1111,50 +1306,79 @@ class ShardedService:
         """Whether a live reshard is in progress (frames may be parked)."""
         return self._migration is not None
 
+    @property
+    def double_routed_frames(self) -> int:
+        """Frames double-routed to old and new owners across all handovers."""
+        return self._double_routed
+
+    @property
+    def last_snapshot(self) -> dict | None:
+        """The last merged snapshot taken (the auto-revive recovery point)."""
+        return self._last_snapshot
+
     def reshard(
         self,
         n_shards: int,
         *,
+        weights: tuple[float, ...] | list[float] | None = None,
         on_phase: Callable[[str], None] | None = None,
+        double_route: bool = True,
     ) -> dict:
         """Live-resize the service to ``n_shards`` worker shards.
 
         The operation is a minimal-movement migration: thanks to the
         consistent hash ring, only the jobs whose arc changes owner move.
-        Phase by phase (``on_phase`` receives each name — an observability /
-        fault-injection hook):
+        ``weights`` re-weights the new ring (same-count reshards with new
+        weights rebalance arcs in place).  Phase by phase (``on_phase``
+        receives each name — an observability / fault-injection hook):
 
-        1. ``parked`` — from here on, a frame routed for a moving job is
-           parked in the migration buffer instead of sent.
-        2. ``spawned`` (growing) — the new shard subprocesses are up and
-           handshaken before any state moves.
+        1. ``spawned`` (growing) — the new shard subprocesses are up and
+           handshaken before anything else: a double-routed frame may target
+           them immediately.
+        2. ``parked`` — every shard of the new topology has acknowledged
+           :class:`~repro.service.protocol.BeginHandover` and, from here on,
+           a frame routed for a moving job is *double-routed*: the old owner
+           ingests it immediately (zero pause) and the new owner stages a
+           twin for deduplicated replay.  With ``double_route=False`` (or a
+           protocol-v1 target) the frame is parked in the migration buffer
+           instead — the pre-handover baseline the benchmark compares
+           against.  The phase keeps its historical name; either way the
+           migration is armed from here.
         3. ``extracted`` — every moving job's session + publisher state has
            been captured *and removed* from its source shard
            (:class:`~repro.service.protocol.ExtractJobs` drains the source's
            data socket to the router's byte mark first, so no in-flight
-           frame is lost).
+           frame is lost).  Frames arriving later are delivered to the
+           staging target only.
         4. ``switched`` — the hash ring now answers with the new topology.
         5. ``retired`` (shrinking) — the now-empty trailing shards are shut
            down and reaped.
         6. ``transferred`` — the extracted sessions were merged into their
            new owners over the protocol-v2 chunked snapshot transfer.  A
-           target killed mid-transfer is respawned and the transfer repeated
-           (the state is still in the router's hands) when it held no other
-           sessions; otherwise the crash surfaces as
+           target killed mid-transfer is respawned, re-armed, its staged
+           frames re-sent from the router's copies, and the transfer
+           repeated (the state is still in the router's hands) when it held
+           no other sessions; otherwise the crash surfaces as
            :class:`~repro.exceptions.ShardCrashedError` for the ordinary
            snapshot-revive path.
-        7. ``replayed`` — the parked frames were routed, in arrival order,
-           against the new topology.
+        7. ``replayed`` — each target deduplicated and ingested its staged
+           frames (:class:`~repro.service.protocol.CompleteHandover`); on
+           the fallback path the router replayed the parked frames, in
+           arrival order, against the new topology.
 
         The end state is bit-identical to having ingested the same stream at
         ``n_shards`` from scratch.  Returns a summary dict (``from_shards``,
         ``to_shards``, ``moved_jobs``, ``moved_sessions``,
-        ``replayed_frames``).
+        ``replayed_frames``, ``double_routed_frames``).
         """
         if self._closed:
             raise ServiceError("cannot reshard a closed service")
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if weights is not None and len(weights) != n_shards:
+            raise ValueError(
+                f"weights must have one entry per shard ({n_shards}), got {len(weights)}"
+            )
         if self._migration is not None:
             raise ServiceError("a reshard is already in progress")
         user_notify = on_phase if on_phase is not None else (lambda phase: None)
@@ -1176,14 +1400,16 @@ class ShardedService:
         else:
             notify = user_notify
         old_count = self.n_shards
+        requested_weights = None if weights is None else tuple(float(w) for w in weights)
         summary = {
             "from_shards": old_count,
             "to_shards": n_shards,
             "moved_jobs": (),
             "moved_sessions": 0,
             "replayed_frames": 0,
+            "double_routed_frames": 0,
         }
-        if n_shards == old_count:
+        if n_shards == old_count and requested_weights == self.ring.weights:
             return summary
         # Migration reads from every source shard: heal (or surface) dead
         # shards before any state moves.
@@ -1195,19 +1421,32 @@ class ShardedService:
             )
         migration = _Migration(
             old_ring=self.ring,
-            new_ring=HashRing(n_shards, replicas=self.ring.replicas),
+            new_ring=HashRing(
+                n_shards, replicas=self.ring.replicas, weights=requested_weights
+            ),
         )
-        self._migration = migration
         moved_sessions = 0
         moved_jobs: list[str] = []
         moved_states: list[dict] = []
         try:
-            notify("parked")
+            # New shards come up before the migration is armed: a
+            # double-routed frame may target them the moment routing for
+            # moving jobs changes.  Frames keep flowing per the old ring
+            # while they spawn.
             for index in range(old_count, n_shards):
                 self._shards.append(self._spawn(index))
                 self._jobs_by_shard.append(set())
             if n_shards > old_count:
                 notify("spawned")
+            if double_route and all(
+                self._shards[i].protocol_version >= 2 for i in range(n_shards)
+            ):
+                for index in range(n_shards):
+                    self._arm_handover_target(index, migration)
+                migration.handover_targets = set(range(n_shards))
+                migration.staging = True
+            self._migration = migration
+            notify("parked")
             # Extract the moving sessions from their sources.  Consistent
             # hashing means only one direction actually moves (to the new
             # shards on a grow, off the retiring shards on a shrink), but
@@ -1237,6 +1476,10 @@ class ShardedService:
                 moved_states.append(state)
                 moved_jobs.extend(moving)
                 self._jobs_by_shard[index].difference_update(moving)
+            # From here on the old owners no longer hold the moving sessions:
+            # a frame arriving for a moving job (even a brand-new job id)
+            # goes to its staging target only.
+            migration.extracted = True
             notify("extracted")
             # Ring first, shard list second: between the two steps the shard
             # list is a *superset* of what the ring routes to, so a failure
@@ -1272,12 +1515,14 @@ class ShardedService:
                     self._jobs_by_shard[target].update(self._state_jobs(shard_state))
             # A shard killed mid-migration while holding nothing (typically a
             # freshly spawned target whose incoming bucket turned out empty)
-            # is respawned for free — nothing was lost with it, and the
-            # parked replay below must find every owner alive.
+            # is respawned for free — nothing was lost with it (its staged
+            # frames are re-sent from the router's copies), and the handover
+            # completion below must find every owner alive.
             for index, shard in enumerate(self._shards):
                 if not shard.alive and not self._jobs_by_shard[index]:
                     self._release(shard)
                     self._shards[index] = self._spawn(index)
+                    self._rearm_handover_target(index, migration)
             notify("transferred")
         except BaseException:
             self._migration = None
@@ -1312,6 +1557,35 @@ class ShardedService:
                     except ServiceError:  # pragma: no cover - double fault
                         continue
                     self._jobs_by_shard[target].update(self._state_jobs(shard_state))
+            # Resolve the armed handover against whichever ring survived:
+            # with the new ring in charge the staged frames are completed in
+            # place (deduplicated and ingested — they are the only copies of
+            # the post-extraction stream); with the old ring back in charge
+            # they are discarded and the router re-delivers, from its own
+            # copies, exactly the frames the old owners never saw.
+            if migration.staging:
+                in_charge = set(range(self.ring.n_shards))
+                if self.ring is migration.new_ring:
+                    self._complete_handover(migration, best_effort=True)
+                else:
+                    for index in sorted(migration.handover_targets & in_charge):
+                        shard = self._shards[index]
+                        if not shard.alive:
+                            continue
+                        try:
+                            self._request(
+                                shard,
+                                proto.AbortHandover(expected_bytes=shard.bytes_sent),
+                            )
+                        except (ShardCrashedError, ServiceError):
+                            continue  # pragma: no cover - double fault
+                    for record in migration.routed:
+                        if record.delivered_old:
+                            continue
+                        try:
+                            self.route_raw(record.frame)
+                        except Exception:  # pragma: no cover - double fault
+                            break
             # Park no further; push whatever was parked toward the current
             # ring so the frames are not silently dropped, then surface the
             # original failure.
@@ -1322,10 +1596,13 @@ class ShardedService:
                     break
             raise
         self._migration = None
-        replayed = 0
-        for frame in migration.parked:
-            self.route_raw(frame)
-            replayed += 1
+        if migration.staging:
+            replayed = self._complete_handover(migration)
+        else:
+            replayed = 0
+            for frame in migration.parked:
+                self.route_raw(frame)
+                replayed += 1
         notify("replayed")
         self._reshards += 1
         self._sessions_moved += moved_sessions
@@ -1333,8 +1610,91 @@ class ShardedService:
             moved_jobs=tuple(moved_jobs),
             moved_sessions=moved_sessions,
             replayed_frames=replayed,
+            double_routed_frames=len(migration.routed),
         )
         return summary
+
+    def _arm_handover_target(self, index: int, migration: _Migration) -> None:
+        """Send :class:`~repro.service.protocol.BeginHandover` to one shard."""
+        reply = self._request(
+            self._shards[index],
+            proto.BeginHandover(
+                shard=index,
+                old_shards=migration.old_ring.n_shards,
+                new_shards=migration.new_ring.n_shards,
+                replicas=migration.new_ring.replicas,
+                old_weights=migration.old_ring.weights,
+                new_weights=migration.new_ring.weights,
+            ),
+        )
+        if not isinstance(reply, proto.BeginHandoverReply):
+            raise ServiceError(
+                f"shard {index} answered BeginHandover with {type(reply).__name__}"
+            )
+
+    def _rearm_handover_target(
+        self, index: int, migration: _Migration | None = None
+    ) -> None:
+        """Re-arm a respawned staging target and re-send its staged frames.
+
+        A kill-9'd target took its staging buffer with it, but the router
+        kept a copy of every double-routed frame: after the respawn the
+        target is re-armed and the copies re-sent in original arrival order,
+        so the later :class:`~repro.service.protocol.CompleteHandover` (with
+        the unchanged per-job duplicate counts) deduplicates and ingests
+        exactly what it would have.
+        """
+        migration = migration if migration is not None else self._migration
+        if (
+            migration is None
+            or not migration.staging
+            or index not in migration.handover_targets
+        ):
+            return
+        self._arm_handover_target(index, migration)
+        shard = self._shards[index]
+        for record in migration.routed:
+            if record.target == index:
+                self._send_raw(shard, record.frame.data)
+
+    def _complete_handover(
+        self, migration: _Migration, *, best_effort: bool = False
+    ) -> int:
+        """Finish an armed handover on every target; returns frames ingested.
+
+        Each target drains its data plane to the router's byte mark, drops
+        the per-job duplicate prefix of its staging buffer (frames whose
+        effect arrived inside the merged session state) and ingests the
+        rest in arrival order.  ``best_effort`` (the rollback path) skips
+        dead targets instead of raising.
+        """
+        replayed = 0
+        reachable = set(range(self.n_shards))
+        for index in sorted(migration.handover_targets & reachable):
+            shard = self._shards[index]
+            drops = {
+                job: count
+                for job, count in migration.dup_counts.items()
+                if self.ring.shard_for(job) == index
+            }
+            try:
+                reply = self._request(
+                    shard,
+                    proto.CompleteHandover(
+                        expected_bytes=shard.bytes_sent, drop_counts=drops
+                    ),
+                )
+            except (ShardCrashedError, ServiceError):
+                if best_effort:
+                    continue
+                raise
+            replayed += getattr(reply, "replayed", 0)
+        # Every double-routed job is resident at its new owner now (the
+        # staged stream or the merged state carried it there).
+        for record in migration.routed:
+            if record.target in reachable:
+                self._jobs_by_shard[record.target].add(record.frame.job)
+        return replayed
 
     def _transfer_state(self, index: int, state: dict) -> None:
         """Merge ``state`` into shard ``index``, surviving a mid-transfer kill."""
@@ -1351,6 +1711,7 @@ class ShardedService:
                 raise
         self._release(self._shards[index])
         self._shards[index] = self._spawn(index)
+        self._rearm_handover_target(index)
         self._send_state(self._shards[index], state, kind="merge")
 
     @staticmethod
@@ -1479,6 +1840,26 @@ class ShardedService:
 
     @staticmethod
     def _percentile(stats_list: list[dict], q: float) -> float | None:
+        """Cross-shard latency percentile, merged without window bias.
+
+        When every shard ships its detection-latency histogram (metrics on),
+        the histograms are merged bucket-wise and the quantile read from the
+        merged distribution: each shard contributes *every* detection it ever
+        ran, weighted by volume.  Pooling the bounded recent-latency windows
+        instead (the pre-histogram behavior, kept as the metrics-off
+        fallback) caps each shard at ``latency_window`` samples regardless of
+        how many detections it served, which skews the aggregate toward the
+        low-volume shards' tails (``tests/service/test_stats_schema.py``
+        pins the unbiased merge).
+        """
+        hist_states = [stats.get("detect_hist") for stats in stats_list]
+        if stats_list and all(state is not None for state in hist_states):
+            merged = Histogram.from_dict(hist_states[0])
+            for state in hist_states[1:]:
+                merged = merged.merge(Histogram.from_dict(state))
+            if merged.count == 0:
+                return None
+            return float(merged.quantile(q / 100.0))
         latencies = [latency for stats in stats_list for latency in stats["latencies"]]
         if not latencies:
             return None
@@ -1499,6 +1880,7 @@ class ShardedService:
             "reshards": self._reshards,
             "sessions_moved": self._sessions_moved,
             "resharding_in_progress": self._migration is not None,
+            "double_routed_frames": self._double_routed,
         }
         for stats in stats_list:
             for key, value in stats["service"].items():
@@ -1586,7 +1968,11 @@ class ShardedService:
             )
         )
         merged = merge_states(states)
-        merged["sharding"] = {"n_shards": self.n_shards, "replicas": self.ring.replicas}
+        merged["sharding"] = {
+            "n_shards": self.n_shards,
+            "replicas": self.ring.replicas,
+            "weights": None if self.ring.weights is None else list(self.ring.weights),
+        }
         self._last_snapshot = merged
         self._snapshot_positions = {
             path: reader.position for path, reader in self._tails.items()

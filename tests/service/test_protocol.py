@@ -51,6 +51,12 @@ update_st = st.fixed_dictionaries(
 )
 updates_st = st.lists(update_st, max_size=3).map(tuple)
 expected_bytes_st = st.one_of(st.none(), st.integers(min_value=0, max_value=2**48))
+weights_st = st.one_of(
+    st.none(),
+    st.lists(
+        st.floats(min_value=0.125, max_value=8.0, allow_nan=False), min_size=1, max_size=4
+    ).map(tuple),
+)
 
 message_st = st.one_of(
     st.builds(
@@ -111,6 +117,31 @@ message_st = st.one_of(
     ),
     st.builds(proto.ExtractJobsReply, state=nested_map_st),
     st.builds(proto.MetricsReport, metrics=nested_map_st),
+    # --- zero-pause handover (double-routed migrations) ----------------- #
+    st.builds(
+        proto.BeginHandover,
+        shard=st.integers(0, 63),
+        old_shards=st.integers(1, 64),
+        new_shards=st.integers(1, 64),
+        replicas=st.integers(1, 256),
+        old_weights=weights_st,
+        new_weights=weights_st,
+    ),
+    st.builds(proto.BeginHandoverReply, shard=st.integers(0, 63)),
+    st.builds(
+        proto.CompleteHandover,
+        expected_bytes=expected_bytes_st,
+        drop_counts=st.dictionaries(job_st, st.integers(0, 2**20), max_size=4),
+    ),
+    st.builds(
+        proto.CompleteHandoverReply,
+        replayed=st.integers(0, 2**20),
+        dropped=st.integers(0, 2**20),
+    ),
+    st.builds(proto.AbortHandover, expected_bytes=expected_bytes_st),
+    st.builds(proto.AbortHandoverReply, discarded=st.integers(0, 2**20)),
+    st.builds(proto.ReapFinished, forget_predictions=st.booleans()),
+    st.builds(proto.ReapFinishedReply, jobs=st.lists(job_st, max_size=4).map(tuple)),
 )
 
 
@@ -265,7 +296,16 @@ class TestCorruption:
         assert proto.MESSAGE_TYPES[26] is proto.ExtractJobs
         assert proto.MESSAGE_TYPES[27] is proto.ExtractJobsReply
         assert proto.MESSAGE_TYPES[28] is proto.MetricsReport
-        assert len(set(proto.MESSAGE_TYPES)) == len(proto.MESSAGE_TYPES) == 28
+        # The zero-pause handover block (double-routed migrations).
+        assert proto.MESSAGE_TYPES[29] is proto.BeginHandover
+        assert proto.MESSAGE_TYPES[30] is proto.BeginHandoverReply
+        assert proto.MESSAGE_TYPES[31] is proto.CompleteHandover
+        assert proto.MESSAGE_TYPES[32] is proto.CompleteHandoverReply
+        assert proto.MESSAGE_TYPES[33] is proto.AbortHandover
+        assert proto.MESSAGE_TYPES[34] is proto.AbortHandoverReply
+        assert proto.MESSAGE_TYPES[35] is proto.ReapFinished
+        assert proto.MESSAGE_TYPES[36] is proto.ReapFinishedReply
+        assert len(set(proto.MESSAGE_TYPES)) == len(proto.MESSAGE_TYPES) == 36
 
 
 class TestChunkedTransfer:

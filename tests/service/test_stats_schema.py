@@ -11,10 +11,12 @@ a dashboard-breaking bug.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.analysis.benchmark import synthetic_flush_streams
 from repro.core import FtioConfig
+from repro.obs import Histogram
 from repro.service import (
     PredictionService,
     ServiceConfig,
@@ -33,6 +35,7 @@ SERVICE_KEYS = frozenset(
         "detections",
         "failures",
         "deferred",
+        "pending_evaluations",
         "published",
         "evicted_samples",
         "resident_samples",
@@ -51,6 +54,7 @@ SHARDED_ONLY_KEYS = frozenset(
         "reshards",
         "sessions_moved",
         "resharding_in_progress",
+        "double_routed_frames",
     }
 )
 
@@ -118,3 +122,79 @@ def test_stats_schema_survives_reshard(config, streams):
         assert before == after_grow == after_shrink == SERVICE_KEYS | SHARDED_ONLY_KEYS
     finally:
         service.close()
+
+
+# --------------------------------------------------------------------- #
+# cross-shard percentile merge (the unbiased histogram path)
+# --------------------------------------------------------------------- #
+def _shard_reply(latencies, hist: Histogram | None) -> dict:
+    """The slice of a shard Stats reply ``_percentile`` consumes."""
+    return {
+        "latencies": list(latencies),
+        "detect_hist": None if hist is None else hist.to_dict(),
+    }
+
+
+def _hist_of(values) -> Histogram:
+    hist = Histogram()  # the default latency buckets the dispatcher uses
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+class TestPercentileMerge:
+    """Pins ``ShardedService._percentile``: histogram merge, not window pooling.
+
+    The recent-latency windows cap each shard at ``latency_window`` samples
+    regardless of volume, so pooling them over-weights low-volume shards.
+    With metrics on, every shard ships its full detection histogram and the
+    merge must be volume-weighted.
+    """
+
+    def test_merges_histograms_volume_weighted(self):
+        # Shard A: 900 fast detections; shard B: 100 slow ones.  The merged
+        # p50 must land in a fast bucket (A dominates by volume) even though
+        # per-shard window pooling with equal-length windows would not.
+        fast, slow = 0.001, 0.9
+        stats_list = [
+            _shard_reply([fast] * 10, _hist_of([fast] * 900)),
+            _shard_reply([slow] * 10, _hist_of([slow] * 100)),
+        ]
+        merged = _hist_of([fast] * 900).merge(_hist_of([slow] * 100))
+        p50 = ShardedService._percentile(stats_list, 50.0)
+        assert p50 == pytest.approx(merged.quantile(0.5))
+        assert p50 is not None and p50 < 0.01
+        p99 = ShardedService._percentile(stats_list, 99.0)
+        assert p99 == pytest.approx(merged.quantile(0.99))
+
+    def test_empty_merged_histogram_is_none(self):
+        stats_list = [
+            _shard_reply([], _hist_of([])),
+            _shard_reply([], _hist_of([])),
+        ]
+        assert ShardedService._percentile(stats_list, 99.0) is None
+
+    def test_falls_back_to_pooled_windows_without_histograms(self):
+        # Metrics off on any shard -> the pre-histogram pooled-window path.
+        stats_list = [
+            _shard_reply([0.1, 0.2], None),
+            _shard_reply([0.3, 0.4], _hist_of([0.3, 0.4])),
+        ]
+        expected = float(np.percentile(np.asarray([0.1, 0.2, 0.3, 0.4]), 50.0))
+        assert ShardedService._percentile(stats_list, 50.0) == pytest.approx(expected)
+        assert ShardedService._percentile([], 99.0) is None
+
+    def test_live_sharded_p99_comes_from_histograms(self, config, streams):
+        service = ShardedService(2, config)
+        try:
+            feed_and_pump(service, streams)
+            stats_list = service._stats_responses()
+            assert all(reply.get("detect_hist") is not None for reply in stats_list)
+            merged = Histogram.from_dict(stats_list[0]["detect_hist"])
+            for reply in stats_list[1:]:
+                merged = merged.merge(Histogram.from_dict(reply["detect_hist"]))
+            assert merged.count > 0
+            expected = float(merged.quantile(0.99))
+            assert service.stats()["p99_detection_latency_seconds"] == pytest.approx(expected)
+        finally:
+            service.close()
