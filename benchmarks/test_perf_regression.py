@@ -106,6 +106,17 @@ MIN_BATCH_JOBS = 256
 #: the relative ceiling.
 MAX_OBS_OVERHEAD_FRACTION = 0.05
 OBS_OVERHEAD_ABS_SLACK_SECONDS = 0.010
+#: Federation floors: the same gateway workload over dial-home TCP workers
+#: must stay within the same order of magnitude as local forks (measured
+#: ratio ~0.9-1.1x on the reference container — loopback framed TCP vs the
+#: shm ring is a wash at this scale), and a read-plane heartbeat round trip
+#: over loopback is sub-millisecond (measured p50 ~0.2-0.5 ms); the
+#: ceilings keep wide headroom for noisy shared runners while catching the
+#: remote data plane degrading to per-frame round trips or the heartbeat
+#: path queueing behind the control plane.
+MIN_FEDERATION_JOBS_PER_SECOND = 2.0
+MIN_FEDERATION_REMOTE_OVER_LOCAL = 0.2
+MAX_FEDERATION_HEARTBEAT_P99_SECONDS = 1.0
 #: Generous absolute budget for one offline detection (seconds); the measured
 #: time at 100k samples is ~10 ms, so a 100x margin still catches an O(N^2)
 #: regression (which lands at seconds).
@@ -361,6 +372,26 @@ class TestPerfRegression:
             f"(ceiling {ceiling:.1f})"
         )
 
+    def test_federation_throughput_and_heartbeat_floor(self, perf_report):
+        federation = perf_report["results"]["service"]["federation"]
+        assert federation["n_shards"] >= 2
+        assert federation["remote_detections"] == federation["local_detections"] > 0
+        assert federation["remote_jobs_per_second"] >= MIN_FEDERATION_JOBS_PER_SECOND, (
+            f"federated gateway throughput dropped to "
+            f"{federation['remote_jobs_per_second']:.1f} jobs/s"
+        )
+        assert federation["remote_over_local"] >= MIN_FEDERATION_REMOTE_OVER_LOCAL, (
+            f"remote shards fell to {federation['remote_over_local']:.2f}x the "
+            f"local-fork throughput (floor {MIN_FEDERATION_REMOTE_OVER_LOCAL}x)"
+        )
+        assert (
+            federation["heartbeat_rtt_p99_seconds"]
+            <= MAX_FEDERATION_HEARTBEAT_P99_SECONDS
+        ), (
+            f"heartbeat RTT p99 rose to "
+            f"{federation['heartbeat_rtt_p99_seconds'] * 1e3:.1f} ms"
+        )
+
     def test_obs_overhead_floor(self, perf_report):
         overhead = perf_report["results"]["obs"]["overhead"]
         assert overhead["n_jobs"] > 0 and overhead["metrics_off_seconds"] > 0
@@ -378,10 +409,10 @@ class TestPerfRegression:
     def test_report_written_and_valid_json(self, perf_report):
         path = write_report(perf_report, REPO_ROOT / "BENCH_perf.json")
         loaded = json.loads(path.read_text(encoding="utf-8"))
-        assert loaded["schema_version"] == 8
+        assert loaded["schema_version"] == 9
         assert loaded["signal_sizes"] == [1_000, 10_000, 100_000]
         assert set(loaded["results"]["service"]["sharded"]) == set(SHARD_COUNTS)
-        assert {"batch_detect", "ingest_copies", "autoscale"} <= set(
+        assert {"batch_detect", "ingest_copies", "autoscale", "federation"} <= set(
             loaded["results"]["service"]
         )
         assert set(loaded["results"]) == {

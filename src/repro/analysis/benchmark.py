@@ -25,14 +25,15 @@ module provides the small timing utilities the perf-regression benchmark
 * :func:`write_report` — persists the report (``BENCH_perf.json`` at the repo
   root by convention).
 
-The report schema (version 8; version 1 lacked the ``service`` section,
+The report schema (version 9; version 1 lacked the ``service`` section,
 version 2 lacked ``service.sharded``, version 3 lacked ``service.gateway``,
 version 4 lacked ``service.reshard``, version 5 lacked
 ``service.batch_detect`` and ``service.ingest_copies``, version 6 lacked
-``obs``, version 7 lacked ``service.autoscale``)::
+``obs``, version 7 lacked ``service.autoscale``, version 8 lacked
+``service.federation``)::
 
     {
-      "schema_version": 8,
+      "schema_version": 9,
       "generated_at": <unix epoch seconds>,
       "environment": {"python": "...", "numpy": "...", "platform": "..."},
       "signal_sizes": [1000, 10000, 100000],
@@ -90,7 +91,18 @@ version 4 lacked ``service.reshard``, version 5 lacked
                                               "ring_bytes",
                                               "ring_bytes_copied_per_frame",
                                               "ring_mb_per_second",
-                                              "ring_frames_per_second"}},
+                                              "ring_frames_per_second"},
+                            "federation": {"n_jobs", "n_flushes", "n_shards",
+                                           "local_detections",
+                                           "remote_detections",
+                                           "local_elapsed_seconds",
+                                           "remote_elapsed_seconds",
+                                           "local_jobs_per_second",
+                                           "remote_jobs_per_second",
+                                           "remote_over_local",
+                                           "heartbeat_rtt_p50_seconds",
+                                           "heartbeat_rtt_p99_seconds",
+                                           "cpu_count"}},
         "obs":             {"overhead": {"n_jobs", "n_flushes", "repeats",
                                          "metrics_on_seconds",
                                          "metrics_off_seconds",
@@ -1065,6 +1077,157 @@ def run_obs_overhead_benchmark(
     }
 
 
+def run_federation_benchmark(
+    *,
+    n_jobs: int = 32,
+    flushes_per_job: int = 6,
+    requests_per_flush: int = 16,
+    n_shards: int = 2,
+    max_workers: int = 2,
+    sampling_frequency: float = 10.0,
+    heartbeat_probes: int = 50,
+    seed: int = 0,
+) -> dict:
+    """Federated topology vs local forks: gateway throughput + heartbeat RTT.
+
+    Drives the :func:`run_gateway_benchmark` workload through a
+    :class:`~repro.service.gateway.ThreadedGateway` twice — once over
+    ``n_shards`` local forks, once over ``n_shards`` real ``repro-shard``
+    worker *processes* dialing home over 127.0.0.1 TCP (the full federation
+    wire path: registration handshake, framed-TCP data plane, read-plane
+    stats) — and probes the remote topology's heartbeat round trip.
+    Reports both jobs/sec figures, their ratio, and the heartbeat RTT
+    p50/p99: the ``service.federation`` block of ``BENCH_perf.json``
+    (schema v9).  Loopback TCP stands in for the network; the benchmark
+    pins the protocol overhead, not the speed of light.
+    """
+    import subprocess
+    import sys
+
+    from repro.client import ServiceClient
+    from repro.core.config import FtioConfig
+    from repro.service import (
+        ServiceConfig,
+        SessionConfig,
+        ShardedService,
+        ThreadedGateway,
+    )
+
+    streams = synthetic_flush_streams(
+        n_jobs,
+        flushes_per_job=flushes_per_job,
+        requests_per_flush=requests_per_flush,
+        seed=seed,
+    )
+
+    def config(**extra) -> ServiceConfig:
+        return ServiceConfig(
+            session=SessionConfig(
+                config=FtioConfig(
+                    sampling_frequency=sampling_frequency,
+                    use_autocorrelation=False,
+                    compute_characterization=False,
+                )
+            ),
+            max_workers=max_workers,
+            **extra,
+        )
+
+    def drive(engine) -> tuple[float, dict]:
+        gateway = ThreadedGateway(engine, own_engine=True).start()
+        try:
+            with ServiceClient(gateway.host, gateway.port, name="fed-bench") as client:
+                started = time.perf_counter()
+                for round_index in range(flushes_per_job):
+                    for job, flushes in streams.items():
+                        client.submit_flush(job, flushes[round_index])
+                    client.pump()
+                client.drain()
+                elapsed = time.perf_counter() - started
+                stats = client.stats()
+        finally:
+            gateway.close()
+        return elapsed, stats
+
+    local_elapsed, local_stats = drive(ShardedService(n_shards, config()))
+
+    import socket as socket_module
+
+    probe = socket_module.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    src_root = str(Path(__file__).resolve().parents[2])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    workers = [
+        subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.shard",
+                "--connect",
+                f"127.0.0.1:{port}",
+                "--name",
+                f"bench-w{index}",
+            ],
+            env=env,
+        )
+        for index in range(n_shards)
+    ]
+    rtts = np.zeros(0)
+    try:
+        engine = ShardedService(
+            n_shards,
+            config(shard_port=port),
+            placement=["remote"] * n_shards,
+        )
+        samples: list[float] = []
+        gateway = ThreadedGateway(engine, own_engine=True).start()
+        try:
+            with ServiceClient(gateway.host, gateway.port, name="fed-bench") as client:
+                started = time.perf_counter()
+                for round_index in range(flushes_per_job):
+                    for job, flushes in streams.items():
+                        client.submit_flush(job, flushes[round_index])
+                    client.pump()
+                client.drain()
+                remote_elapsed = time.perf_counter() - started
+                remote_stats = client.stats()
+            for _ in range(max(1, heartbeat_probes)):
+                round_rtts = engine.heartbeat()
+                samples.extend(rtt for rtt in round_rtts.values() if rtt is not None)
+        finally:
+            gateway.close()
+        rtts = np.asarray(samples if samples else [0.0])
+    finally:
+        for worker in workers:
+            if worker.poll() is None:
+                worker.kill()
+            worker.wait()
+
+    n_flushes = n_jobs * flushes_per_job
+    local_jps = float(n_jobs / local_elapsed) if local_elapsed > 0 else 0.0
+    remote_jps = float(n_jobs / remote_elapsed) if remote_elapsed > 0 else 0.0
+    return {
+        "n_jobs": int(n_jobs),
+        "n_flushes": int(n_flushes),
+        "n_shards": int(n_shards),
+        "local_detections": int(local_stats["detections"]),
+        "remote_detections": int(remote_stats["detections"]),
+        "local_elapsed_seconds": float(local_elapsed),
+        "remote_elapsed_seconds": float(remote_elapsed),
+        "local_jobs_per_second": local_jps,
+        "remote_jobs_per_second": remote_jps,
+        "remote_over_local": (
+            float(remote_jps / local_jps) if local_jps > 0 else 0.0
+        ),
+        "heartbeat_rtt_p50_seconds": float(np.percentile(rtts, 50.0)),
+        "heartbeat_rtt_p99_seconds": float(np.percentile(rtts, 99.0)),
+        "cpu_count": int(os.cpu_count() or 1),
+    }
+
+
 def run_perf_suite(
     sizes: tuple[int, ...] = DEFAULT_SIGNAL_SIZES,
     *,
@@ -1184,12 +1347,15 @@ def run_perf_suite(
     # and the copy accounting of the zero-copy ingest hops (schema v6).
     results["service"]["batch_detect"] = run_batch_detect_benchmark(seed=seed)
     results["service"]["ingest_copies"] = run_ingest_copies_benchmark(seed=seed)
+    # Federation: dial-home TCP workers vs local forks behind the same
+    # gateway, plus the heartbeat round-trip distribution (schema v9).
+    results["service"]["federation"] = run_federation_benchmark(seed=seed)
     # Observability cost: the same workload with the metrics registry on vs
     # off, interleaved — instrumentation must stay within the 5 % floor.
     results["obs"] = {"overhead": run_obs_overhead_benchmark(seed=seed)}
 
     return {
-        "schema_version": 8,
+        "schema_version": 9,
         "generated_at": int(time.time()),
         "environment": {
             "python": platform.python_version(),
@@ -1235,6 +1401,30 @@ def _within_noise(new: float, old: float, *, tolerance: float) -> bool:
     return old != 0 and abs(new / old - 1.0) <= tolerance
 
 
+def _is_float_list(value) -> bool:
+    """A list of measurements: at least one float, nothing but numbers."""
+    return (
+        isinstance(value, list)
+        and any(isinstance(item, float) for item in value)
+        and all(
+            isinstance(item, (int, float)) and not isinstance(item, bool)
+            for item in value
+        )
+    )
+
+
+def _list_within_noise(new: list, old, *, tolerance: float) -> bool:
+    """Whether every element of a re-measured float list is within noise."""
+    if not isinstance(old, list) or len(old) != len(new):
+        return False
+    return all(
+        isinstance(previous, (int, float))
+        and not isinstance(previous, bool)
+        and _within_noise(float(item), float(previous), tolerance=tolerance)
+        for item, previous in zip(new, old)
+    )
+
+
 def _stable_merge(new, old, *, tolerance: float):
     """Prefer ``old`` values whenever ``new`` only moved within noise.
 
@@ -1262,17 +1452,36 @@ def _stable_merge(new, old, *, tolerance: float):
         # Floats only: floats are *measurements* (noisy by nature); ints are
         # facts (counts, cpu_count, schema versions) and must always be
         # current — a 30% drop in n_detections is a real signal, not jitter.
+        # Float *lists* (latency distributions, per-step timings) are
+        # measurements too and join the same group: a list that merely
+        # wobbled within noise must not refresh the group — that was the
+        # hole that made every rerun rewrite the file (and its
+        # ``generated_at`` stamp) whenever a group had a float-list sibling.
         floats = {
             key: value for key, value in new.items() if isinstance(value, float)
         }
-        if floats and all(
-            key in old
-            and isinstance(old[key], (int, float))
-            and not isinstance(old[key], bool)
-            and _within_noise(value, old[key], tolerance=tolerance)
-            for key, value in floats.items()
-        ):
+        float_lists = {
+            key: value for key, value in new.items() if _is_float_list(value)
+        }
+        group_stable = (
+            (floats or float_lists)
+            and all(
+                key in old
+                and isinstance(old[key], (int, float))
+                and not isinstance(old[key], bool)
+                and _within_noise(value, old[key], tolerance=tolerance)
+                for key, value in floats.items()
+            )
+            and all(
+                key in old
+                and _list_within_noise(value, old[key], tolerance=tolerance)
+                for key, value in float_lists.items()
+            )
+        )
+        if group_stable:
             for key in floats:
+                merged[key] = old[key]
+            for key in float_lists:
                 merged[key] = old[key]
         return merged
     if isinstance(new, float) and isinstance(old, (int, float)) and not isinstance(old, bool):

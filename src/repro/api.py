@@ -111,6 +111,18 @@ class ReproConfig:
         :class:`~repro.service.autoscaler.AutoscaleConfig`, growing and
         shrinking the shard topology with the offered load (zero-pause
         double-routed migrations; decisions on ``/status``).
+    shard_port:
+        When not ``None`` (and ``shards > 0``), the router listens on this
+        TCP port for dial-home ``repro-shard`` workers (``python -m
+        repro.shard --connect host:port``) so shards can run on other
+        machines.
+    placement:
+        Per-shard placement (``"local"`` / ``"remote"``); remote slots adopt
+        dial-home workers from ``shard_port``.  ``None`` = all local.
+    heartbeat_timeout:
+        Seconds without a read-plane heartbeat answer before a shard is
+        declared dead (catches hung workers and lost connections, not just
+        local process exits).
     """
 
     analysis: FtioConfig = field(default_factory=FtioConfig)
@@ -132,6 +144,10 @@ class ReproConfig:
     auto_compact: bool = False
     auto_revive: bool = False
     revive_budget: int = 3
+    # --- federation --------------------------------------------------------- #
+    shard_port: int | None = None
+    placement: tuple[str, ...] | None = None
+    heartbeat_timeout: float = 5.0
     # --- observability ------------------------------------------------------ #
     metrics: bool = True
     spans: bool = False
@@ -189,6 +205,8 @@ class ReproConfig:
             span_capacity=self.span_capacity,
             ops_port=self.ops_port,
             autoscale=self.autoscale,
+            shard_port=self.shard_port,
+            heartbeat_timeout=self.heartbeat_timeout,
         )
 
     def build_service(self) -> "PredictionService | ShardedService":
@@ -197,7 +215,12 @@ class ReproConfig:
         from repro.service.sharding import ShardedService
 
         if self.shards > 0:
-            return ShardedService(self.shards, self.service_config(), replicas=self.replicas)
+            return ShardedService(
+                self.shards,
+                self.service_config(),
+                replicas=self.replicas,
+                placement=None if self.placement is None else list(self.placement),
+            )
         return PredictionService(self.service_config())
 
 

@@ -128,24 +128,56 @@ class ServiceClient:
     # connection management
     # ------------------------------------------------------------------ #
     def _connect(self) -> socket.socket:
-        self._decoder = proto.MessageDecoder()
+        # The handshake runs against a *local* socket and decoder so that a
+        # rejected Hello (wrong token, no common version) never replaces
+        # self._sock/self._decoder with a closed socket and half-fed decoder
+        # — the previous connection state stays intact until the new one is
+        # fully negotiated.
         sock = socket.create_connection((self._host, self._port), timeout=self._timeout)
-        self._sock = sock
+        decoder = proto.MessageDecoder()
         try:
-            reply = self._rpc_once(
-                proto.Hello(versions=self._versions, token=self._token, client=self._name),
-                proto.HelloReply,
+            hello = proto.Hello(
+                versions=self._versions, token=self._token, client=self._name
             )
+            sock.sendall(proto.encode_message(hello))
+            reply = self._handshake_reply(sock, decoder)
         except BaseException:
-            # A rejected handshake (wrong token, no common version) must not
-            # leak the connected socket — __exit__/close are unreachable when
-            # __init__ raises.
+            # A rejected handshake must not leak the connected socket —
+            # __exit__/close are unreachable when __init__ raises.
             sock.close()
             raise
         self.protocol_version = reply.version
         self.server = reply.server
         self.shards = reply.shards
+        self._decoder = decoder
+        self._sock = sock
         return sock
+
+    def _handshake_reply(
+        self, sock: socket.socket, decoder: proto.MessageDecoder
+    ) -> proto.HelloReply:
+        """Read the HelloReply from a not-yet-adopted connection."""
+        while True:
+            for message in decoder.messages():
+                if isinstance(message, proto.HelloReply):
+                    return message
+                if isinstance(message, proto.Error):
+                    raise ServiceError(
+                        f"Hello failed ({message.code}): {message.message}"
+                    )
+                raise ProtocolError(
+                    f"expected HelloReply in reply to Hello, "
+                    f"got {type(message).__name__}"
+                )
+            try:
+                data = sock.recv(_READ_CHUNK)
+            except TimeoutError:
+                raise
+            except OSError as exc:
+                raise ConnectionLostError(f"connection lost: {exc}") from exc
+            if not data:
+                raise ConnectionLostError("server closed the connection")
+            decoder.feed(data)
 
     def _reconnect(self) -> None:
         try:
@@ -154,10 +186,13 @@ class ServiceClient:
             pass
         try:
             self._connect()
-        except OSError as exc:
-            # The retry contract is typed end to end: a server that is gone
-            # (or still restarting) surfaces as ConnectionLostError, never
-            # as a raw socket error from inside the transparent retry.
+        except ConnectionLostError:
+            raise
+        except (OSError, ServiceError, ProtocolError) as exc:
+            # The retry contract is typed end to end: a server that is gone,
+            # still restarting, or rejecting the fresh handshake surfaces as
+            # ConnectionLostError, never as a raw socket/handshake error from
+            # inside the transparent retry.
             raise ConnectionLostError(
                 f"reconnect to {self._host}:{self._port} failed: {exc}"
             ) from exc

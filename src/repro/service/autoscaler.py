@@ -396,7 +396,20 @@ class Autoscaler:
     # the control loop
     # ------------------------------------------------------------------ #
     def signals(self) -> AutoscaleSignals:
-        """One scrape of the decision inputs from the live service."""
+        """One scrape of the decision inputs from the live service.
+
+        Liveness is probed first: a heartbeat round convicts shards
+        ``waitpid`` cannot see — a kill-9'd *remote* worker (connection
+        loss) or a process that still holds its channels while wedged
+        (SIGSTOP) — so ``dead_shards`` reflects them and the revive-first
+        policy heals them this same tick.
+        """
+        heartbeat = getattr(self.service, "heartbeat", None)
+        if heartbeat is not None:
+            try:
+                heartbeat()
+            except Exception:  # noqa: BLE001 - the probe is advisory
+                pass
         return AutoscaleSignals.from_stats(self.service.stats())
 
     def tick(self, now: float | None = None) -> AutoscaleDecision:

@@ -40,7 +40,7 @@ import time
 from collections.abc import Callable
 from typing import Any
 
-from repro.exceptions import ProtocolError, ServiceError
+from repro.exceptions import ProtocolError, ServiceError, ShardCrashedError
 from repro.obs import Histogram, MetricRegistry, merge_snapshots, render_prometheus
 from repro.service import protocol as proto
 from repro.service.publisher import PredictionUpdate
@@ -142,8 +142,10 @@ class ServiceGateway:
         self._ops_server: asyncio.Server | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._engine_lock: asyncio.Lock | None = None
+        self._read_lock: asyncio.Lock | None = None
         self._connections: set[_Connection] = set()
         self._subscription: int | None = None
+        self._read_events_wired = False
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -169,15 +171,22 @@ class ServiceGateway:
 
     @property
     def ops_port(self) -> int | None:
-        """Bound ops-listener port (``None`` when the ops surface is off)."""
+        """Bound ops-listener port.
+
+        ``None`` when the ops surface is off *or not yet bound* — returning
+        the requested port before the listener exists would hand callers a
+        ``0`` placeholder (with ``ops_port=0`` pick-a-free-port) or a port
+        nothing is listening on yet.
+        """
         if self._ops_server is None or not self._ops_server.sockets:
-            return self._requested_ops_port
+            return None
         return int(self._ops_server.sockets[0].getsockname()[1])
 
     async def start(self) -> "ServiceGateway":
         """Bind the listening socket and start accepting clients."""
         self._loop = asyncio.get_running_loop()
         self._engine_lock = asyncio.Lock()
+        self._read_lock = asyncio.Lock()
         self._server = await asyncio.start_server(
             self._serve_client, self._requested_host, self._requested_port
         )
@@ -187,8 +196,17 @@ class ServiceGateway:
             )
         # One engine-side subscription fans published predictions out to every
         # subscribed connection; publisher callbacks may fire on worker
-        # threads, so the hop onto the loop is thread-safe.
-        self._subscription = self._engine.publisher.subscribe(self._on_update)
+        # threads, so the hop onto the loop is thread-safe.  A sharded engine
+        # exposes its read plane instead: events stream straight off the
+        # shards (no pump-reply batching) and never duplicate — the plane
+        # replaces, not augments, the parent publisher subscription here.
+        subscribe_events = getattr(self._engine, "subscribe_read_events", None)
+        if subscribe_events is not None:
+            if not self._read_events_wired:
+                self._read_events_wired = True
+                subscribe_events(self._on_update)
+        else:
+            self._subscription = self._engine.publisher.subscribe(self._on_update)
         return self
 
     async def stop(self) -> None:
@@ -349,7 +367,7 @@ class ServiceGateway:
             _, updates = await self._run_engine(lambda: self._with_updates(self._engine.drain))
             return proto.DrainReply(updates=updates)
         if isinstance(message, proto.Stats):
-            return proto.StatsReply(stats=await self._run_engine(self._engine.stats))
+            return proto.StatsReply(stats=await self._read_engine(self._read_stats))
         if isinstance(message, proto.Snapshot):
             state = await self._run_engine(self._engine.snapshot_state)
             if message.max_chunk is not None and connection.version >= 2:
@@ -432,6 +450,33 @@ class ServiceGateway:
         async with self._engine_lock:
             return await self._loop.run_in_executor(None, fn)
 
+    async def _read_engine(self, fn: Callable[[], Any]) -> Any:
+        """Run a read-only engine call off-loop, behind its own lock.
+
+        Reads served by the shards' read planes must not queue behind a
+        pump or snapshot holding :attr:`_engine_lock` — that lock exists to
+        serialize *mutating* control-plane traffic.  A single-process engine
+        has no read plane, so its reads fall back to :meth:`_run_engine`
+        (they do race the worker threads there, same as always).
+        """
+        if getattr(self._engine, "read_stats", None) is None:
+            return await self._run_engine(fn)
+        assert self._loop is not None and self._read_lock is not None
+        async with self._read_lock:
+            return await self._loop.run_in_executor(None, fn)
+
+    def _read_stats(self) -> dict:
+        """Engine stats via the shard read plane when one exists."""
+        read_stats = getattr(self._engine, "read_stats", None)
+        if read_stats is None:
+            return self._engine.stats()
+        try:
+            return read_stats()
+        except (ShardCrashedError, ServiceError, TimeoutError):
+            # A shard died mid-read; the control-plane path knows how to
+            # skip (or revive) dead shards.
+            return self._engine.stats()
+
     def _reshard_engine(self, n_shards: int) -> dict:
         reshard = getattr(self._engine, "reshard", None)
         if reshard is None:
@@ -468,9 +513,15 @@ class ServiceGateway:
     # ops HTTP surface (/healthz, /status, /metrics)
     # ------------------------------------------------------------------ #
     def _merged_metrics(self) -> dict:
-        """Engine metrics (cross-shard merged) + the gateway's own registry."""
+        """Engine metrics (cross-shard merged) + the gateway's own registry.
+
+        Prefers the shard read plane (scrapes never queue behind a pump in
+        flight on the control pipes); single-process engines poll directly.
+        """
         snapshots: list[dict] = []
-        collect = getattr(self._engine, "metrics_snapshot", None)
+        collect = getattr(self._engine, "read_metrics_snapshot", None) or getattr(
+            self._engine, "metrics_snapshot", None
+        )
         if collect is not None:
             snapshots.append(collect())
         if self._metrics is not None:
@@ -483,7 +534,7 @@ class ServiceGateway:
             "server": self._name,
             "healthy": True,
             "shards": int(getattr(self._engine, "n_shards", 0)),
-            "stats": self._engine.stats(),
+            "stats": self._read_stats(),
             "metrics": self._merged_metrics(),
         }
         details = getattr(self._engine, "shard_details", None)
@@ -501,10 +552,10 @@ class ServiceGateway:
         if path == "/healthz":
             return 200, "text/plain; charset=utf-8", "ok\n"
         if path == "/status":
-            document = await self._run_engine(self._status_document)
+            document = await self._read_engine(self._status_document)
             return 200, "application/json", json.dumps(document) + "\n"
         if path == "/metrics":
-            snapshot = await self._run_engine(self._merged_metrics)
+            snapshot = await self._read_engine(self._merged_metrics)
             exposition = render_prometheus(snapshot)
             return 200, "text/plain; version=0.0.4; charset=utf-8", exposition
         return 404, "text/plain; charset=utf-8", f"unknown ops path {path!r}\n"
@@ -632,7 +683,7 @@ class ThreadedGateway:
 
     @property
     def ops_port(self) -> int | None:
-        """Bound ops-listener port (``None`` when the ops surface is off)."""
+        """Bound ops-listener port (``None`` when off or not yet bound)."""
         assert self._gateway is not None, "gateway not started"
         return self._gateway.ops_port
 

@@ -726,6 +726,115 @@ class CloseReply(Message):
 
 
 # --------------------------------------------------------------------- #
+# multi-host federation (appended codes, still protocol version 2)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RegisterShard(Message):
+    """A dial-home shard worker introduces itself after the Hello handshake.
+
+    Sent by ``repro-shard`` (:mod:`repro.shard`) on its control connection,
+    immediately after :class:`Hello`/:class:`HelloReply`.  Carries the
+    worker's identity and capabilities so the router's shard registry can
+    place a proportional hash-ring arc on it (``weight``) and label its
+    liveness metrics (``name``/``host``/``pid``).
+    """
+
+    name: str = ""
+    host: str = ""
+    pid: int = 0
+    cpu_count: int = 0
+    weight: float = 1.0
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "RegisterShard":
+        weight = float(payload.get("weight", 1.0))
+        if weight <= 0:
+            raise ProtocolError("shard weight must be > 0")
+        return cls(
+            name=str(payload.get("name", "")),
+            host=str(payload.get("host", "")),
+            pid=int(payload.get("pid", 0)),
+            cpu_count=int(payload.get("cpu_count", 0)),
+            weight=weight,
+        )
+
+
+@dataclass(frozen=True)
+class RegisterShardReply(Message):
+    """The router adopted the worker as shard ``shard``.
+
+    ``config`` is the engine's :class:`~repro.service.service.ServiceConfig`
+    in wire form (:func:`~repro.service.transport.config_to_wire`) so the
+    remote worker builds exactly the same sessions the local forks do.
+    ``data_key`` is an opaque one-time key the worker must echo in an
+    :class:`AttachChannel` on each of its data-plane and read-plane
+    connections, pairing them to this control connection.
+    """
+
+    shard: int = 0
+    config: dict = field(default_factory=dict)
+    data_key: str = ""
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "RegisterShardReply":
+        return cls(
+            shard=int(payload["shard"]),
+            config=_require_dict(payload.get("config", {}), "config"),
+            data_key=str(payload.get("data_key", "")),
+        )
+
+
+@dataclass(frozen=True)
+class AttachChannel(Message):
+    """First envelope on a worker's secondary connection: pair it by key.
+
+    ``channel`` names the plane this connection will carry: ``"data"``
+    (framed FTS1 flush bytes, the remote stand-in for the local socketpair)
+    or ``"read"`` (Stats/MetricsReport/Subscribe served without touching the
+    router's control plane).
+    """
+
+    key: str = ""
+    channel: str = "data"
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "AttachChannel":
+        channel = str(payload.get("channel", "data"))
+        if channel not in ("data", "read"):
+            raise ProtocolError(f"unknown channel kind {channel!r}")
+        return cls(key=str(payload.get("key", "")), channel=channel)
+
+
+@dataclass(frozen=True)
+class Heartbeat(Message):
+    """Liveness probe; generalizes waitpid kill detection to remote shards.
+
+    ``sent_at`` is the sender's monotonic clock — echoed verbatim in
+    :class:`HeartbeatReply` so the sender computes the round trip without
+    any cross-host clock agreement.
+    """
+
+    seq: int = 0
+    sent_at: float = 0.0
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "Heartbeat":
+        return cls(seq=int(payload.get("seq", 0)), sent_at=float(payload.get("sent_at", 0.0)))
+
+
+@dataclass(frozen=True)
+class HeartbeatReply(Message):
+    """Echo of a :class:`Heartbeat` (same ``seq``, same ``sent_at``)."""
+
+    seq: int = 0
+    sent_at: float = 0.0
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "HeartbeatReply":
+        return cls(seq=int(payload.get("seq", 0)), sent_at=float(payload.get("sent_at", 0.0)))
+
+
+# --------------------------------------------------------------------- #
 # registry and codec
 # --------------------------------------------------------------------- #
 #: Stable wire codes; append-only — codes are part of the wire format.
@@ -767,6 +876,12 @@ MESSAGE_TYPES: dict[int, type[Message]] = {
     34: AbortHandoverReply,
     35: ReapFinished,
     36: ReapFinishedReply,
+    # --- multi-host federation ----------------------------------------- #
+    37: RegisterShard,
+    38: RegisterShardReply,
+    39: AttachChannel,
+    40: Heartbeat,
+    41: HeartbeatReply,
 }
 _TYPE_CODES: dict[type[Message], int] = {cls: code for code, cls in MESSAGE_TYPES.items()}
 

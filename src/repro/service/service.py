@@ -107,6 +107,18 @@ class ServiceConfig:
         detection latency) and drives ``reshard()`` / ``revive_shard()``
         with hysteresis, a cooldown and min/max shard clamps.  ``None``
         (the default) keeps the topology fixed.
+    shard_port:
+        Sharded deployments only: when not ``None``, the router listens on
+        this TCP port (``0`` picks a free one) for dial-home ``repro-shard``
+        workers (:mod:`repro.shard`), so shard slots placed ``"remote"`` can
+        live on other machines.  ``None`` (the default) keeps every shard a
+        local fork.
+    heartbeat_timeout:
+        Sharded deployments only: seconds a shard may take to answer a
+        read-plane :class:`~repro.service.protocol.Heartbeat` before
+        :meth:`~repro.service.sharding.ShardedService.heartbeat` declares it
+        dead — the connection-loss/timeout generalization of the local
+        waitpid liveness check.
     """
 
     session: SessionConfig = field(default_factory=SessionConfig)
@@ -126,6 +138,8 @@ class ServiceConfig:
     span_capacity: int = 2048
     ops_port: int | None = None
     autoscale: "AutoscaleConfig | None" = None
+    shard_port: int | None = None
+    heartbeat_timeout: float = 5.0
 
 
 def tail_positions(tails: dict[Path, FrameReader]) -> dict[str, dict]:

@@ -1,0 +1,171 @@
+"""Dial-home federated shard worker (the ``repro-shard`` process).
+
+A :class:`~repro.service.sharding.ShardedService` configured with
+``placement=["remote", ...]`` does not fork those slots — it adopts workers
+that *dial home* to its :class:`~repro.service.transport.ShardListener`
+(only the router needs a routable address; workers can sit behind NAT).
+This module is the worker side of that adoption:
+
+1. **Dial + handshake** — connect to ``host:port`` (with retry/backoff: the
+   worker may come up before the router), send the standard FTC1
+   :class:`~repro.service.protocol.Hello` (token, versions) and expect a
+   :class:`~repro.service.protocol.HelloReply`.
+2. **Register** — announce identity and capacity with
+   :class:`~repro.service.protocol.RegisterShard` (name, hostname, pid,
+   cpu count, ring weight), then block until the router adopts this worker
+   into a shard slot (:class:`~repro.service.protocol.RegisterShardReply`
+   carrying the slot index, the wire-form
+   :class:`~repro.service.service.ServiceConfig` and a one-time pairing
+   key).
+3. **Attach** — open two more TCP connections to the same listener, each
+   introducing itself with :class:`~repro.service.protocol.AttachChannel`
+   (the pairing key + ``"data"`` / ``"read"``): the framed-TCP data plane
+   and the read plane.
+4. **Serve** — run the exact same worker loop a forked local shard runs
+   (:func:`~repro.service.sharding._shard_main`), with the dial connection
+   as the control channel.  From here on the router cannot tell this worker
+   from a local fork except by looking at ``shard_details()``.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+
+from repro.exceptions import ProtocolError, ServiceError
+
+from repro.service import protocol as proto
+from repro.service.sharding import _shard_main
+from repro.service.transport import (
+    SocketChannel,
+    config_from_wire,
+    recv_message,
+    send_message,
+)
+
+
+class ShardWorker:
+    """One dial-home worker: connect, register, await adoption, serve.
+
+    Parameters
+    ----------
+    host, port:
+        The router's shard listener (``ServiceConfig.shard_port``).
+    token:
+        Tenant token; must match the router's or the dial is rejected.
+    name:
+        Worker identity shown in ``shard_details()`` (default
+        ``<hostname>:<pid>``).
+    weight:
+        Advertised ring weight (bigger hardware → proportionally more jobs;
+        applied by the router via a weighted reshard).
+    retries, retry_delay:
+        Dial attempts and the (linear) backoff between them — the worker may
+        start before the router listens.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        token: int | None = None,
+        name: str | None = None,
+        weight: float = 1.0,
+        retries: int = 30,
+        retry_delay: float = 0.5,
+    ) -> None:
+        self._host = host
+        self._port = int(port)
+        self._token = token
+        self._name = name or f"{socket.gethostname()}:{os.getpid()}"
+        self._weight = float(weight)
+        self._retries = max(1, int(retries))
+        self._retry_delay = float(retry_delay)
+
+    def _dial(self) -> socket.socket:
+        last: OSError | None = None
+        for attempt in range(self._retries):
+            try:
+                return socket.create_connection((self._host, self._port), timeout=30.0)
+            except OSError as exc:
+                last = exc
+                if attempt + 1 < self._retries:
+                    time.sleep(self._retry_delay)
+        raise ServiceError(
+            f"could not reach the shard router at {self._host}:{self._port} "
+            f"after {self._retries} attempts: {last}"
+        )
+
+    def _open_channel(self, key: str, kind: str) -> socket.socket:
+        sock = socket.create_connection((self._host, self._port), timeout=30.0)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.sendall(proto.encode_message(proto.AttachChannel(key=key, channel=kind)))
+        sock.settimeout(None)
+        return sock
+
+    def run(self) -> None:
+        """Dial home, complete adoption, and serve until the router closes us.
+
+        Raises :class:`~repro.exceptions.ServiceError` on a rejected
+        handshake (bad token, no common version) and
+        :class:`~repro.exceptions.ProtocolError` on a peer that does not
+        speak the adoption sequence.
+        """
+        control = SocketChannel(self._dial())
+        try:
+            send_message(
+                control,
+                proto.Hello(
+                    versions=proto.SUPPORTED_VERSIONS,
+                    token=self._token,
+                    client=self._name,
+                ),
+            )
+            reply = recv_message(control)
+            if isinstance(reply, proto.Error):
+                raise ServiceError(
+                    f"router rejected the dial-home handshake "
+                    f"({reply.code}): {reply.message}"
+                )
+            if not isinstance(reply, proto.HelloReply):
+                raise ProtocolError(
+                    f"expected HelloReply from the router, got {type(reply).__name__}"
+                )
+            send_message(
+                control,
+                proto.RegisterShard(
+                    name=self._name,
+                    host=socket.gethostname(),
+                    pid=os.getpid(),
+                    cpu_count=os.cpu_count() or 0,
+                    weight=self._weight,
+                ),
+            )
+            # Blocks until the router adopts us into a slot — possibly long
+            # after the dial (the router may be waiting for a reshard).
+            adoption = recv_message(control)
+            if isinstance(adoption, proto.Error):
+                raise ServiceError(
+                    f"router refused adoption ({adoption.code}): {adoption.message}"
+                )
+            if not isinstance(adoption, proto.RegisterShardReply):
+                raise ProtocolError(
+                    f"expected RegisterShardReply, got {type(adoption).__name__}"
+                )
+            config = config_from_wire(adoption.config)
+            data_sock = self._open_channel(adoption.data_key, "data")
+            read_channel = SocketChannel(self._open_channel(adoption.data_key, "read"))
+        except BaseException:
+            control.close()
+            raise
+        # The worker loop owns (and closes) every channel from here.
+        _shard_main(
+            adoption.shard,
+            config,
+            data_sock,
+            control,
+            ring_handle=None,
+            read_channel=read_channel,
+        )

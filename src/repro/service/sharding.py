@@ -62,7 +62,9 @@ import multiprocessing
 import os
 import select
 import selectors
+import signal
 import socket
+import threading
 import time
 import warnings
 from bisect import bisect_right
@@ -99,6 +101,13 @@ from repro.service.snapshot import (
     merge_states,
     snapshot_state,
     split_state,
+)
+from repro.service.transport import (
+    ReadPlane,
+    ShardListener,
+    SocketChannel,
+    config_to_wire,
+    send_message,
 )
 
 #: Socket read size of the shard ingestion loop.
@@ -202,12 +211,101 @@ class HashRing:
 # --------------------------------------------------------------------- #
 # shard worker (runs in the subprocess)
 # --------------------------------------------------------------------- #
+def _stats_reply(service: PredictionService, bytes_received: int) -> proto.StatsReply:
+    """This shard's stats as one :class:`~repro.service.protocol.StatsReply`.
+
+    Shared by the control-plane Stats handler (which syncs the data plane to
+    the router's byte mark first) and the read-plane server (which answers
+    immediately with whatever has been ingested so far).
+    """
+    broker = service.broker.stats
+    dispatch = service.dispatcher.stats
+    detect_hist = service.dispatcher.detect_histogram
+    return proto.StatsReply(
+        stats={
+            "service": service.stats(),
+            "broker": vars(broker),
+            "dispatcher": vars(dispatch),
+            "jobs": list(service.jobs),
+            "latencies": list(service.dispatcher.latencies()),
+            # Full mergeable latency distribution (None with metrics off):
+            # the router merges these bucket-wise instead of pooling the
+            # bounded windows, so the aggregated p99 weighs every detection,
+            # not just each shard's last `latency_window` of them.
+            "detect_hist": (None if detect_hist is None else detect_hist.to_dict()),
+            "bytes_received": bytes_received,
+        }
+    )
+
+
+def _serve_read_plane(
+    channel,
+    service: PredictionService,
+    bytes_received: Callable[[], int],
+) -> None:
+    """Serve read-only requests on a shard's second channel, in its own thread.
+
+    Handles Heartbeat / Stats / MetricsReport / Subscribe without touching the
+    control plane, so the router (and through it the gateway's ops surface)
+    reads liveness and counters even while the worker loop is deep inside a
+    pump — and a worker whose *process* is wedged (SIGSTOP, runaway C
+    extension) stops answering heartbeats here, which is exactly the signal
+    the router's liveness timeout keys on.  Subscribed prediction events are
+    pushed from publisher threads; a lock serializes them against replies so
+    envelopes never interleave on the wire.
+    """
+    send_lock = threading.Lock()
+
+    def send(message: proto.Message) -> bool:
+        try:
+            with send_lock:
+                channel.send_bytes(proto.encode_message(message))
+        except (OSError, EOFError, ValueError, BrokenPipeError):
+            return False
+        return True
+
+    def push(update) -> None:
+        send(proto.PredictionEvent(update=update.to_dict()))
+
+    subscribed = False
+    while True:
+        try:
+            request = proto.decode_message(channel.recv_bytes())
+        except (EOFError, OSError, ValueError, ProtocolError):
+            return
+        try:
+            reply: proto.Message
+            if isinstance(request, proto.Heartbeat):
+                # Echo the sender's clock so the router computes RTT without
+                # any cross-host clock agreement.
+                reply = proto.HeartbeatReply(seq=request.seq, sent_at=request.sent_at)
+            elif isinstance(request, proto.Stats):
+                reply = _stats_reply(service, bytes_received())
+            elif isinstance(request, proto.MetricsReport):
+                reply = proto.MetricsReport(metrics=service.metrics_snapshot())
+            elif isinstance(request, proto.Subscribe):
+                if not subscribed:
+                    service.publisher.subscribe(push)
+                    subscribed = True
+                reply = proto.SubscribeReply(subscription=1)
+            else:
+                reply = proto.Error(
+                    message=f"unsupported read-plane message {type(request).__name__}",
+                    code="unsupported",
+                )
+        except Exception as exc:  # surface shard-side errors, keep serving
+            reply = proto.Error(message=f"{type(exc).__name__}: {exc}", code="internal")
+        if not send(reply):
+            return
+
+
 def _shard_main(
     index: int,
     config: ServiceConfig,
     data_sock: socket.socket,
     control,
     ring_handle: RingHandle | None = None,
+    read_channel=None,
 ) -> None:
     """Control loop of one shard: select over the data channel and control pipe.
 
@@ -215,13 +313,23 @@ def _shard_main(
     ring and ``data_sock`` is its doorbell (byte totals only); otherwise
     ``data_sock`` carries the frame bytes itself.  Control messages are the
     typed protocol envelopes of :mod:`repro.service.protocol`, one per
-    ``send_bytes``/``recv_bytes`` pair on the pipe.
+    ``send_bytes``/``recv_bytes`` pair on the pipe.  With ``read_channel``
+    set, a daemon thread additionally serves read-only requests (stats,
+    metrics, heartbeats, prediction-event subscriptions) on that channel —
+    see :func:`_serve_read_plane`.
     """
     service = PredictionService(config)
     updates: list[dict] = []
     service.publisher.subscribe(lambda update: updates.append(update.to_dict()))
     bytes_received = 0
     data_eof = False
+    if read_channel is not None:
+        threading.Thread(
+            target=_serve_read_plane,
+            args=(read_channel, service, lambda: bytes_received),
+            name=f"shard-{index}-read-plane",
+            daemon=True,
+        ).start()
     # Non-blocking: a control handler may drain the socket ahead of the
     # selector loop, leaving the loop's readiness event stale — a blocking
     # recv on a stale event would deadlock the shard.
@@ -317,32 +425,7 @@ def _shard_main(
             service.drain()
             return [proto.DrainReply(updates=drain_updates())], False
         if isinstance(request, proto.Stats):
-            broker = service.broker.stats
-            dispatch = service.dispatcher.stats
-            detect_hist = service.dispatcher.detect_histogram
-            return (
-                [
-                    proto.StatsReply(
-                        stats={
-                            "service": service.stats(),
-                            "broker": vars(broker),
-                            "dispatcher": vars(dispatch),
-                            "jobs": list(service.jobs),
-                            "latencies": list(service.dispatcher.latencies()),
-                            # Full mergeable latency distribution (None with
-                            # metrics off): the router merges these bucket-wise
-                            # instead of pooling the bounded windows, so the
-                            # aggregated p99 weighs every detection, not just
-                            # each shard's last `latency_window` of them.
-                            "detect_hist": (
-                                None if detect_hist is None else detect_hist.to_dict()
-                            ),
-                            "bytes_received": bytes_received,
-                        }
-                    )
-                ],
-                False,
-            )
+            return [_stats_reply(service, bytes_received)], False
         if isinstance(request, proto.MetricsReport):
             # An (empty) report is the poll; the reply carries this shard's
             # registry snapshot for the router to merge.
@@ -486,6 +569,11 @@ def _shard_main(
             ring.close()
         data_sock.close()
         control.close()
+        if read_channel is not None:
+            try:
+                read_channel.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
 
 
 @dataclass
@@ -536,20 +624,41 @@ class _Migration:
 
 @dataclass
 class _Shard:
-    """Parent-side handle of one worker shard."""
+    """Parent-side handle of one worker shard.
+
+    A *local* shard is a forked subprocess (``process`` set, channels are a
+    socketpair and pipes).  A *remote* shard is an adopted dial-home
+    ``repro-shard`` worker (``process`` is ``None``, every channel is a TCP
+    connection, and ``name``/``host``/``pid``/``weight`` carry the identity
+    it registered with).  Remote liveness has no ``waitpid`` to lean on: it
+    is connection loss (any channel operation failing) or a heartbeat
+    timeout (:meth:`ShardedService.heartbeat`) flipping ``dead``.
+    """
 
     index: int
-    process: multiprocessing.process.BaseProcess
+    process: multiprocessing.process.BaseProcess | None
     data_sock: socket.socket
-    control: object  # multiprocessing.connection.Connection
+    control: object  # multiprocessing.connection.Connection or SocketChannel
     ring: ShmRingWriter | None = None
+    read: object | None = None  # read-plane channel (pipe or SocketChannel)
     protocol_version: int = proto.PROTOCOL_VERSION
     bytes_sent: int = 0
     dead: bool = False
+    unresponsive: bool = False  # heartbeat timeout: connected but wedged
+    name: str | None = None
+    host: str | None = None
+    pid: int | None = None
+    weight: float = 1.0
+
+    @property
+    def remote(self) -> bool:
+        return self.process is None
 
     @property
     def alive(self) -> bool:
-        return not self.dead and self.process.is_alive()
+        if self.dead:
+            return False
+        return True if self.process is None else self.process.is_alive()
 
 
 # --------------------------------------------------------------------- #
@@ -577,6 +686,16 @@ class ShardedService:
         bigger hardware can own proportionally more jobs.
     start_method:
         ``multiprocessing`` start method (``None`` = platform default).
+    placement:
+        Optional per-shard placement, one of ``"local"`` (fork a subprocess,
+        the default) or ``"remote"`` (adopt a dial-home ``repro-shard``
+        worker from the :class:`~repro.service.transport.ShardListener` —
+        requires ``ServiceConfig.shard_port``).  A ``"remote"`` slot with no
+        worker dialed home within ``remote_timeout`` falls back to a local
+        fork, so a missing machine degrades the topology, never the service.
+    remote_timeout:
+        Seconds to wait for a remote worker to dial home / attach its
+        channels before falling back to a local fork.
     """
 
     def __init__(
@@ -588,6 +707,8 @@ class ShardedService:
         replicas: int = 64,
         weights: tuple[float, ...] | list[float] | None = None,
         start_method: str | None = None,
+        placement: list[str] | tuple[str, ...] | None = None,
+        remote_timeout: float = 30.0,
     ) -> None:
         self.config = config or ServiceConfig()
         if token is not _UNSET and token is not None:
@@ -605,6 +726,20 @@ class ShardedService:
         self._splitter = FrameSplitter(expected_token=self._token)
         self._ctx = multiprocessing.get_context(start_method)
         self._closed = False
+        # Federation: the dial-home listener exists only when configured (a
+        # port to listen on), the read plane always (local shards use it too
+        # — stats and liveness must not queue behind a busy control pipe).
+        self._remote_timeout = float(remote_timeout)
+        self._listener: ShardListener | None = None
+        if self.config.shard_port is not None:
+            self._listener = ShardListener(
+                "0.0.0.0", self.config.shard_port, token=self._token
+            )
+        self._placement = self._check_placement(placement, n_shards)
+        self._read_plane = ReadPlane()
+        self._read_events_active = False
+        self._heartbeat_seq = 0
+        self._shard_views_registered: set[int] = set()
         self._tails: dict[Path, FrameReader] = {}
         self._last_snapshot: dict | None = None
         self._snapshot_positions: dict[Path, dict] = {}
@@ -645,9 +780,57 @@ class ShardedService:
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
+    def _check_placement(
+        self, placement: list[str] | tuple[str, ...] | None, n_shards: int
+    ) -> list[str]:
+        if placement is None:
+            return ["local"] * n_shards
+        entries = [str(entry) for entry in placement]
+        if len(entries) != n_shards:
+            raise ValueError(
+                f"placement must have one entry per shard ({n_shards}), got {len(entries)}"
+            )
+        for entry in entries:
+            if entry not in ("local", "remote"):
+                raise ValueError(
+                    f"placement entries must be 'local' or 'remote', got {entry!r}"
+                )
+        if "remote" in entries and self._listener is None:
+            raise ValueError(
+                "placement includes 'remote' but ServiceConfig.shard_port is not "
+                "set — the router has no listener for workers to dial home to"
+            )
+        return entries
+
+    def _placement_for(self, index: int) -> str:
+        return self._placement[index] if index < len(self._placement) else "local"
+
     def _spawn(self, index: int) -> _Shard:
+        """Bring up the worker for slot ``index`` per its placement.
+
+        A ``"remote"`` slot adopts the next dial-home worker parked on the
+        listener; if none arrives (or its channels never attach) within
+        ``remote_timeout`` the slot degrades to a local fork — the same
+        fallback a revive of a dead remote takes when its machine is gone.
+        """
+        shard: _Shard | None = None
+        if self._placement_for(index) == "remote":
+            shard = self._adopt_remote(index)
+            if shard is None:
+                warnings.warn(
+                    f"no remote worker adopted for shard {index} within "
+                    f"{self._remote_timeout}s; spawning it locally",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        if shard is None:
+            shard = self._spawn_local(index)
+        return self._handshake(shard)
+
+    def _spawn_local(self, index: int) -> _Shard:
         parent_sock, child_sock = socket.socketpair()
         parent_conn, child_conn = self._ctx.Pipe()
+        read_parent, read_child = self._ctx.Pipe()
         ring = ShmRingWriter(self.config.ring_bytes) if self.config.ring_bytes > 0 else None
         # Not daemonic: a shard may itself host a ProcessPoolBackend (daemonic
         # processes cannot have children).  Orphan safety comes from the shard
@@ -660,21 +843,80 @@ class ShardedService:
                 child_sock,
                 child_conn,
                 ring.handle if ring is not None else None,
+                read_child,
             ),
             name=f"prediction-shard-{index}",
         )
         process.start()
         child_sock.close()
         child_conn.close()
+        read_child.close()
         if ring is not None:
             ring.bind(parent_sock)
-        shard = _Shard(
+        return _Shard(
             index=index,
             process=process,
             data_sock=parent_sock,
             control=parent_conn,
             ring=ring,
+            read=read_parent,
+            host="local",
+            pid=process.pid,
         )
+
+    def _adopt_remote(self, index: int) -> _Shard | None:
+        """Adopt the next parked dial-home worker into slot ``index``.
+
+        The worker already passed the listener's Hello (token, version) and
+        registered its identity; adoption sends it the wire-form config plus
+        a one-time key, then waits for it to attach its data- and read-plane
+        connections under that key.  Returns ``None`` (caller falls back to
+        a local fork) when nothing dialed home or the worker went away
+        mid-adoption.
+        """
+        assert self._listener is not None
+        pending = self._listener.take_pending(timeout=self._remote_timeout)
+        if pending is None:
+            return None
+        registration = pending.registration
+        key = self._listener.new_key()
+        try:
+            send_message(
+                pending.channel,
+                proto.RegisterShardReply(
+                    shard=index, config=config_to_wire(self.config), data_key=key
+                ),
+            )
+            data_sock = self._listener.wait_attachment(
+                key, "data", timeout=self._remote_timeout
+            )
+            read_sock = self._listener.wait_attachment(
+                key, "read", timeout=self._remote_timeout
+            )
+        except (OSError, EOFError, ServiceError) as exc:
+            pending.close()
+            warnings.warn(
+                f"adopting remote worker {registration.name!r} for shard {index} "
+                f"failed ({exc}); trying the next placement",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        data_sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return _Shard(
+            index=index,
+            process=None,
+            data_sock=data_sock,
+            control=pending.channel,
+            ring=None,
+            read=SocketChannel(read_sock),
+            name=registration.name,
+            host=registration.host,
+            pid=registration.pid,
+            weight=registration.weight,
+        )
+
+    def _handshake(self, shard: _Shard) -> _Shard:
         # Version negotiation before the first real control message: a shard
         # built from an incompatible protocol generation fails loudly at
         # spawn, never by silently mis-parsing a request later.
@@ -683,10 +925,21 @@ class ShardedService:
         )
         if not isinstance(reply, proto.HelloReply):
             raise ServiceError(
-                f"shard {index} handshake returned {type(reply).__name__}, expected HelloReply"
+                f"shard {shard.index} handshake returned {type(reply).__name__}, "
+                f"expected HelloReply"
             )
         shard.protocol_version = reply.version
-        self._register_ring_views(index)
+        if shard.read is not None:
+            self._read_plane.attach(shard.index, shard.read)
+            if self._read_events_active:
+                try:
+                    self._read_plane.request(
+                        shard.index, proto.Subscribe(), timeout=self._remote_timeout
+                    )
+                except (ShardCrashedError, ServiceError, TimeoutError):
+                    pass  # events degrade; the control-plane replies still carry them
+        self._register_ring_views(shard.index)
+        self._register_shard_views(shard.index)
         return shard
 
     def _register_ring_views(self, index: int) -> None:
@@ -722,6 +975,28 @@ class ShardedService:
             help="Doorbell announcements sent (one per written chunk)",
         )
 
+    def _register_shard_views(self, index: int) -> None:
+        """Expose shard ``index``'s liveness as a labelled gauge.
+
+        Registered once per slot; the closure reads whoever currently holds
+        it, so revives and remote adoptions are reflected without
+        re-registration.  A slot shrunk away raises inside the closure,
+        which drops the series from that scrape.
+        """
+        if self.metrics is None or index in self._shard_views_registered:
+            return
+        self._shard_views_registered.add(index)
+
+        def alive(idx: int = index) -> float:
+            if idx >= len(self._shards):
+                raise ValueError(f"shard slot {idx} no longer exists")
+            return 1.0 if self._shards[idx].alive else 0.0
+
+        self.metrics.register_view(
+            "repro_shard_alive", "gauge", alive, {"shard": str(index)},
+            help="1 while the shard's process (local) or connection (remote) is live",
+        )
+
     @property
     def n_shards(self) -> int:
         """Number of shards (live or dead)."""
@@ -746,10 +1021,26 @@ class ShardedService:
         return self._auto_revives
 
     def kill_shard(self, index: int) -> None:
-        """Forcibly kill a shard (SIGKILL) — fault injection for tests."""
+        """Forcibly kill a shard (SIGKILL) — fault injection for tests.
+
+        For a remote shard the signal is delivered by pid (same-host chaos
+        runs); detection stays organic either way — the router notices the
+        death on the next channel operation (waitpid for local shards,
+        connection loss for remote ones), exactly like a real crash.
+        """
         shard = self._shards[index]
-        shard.process.kill()
-        shard.process.join()
+        if shard.process is not None:
+            shard.process.kill()
+            shard.process.join()
+            return
+        if shard.pid is None:
+            raise ServiceError(
+                f"shard {index} is remote and registered no pid; cannot signal it"
+            )
+        try:
+            os.kill(shard.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):  # pragma: no cover - raced
+            pass
 
     def revive_shard(
         self,
@@ -837,12 +1128,19 @@ class ShardedService:
         except OSError:  # pragma: no cover - already closed
             pass
         shard.control.close()
-        # Closing both channels makes a healthy shard exit on EOF; give it a
-        # moment, then escalate so close() can never hang on a wedged shard.
-        shard.process.join(timeout=10.0)
-        if shard.process.is_alive():  # pragma: no cover - defensive
-            shard.process.kill()
-            shard.process.join()
+        if shard.read is not None:
+            # The read plane's drain thread unregisters and closes the
+            # channel; a replacement spawn may re-attach the slot right away.
+            self._read_plane.detach(shard.index)
+        if shard.process is not None:
+            # Closing both channels makes a healthy shard exit on EOF; give
+            # it a moment, then escalate so close() can never hang on a
+            # wedged shard.  A shard already convicted by a heartbeat
+            # timeout is wedged by definition — skip straight to the kill.
+            shard.process.join(timeout=0.5 if shard.unresponsive else 10.0)
+            if shard.process.is_alive():
+                shard.process.kill()
+                shard.process.join()
         if shard.ring is not None:
             # Unlink only after the reader process is gone: its mapping stays
             # valid until then, and nobody else can attach by name anymore.
@@ -860,6 +1158,9 @@ class ShardedService:
                 except ShardCrashedError:
                     pass
             self._release(shard)
+        self._read_plane.close()
+        if self._listener is not None:
+            self._listener.close()
 
     def __enter__(self) -> "ShardedService":
         return self
@@ -1321,6 +1622,7 @@ class ShardedService:
         n_shards: int,
         *,
         weights: tuple[float, ...] | list[float] | None = None,
+        placement: list[str] | tuple[str, ...] | None = None,
         on_phase: Callable[[str], None] | None = None,
         double_route: bool = True,
     ) -> dict:
@@ -1329,7 +1631,11 @@ class ShardedService:
         The operation is a minimal-movement migration: thanks to the
         consistent hash ring, only the jobs whose arc changes owner move.
         ``weights`` re-weights the new ring (same-count reshards with new
-        weights rebalance arcs in place).  Phase by phase (``on_phase``
+        weights rebalance arcs in place).  ``placement`` assigns each slot of
+        the new topology to ``"local"`` or ``"remote"`` (dial-home adoption,
+        see the constructor) — newly spawned slots honor it immediately;
+        existing live slots keep their current worker and adopt the new
+        placement only on a later revive.  Phase by phase (``on_phase``
         receives each name — an observability / fault-injection hook):
 
         1. ``spawned`` (growing) — the new shard subprocesses are up and
@@ -1379,6 +1685,9 @@ class ShardedService:
             raise ValueError(
                 f"weights must have one entry per shard ({n_shards}), got {len(weights)}"
             )
+        new_placement = (
+            None if placement is None else self._check_placement(placement, n_shards)
+        )
         if self._migration is not None:
             raise ServiceError("a reshard is already in progress")
         user_notify = on_phase if on_phase is not None else (lambda phase: None)
@@ -1428,6 +1737,11 @@ class ShardedService:
         moved_sessions = 0
         moved_jobs: list[str] = []
         moved_states: list[dict] = []
+        old_placement = self._placement
+        if new_placement is not None:
+            self._placement = new_placement
+        else:
+            self._placement = (self._placement + ["local"] * n_shards)[:n_shards]
         try:
             # New shards come up before the migration is armed: a
             # double-routed frame may target them the moment routing for
@@ -1526,6 +1840,7 @@ class ShardedService:
             notify("transferred")
         except BaseException:
             self._migration = None
+            self._placement = old_placement[: self.ring.n_shards]
             # Reconcile the shard list with whichever ring the failure left
             # in charge: any shard beyond the ring's range (fresh spawns of
             # a failed grow, drained sources of a failed shrink) is released
@@ -1872,7 +2187,9 @@ class ShardedService:
         from a single control round trip, so callers wanting several views
         (the benchmark does) pay one broadcast, not one per accessor.
         """
-        stats_list = self._stats_responses()
+        return self._stats_totals(self._stats_responses())
+
+    def _stats_totals(self, stats_list: list[dict]) -> dict:
         totals: dict = {
             "shards": self.n_shards,
             "dead_shards": len(self.dead_shards()),
@@ -1891,21 +2208,191 @@ class ShardedService:
         totals["p99_detection_latency_seconds"] = self._percentile(stats_list, 99.0)
         return totals
 
+    # ------------------------------------------------------------------ #
+    # read plane: stats/metrics/liveness without touching the control pipe
+    # ------------------------------------------------------------------ #
+    def _read_stats_responses(self) -> list[dict]:
+        responses: list[dict] = []
+        for shard in self._shards:
+            if not shard.alive or shard.read is None:
+                continue
+            try:
+                reply = self._read_plane.request(
+                    shard.index, proto.Stats(), timeout=self._remote_timeout
+                )
+            except ShardCrashedError:
+                shard.dead = True
+                raise
+            if not isinstance(reply, proto.StatsReply):
+                raise ProtocolError(
+                    f"shard {shard.index} answered Stats with "
+                    f"{type(reply).__name__} on the read plane"
+                )
+            responses.append(reply.stats)
+        return responses
+
+    def read_stats(self) -> dict:
+        """:meth:`stats`, served by the shards' read planes.
+
+        Same schema, different path: each shard's dedicated read thread
+        answers, so the aggregation never queues behind a pump in flight on
+        the control pipe — the PR-4 "reads served from shards" path the
+        gateway and ops surface use.  The counters reflect what each shard
+        has ingested *so far* (no ``expected_bytes`` barrier), exactly like
+        a scrape of a single-process service racing its ingest loop.
+        """
+        return self._stats_totals(self._read_stats_responses())
+
+    def read_metrics_snapshot(self) -> dict:
+        """:meth:`metrics_snapshot`, served by the shards' read planes.
+
+        Best-effort like its control-plane twin: a shard that died or timed
+        out is skipped — a scrape must never take the router down.
+        """
+        if self.metrics is None:
+            return {}
+        snapshots = [self.metrics.collect()]
+        for shard in self._shards:
+            if not shard.alive or shard.read is None:
+                continue
+            try:
+                reply = self._read_plane.request(
+                    shard.index, proto.MetricsReport(), timeout=self._remote_timeout
+                )
+            except (ShardCrashedError, ServiceError, TimeoutError):
+                continue
+            metrics = getattr(reply, "metrics", None)
+            if metrics:
+                snapshots.append(metrics)
+        return merge_snapshots(snapshots)
+
+    def subscribe_read_events(
+        self, callback: Callable[[PredictionUpdate], None]
+    ) -> None:
+        """Stream shard-side predictions straight off the read plane.
+
+        ``callback`` fires on the read plane's drain thread for every
+        prediction any shard publishes — without waiting for the router to
+        pump (the control-plane path batches updates into ``PumpReply``).
+        Shards spawned later (revives, reshard growth) are subscribed
+        automatically.
+        """
+        self._read_plane.subscribe(
+            lambda _index, update: callback(PredictionUpdate.from_dict(update))
+        )
+        self._read_events_active = True
+        for shard in self._shards:
+            if not shard.alive or shard.read is None:
+                continue
+            try:
+                self._read_plane.request(
+                    shard.index, proto.Subscribe(), timeout=self._remote_timeout
+                )
+            except (ShardCrashedError, ServiceError, TimeoutError):
+                continue
+
+    def heartbeat(self, timeout: float | None = None) -> dict[int, float | None]:
+        """Probe every live shard's read plane; returns RTT by shard index.
+
+        The liveness generalization the federation needs: ``waitpid`` only
+        sees a *local* child die, but a heartbeat timeout convicts any
+        unresponsive worker — a kill-9'd remote (connection reset), a
+        network partition, or a process that still holds its sockets while
+        wedged (SIGSTOP, runaway native code).  A convicted shard is marked
+        dead so the ordinary revive machinery replaces it; an answering
+        shard's RTT feeds the ``repro_heartbeat_rtt_seconds`` histogram.
+
+        All probes are launched before any reply is awaited, so the total
+        wall time is one ``timeout`` (default
+        ``ServiceConfig.heartbeat_timeout``), not one per shard.
+        """
+        timeout = self.config.heartbeat_timeout if timeout is None else float(timeout)
+        rtts: dict[int, float | None] = {}
+        probes: list[tuple[_Shard, int]] = []
+        acquired: list[threading.Lock] = []
+        try:
+            for shard in self._shards:
+                if not shard.alive or shard.read is None:
+                    continue
+                try:
+                    lock = self._read_plane.request_lock(shard.index)
+                except ShardCrashedError:
+                    continue
+                # Hold the per-shard request mutex from send to collect so a
+                # concurrent read_stats() can never steal the reply.  Locks
+                # are taken in index order; every other path holds only one.
+                lock.acquire()
+                acquired.append(lock)
+                self._heartbeat_seq += 1
+                seq = self._heartbeat_seq
+                try:
+                    self._read_plane.send(
+                        shard.index,
+                        proto.Heartbeat(seq=seq, sent_at=time.monotonic()),
+                    )
+                except ShardCrashedError:
+                    shard.dead = True
+                    rtts[shard.index] = None
+                    continue
+                probes.append((shard, seq))
+            deadline = time.monotonic() + timeout
+            for shard, seq in probes:
+                rtt: float | None = None
+                while True:
+                    remaining = deadline - time.monotonic()
+                    try:
+                        reply = self._read_plane.collect(
+                            shard.index, timeout=max(0.0, remaining)
+                        )
+                    except (TimeoutError, ShardCrashedError):
+                        break
+                    if isinstance(reply, proto.HeartbeatReply) and reply.seq == seq:
+                        # The echoed sent_at is this process's own monotonic
+                        # clock: RTT needs no cross-host clock agreement.
+                        rtt = time.monotonic() - reply.sent_at
+                        break
+                    # A stale reply from an earlier timed-out probe: skip it.
+                if rtt is None:
+                    shard.dead = True
+                    shard.unresponsive = True
+                    rtts[shard.index] = None
+                else:
+                    rtts[shard.index] = rtt
+                    if self.metrics is not None:
+                        self.metrics.histogram(
+                            "repro_heartbeat_rtt_seconds",
+                            {"shard": str(shard.index)},
+                            help="Round-trip time of shard read-plane heartbeats",
+                        ).observe(rtt)
+        finally:
+            for lock in acquired:
+                lock.release()
+        return rtts
+
     def shard_details(self) -> list[dict]:
         """Per-shard view for dashboards: liveness, session count, bytes routed.
 
         Unlike :meth:`stats` this never raises on a dead shard — the dead
         entry simply reports ``alive: False`` with the router-side counters
-        it still knows (jobs routed, bytes sent).
+        it still knows (jobs routed, bytes sent).  Remote shards additionally
+        carry the identity they registered at dial-home.
         """
         details = []
         for shard in self._shards:
             entry: dict = {
                 "shard": shard.index,
                 "alive": shard.alive,
+                "remote": shard.remote,
                 "jobs": len(self._jobs_by_shard[shard.index]),
                 "bytes_sent": shard.bytes_sent,
             }
+            if shard.remote:
+                entry["worker"] = {
+                    "name": shard.name,
+                    "host": shard.host,
+                    "pid": shard.pid,
+                    "weight": shard.weight,
+                }
             if shard.ring is not None:
                 entry["ring_occupancy_bytes"] = shard.ring.occupancy
                 entry["ring_stalls"] = shard.ring.stalls

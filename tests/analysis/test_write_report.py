@@ -60,6 +60,32 @@ class TestStableMerge:
         merged = _stable_merge(new, old, tolerance=NOISE_TOLERANCE)
         assert merged == {"acf": {"seconds": 2.0}, "rec": {"seconds": 0.5}}
 
+    def test_float_list_within_noise_keeps_old_group(self):
+        # Float lists are measurements too: a list that only wobbled within
+        # noise used to follow the new run unconditionally, refreshing the
+        # group (and the generated_at stamp) on every rerun.
+        old = {"seconds": 0.5, "samples": [0.10, 0.20, 0.40]}
+        new = {"seconds": 0.52, "samples": [0.11, 0.21, 0.42]}
+        assert _stable_merge(new, old, tolerance=NOISE_TOLERANCE) == old
+
+    def test_float_list_real_move_refreshes_whole_group(self):
+        old = {"seconds": 0.5, "samples": [0.10, 0.20, 0.40]}
+        new = {"seconds": 0.52, "samples": [0.10, 0.20, 4.00]}
+        assert _stable_merge(new, old, tolerance=NOISE_TOLERANCE) == new
+
+    def test_float_list_length_change_refreshes_group(self):
+        # A resized list is a structural change, never hysteresis material.
+        old = {"samples": [0.10, 0.20]}
+        new = {"samples": [0.10, 0.20, 0.30]}
+        assert _stable_merge(new, old, tolerance=NOISE_TOLERANCE) == new
+
+    def test_int_lists_always_follow_the_new_run(self):
+        # Lists of ints are facts (signal sizes, shard counts), not noisy
+        # measurements — they must never be frozen.
+        old = {"sizes": [128, 256]}
+        new = {"sizes": [128, 512]}
+        assert _stable_merge(new, old, tolerance=NOISE_TOLERANCE) == new
+
 
 class TestWriteReport:
     @staticmethod
@@ -91,6 +117,42 @@ class TestWriteReport:
         write_report(self.report(stamp=100, seconds=0.5, count=7), path)
         write_report(self.report(stamp=200, seconds=0.5, count=9), path)
         assert json.loads(path.read_text())["results"]["kernel"]["count"] == 9
+
+    def test_rerun_with_float_list_keeps_old_stamp(self, tmp_path):
+        # Regression: a group with a float-list sibling (e.g. the autoscale
+        # ramp's tick_seconds) within noise must leave the file — stamp
+        # included — byte-identical instead of rewriting generated_at on
+        # every rerun.
+        def report(stamp: int, *, jitter: float) -> dict:
+            return {
+                "schema_version": 4,
+                "generated_at": stamp,
+                "results": {
+                    "ramp": {
+                        "seconds": 0.5 + jitter,
+                        "tick_seconds": [0.1 + jitter, 0.2 + jitter],
+                    }
+                },
+            }
+
+        path = tmp_path / "bench.json"
+        write_report(report(100, jitter=0.0), path)
+        first = path.read_bytes()
+        write_report(report(200, jitter=0.01), path)
+        assert path.read_bytes() == first
+        assert json.loads(path.read_text())["generated_at"] == 100
+
+    def test_real_list_move_updates_values_and_stamp(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_report(
+            {"generated_at": 100, "r": {"s": 0.5, "ticks": [0.1, 0.2]}}, path
+        )
+        write_report(
+            {"generated_at": 200, "r": {"s": 0.5, "ticks": [0.1, 2.0]}}, path
+        )
+        loaded = json.loads(path.read_text())
+        assert loaded["r"]["ticks"] == [0.1, 2.0]
+        assert loaded["generated_at"] == 200
 
     def test_floats_are_rounded_and_keys_sorted(self, tmp_path):
         path = tmp_path / "bench.json"

@@ -117,6 +117,54 @@ class TestIdempotentRetry:
                 client.stats()
 
 
+class TestHandshakeFailures:
+    """A rejected Hello must never bind a dead socket or escape untyped."""
+
+    @pytest.fixture()
+    def token_gateway(self, service_config):
+        engine = PredictionService(service_config)
+        with ThreadedGateway(engine, own_engine=True, token=5) as gw:
+            yield gw
+
+    def test_rejected_hello_at_construction_raises_service_error(self, token_gateway):
+        from repro.exceptions import ServiceError
+
+        with pytest.raises(ServiceError, match="token"):
+            ServiceClient(token_gateway.host, token_gateway.port, token=3)
+
+    def test_reconnect_handshake_rejection_surfaces_typed(self, token_gateway):
+        # Credential rotation mid-session: the server now rejects the Hello
+        # of the transparent reconnect.  The retry contract stays typed —
+        # ConnectionLostError, never the raw ServiceError/ProtocolError from
+        # inside the handshake.
+        client = ServiceClient(token_gateway.host, token_gateway.port, token=5)
+        try:
+            client._token = 3  # simulate rotated server credentials
+            drop_connection(client)
+            with pytest.raises(ConnectionLostError):
+                client.stats()
+            assert client.reconnects == 0
+        finally:
+            client._closed = True
+            client._sock.close()
+
+    def test_failed_handshake_never_rebinds_the_socket(self, token_gateway):
+        # _connect must bind self._sock only after a *successful* handshake;
+        # a rejected reconnect must not leave the client holding the fresh
+        # -but-already-closed socket in place of the old one.
+        client = ServiceClient(token_gateway.host, token_gateway.port, token=5)
+        try:
+            before = client._sock
+            client._token = 3
+            drop_connection(client)
+            with pytest.raises(ConnectionLostError):
+                client.stats()
+            assert client._sock is before
+        finally:
+            client._closed = True
+            client._sock.close()
+
+
 class TestNonIdempotentTypedError:
     def test_submit_and_pump_raise_typed_error(self, gateway, job_flushes):
         with ServiceClient(gateway.host, gateway.port) as client:

@@ -112,3 +112,46 @@ def test_unknown_path_is_a_404_and_leaves_the_listener_alive(live_gateway):
     assert excinfo.value.code == 404
     status, _, _ = fetch(live_gateway, "/healthz")
     assert status == 200
+
+
+def test_ops_port_is_none_until_the_listener_binds():
+    # With ops_port=0 (pick a free port) the property must never echo the
+    # requested placeholder back: before start it is None, after start it is
+    # the real bound port, and with the surface off it stays None.
+    from repro.service import PredictionService
+    from repro.service.gateway import ServiceGateway
+
+    config = ServiceConfig(
+        session=SessionConfig(
+            config=FtioConfig(
+                sampling_frequency=10.0,
+                use_autocorrelation=False,
+                compute_characterization=False,
+            )
+        )
+    )
+    engine = PredictionService(config)
+    unbound = ServiceGateway(engine, ops_port=0)
+    assert unbound.ops_port is None
+    with ThreadedGateway(engine, ops_port=0) as gateway:
+        port = gateway.ops_port
+        assert port is not None and port > 0
+        status, _, _ = fetch(gateway, "/healthz")
+        assert status == 200
+    engine.close()
+
+
+def test_ops_port_is_none_when_the_surface_is_off():
+    from repro.service import PredictionService
+
+    config = ServiceConfig(
+        session=SessionConfig(
+            config=FtioConfig(
+                sampling_frequency=10.0,
+                use_autocorrelation=False,
+                compute_characterization=False,
+            )
+        )
+    )
+    with ThreadedGateway(PredictionService(config), own_engine=True) as gateway:
+        assert gateway.ops_port is None

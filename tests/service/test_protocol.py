@@ -142,6 +142,36 @@ message_st = st.one_of(
     st.builds(proto.AbortHandoverReply, discarded=st.integers(0, 2**20)),
     st.builds(proto.ReapFinished, forget_predictions=st.booleans()),
     st.builds(proto.ReapFinishedReply, jobs=st.lists(job_st, max_size=4).map(tuple)),
+    # --- multi-host federation ----------------------------------------- #
+    st.builds(
+        proto.RegisterShard,
+        name=name_st,
+        host=name_st,
+        pid=st.integers(0, 2**22),
+        cpu_count=st.integers(0, 256),
+        weight=st.floats(min_value=0.125, max_value=8.0, allow_nan=False),
+    ),
+    st.builds(
+        proto.RegisterShardReply,
+        shard=st.integers(0, 63),
+        config=nested_map_st,
+        data_key=st.text(max_size=32),
+    ),
+    st.builds(
+        proto.AttachChannel,
+        key=st.text(max_size=32),
+        channel=st.sampled_from(["data", "read"]),
+    ),
+    st.builds(
+        proto.Heartbeat,
+        seq=st.integers(0, 2**31 - 1),
+        sent_at=st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    ),
+    st.builds(
+        proto.HeartbeatReply,
+        seq=st.integers(0, 2**31 - 1),
+        sent_at=st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    ),
 )
 
 
@@ -305,7 +335,13 @@ class TestCorruption:
         assert proto.MESSAGE_TYPES[34] is proto.AbortHandoverReply
         assert proto.MESSAGE_TYPES[35] is proto.ReapFinished
         assert proto.MESSAGE_TYPES[36] is proto.ReapFinishedReply
-        assert len(set(proto.MESSAGE_TYPES)) == len(proto.MESSAGE_TYPES) == 36
+        # The multi-host federation block (remote shards, registry, liveness).
+        assert proto.MESSAGE_TYPES[37] is proto.RegisterShard
+        assert proto.MESSAGE_TYPES[38] is proto.RegisterShardReply
+        assert proto.MESSAGE_TYPES[39] is proto.AttachChannel
+        assert proto.MESSAGE_TYPES[40] is proto.Heartbeat
+        assert proto.MESSAGE_TYPES[41] is proto.HeartbeatReply
+        assert len(set(proto.MESSAGE_TYPES)) == len(proto.MESSAGE_TYPES) == 41
 
 
 class TestChunkedTransfer:
